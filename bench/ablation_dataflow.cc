@@ -1,0 +1,90 @@
+// Ablations for the design choices paper Sec. 4.2.5 discusses:
+//   (1) IS vs WS dataflow across feature-map sizes ("IS prefers larger
+//       feature maps compared to WS");
+//   (2) Winograd vs Spatial as DRAM bandwidth shrinks ("in IoT scenarios
+//       where the available memory bandwidth is limited, Spatial CONV may
+//       outperform Winograd") — locating the crossover;
+//   (3) PT = 4 vs PT = 6 tile size on the cloud part.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace hdnn;
+using namespace hdnn::bench;
+
+namespace {
+
+void DataflowSweep() {
+  std::printf("--- (1) IS vs WS, simulated cycles, PYNQ-Z1, C=K=128, 3x3 ---\n");
+  std::printf("%8s %12s %12s %8s\n", "feature", "IS", "WS", "winner");
+  PrintRule(46);
+  const AccelConfig cfg = PynqDesignPoint();
+  for (int feature : {112, 56, 28, 14, 7}) {
+    const Model m = BuildSingleConv(128, 128, feature, feature, 3);
+    const double is = SimulateLayerCycles(m, ConvMode::kSpatial,
+                                          Dataflow::kInputStationary, cfg,
+                                          PynqZ1Spec());
+    const double ws = SimulateLayerCycles(m, ConvMode::kSpatial,
+                                          Dataflow::kWeightStationary, cfg,
+                                          PynqZ1Spec());
+    std::printf("%8d %12.0f %12.0f %8s\n", feature, is, ws,
+                is <= ws ? "IS" : "WS");
+  }
+  std::printf("\n");
+}
+
+void BandwidthSweep() {
+  std::printf(
+      "--- (2) Winograd vs Spatial as bandwidth shrinks (GOPS, PYNQ config, "
+      "C=K=256, 14x14, 3x3) ---\n");
+  std::printf("%10s %12s %12s %10s\n", "BW (GB/s)", "spatial", "winograd",
+              "winner");
+  PrintRule(48);
+  const Model m = BuildSingleConv(256, 256, 14, 14, 3);
+  const double ops = static_cast<double>(m.TotalOps());
+  const AccelConfig cfg = PynqDesignPoint();
+  for (double bw : {4.0, 2.0, 1.0, 0.5, 0.25, 0.125, 0.0625}) {
+    FpgaSpec spec = PynqZ1Spec();
+    spec.dram_bandwidth_gbps = bw;
+    const double spat = SimulateLayerBestFlow(m, ConvMode::kSpatial, cfg, spec);
+    const double wino =
+        SimulateLayerBestFlow(m, ConvMode::kWinograd, cfg, spec);
+    std::printf("%10.4f %12.1f %12.1f %10s\n", bw, Gops(ops, spat, spec),
+                Gops(ops, wino, spec), wino <= spat ? "winograd" : "spatial");
+  }
+  std::printf("\n");
+}
+
+void TileSizeSweep() {
+  std::printf("--- (3) PT=4 vs PT=6 on VU9P (simulated GOPS/instance) ---\n");
+  std::printf("%24s %10s %10s\n", "layer", "PT=4", "PT=6");
+  PrintRule(46);
+  AccelConfig pt4 = Vu9pDesignPoint();
+  pt4.pt = 4;
+  const AccelConfig pt6 = Vu9pDesignPoint();
+  for (const auto& [label, c, f] :
+       {std::tuple{"C=K=64, 112x112", 64, 112}, std::tuple{"C=K=256, 28x28", 256, 28},
+        std::tuple{"C=K=512, 14x14", 512, 14}}) {
+    const Model m = BuildSingleConv(c, c, f, f, 3);
+    const double ops = static_cast<double>(m.TotalOps());
+    const double g4 = Gops(
+        ops, SimulateLayerBestFlow(m, ConvMode::kWinograd, pt4, Vu9pSpec()),
+        Vu9pSpec());
+    const double g6 = Gops(
+        ops, SimulateLayerBestFlow(m, ConvMode::kWinograd, pt6, Vu9pSpec()),
+        Vu9pSpec());
+    std::printf("%24s %10.1f %10.1f\n", label, g4, g6);
+  }
+  std::printf("(PT=6 quadruples the multiplication saving at 2.25x the\n"
+              " weight-stream inflation; it wins when bandwidth allows.)\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablations: dataflow, bandwidth crossover, tile size ===\n\n");
+  DataflowSweep();
+  BandwidthSweep();
+  TileSizeSweep();
+  return 0;
+}

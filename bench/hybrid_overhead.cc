@@ -1,0 +1,60 @@
+// Reproduces the paper's Sec. 6.1 claim: "Compared to the conventional
+// architecture which only supports Spatial CONV, the overhead of adding
+// Winograd supported hybrid structure ... costs only 26.4% extra LUTs but
+// no extra DSPs on a VU9P FPGA."
+#include <cstdio>
+
+#include "bench_util.h"
+#include "estimator/resource_model.h"
+#include "platform/profile_constants.h"
+
+using namespace hdnn;
+using namespace hdnn::bench;
+
+int main() {
+  std::printf("=== Sec. 6.1: hybrid-PE overhead vs Spatial-only baseline ===\n\n");
+  std::printf("%-9s %-28s %10s %10s %10s\n", "platform", "variant", "LUTs",
+              "DSPs", "BRAM18");
+  PrintRule(72);
+  for (const auto& [name, cfg, spec] :
+       {std::tuple{"VU9P", Vu9pDesignPoint(), &Vu9pSpec()},
+        std::tuple{"PYNQ-Z1", PynqDesignPoint(), &PynqZ1Spec()}}) {
+    const auto hybrid =
+        ImplementationResources(cfg, *spec, DefaultProfile(), /*hybrid=*/true);
+    const auto spatial = ImplementationResources(cfg, *spec, DefaultProfile(),
+                                                 /*hybrid=*/false);
+    std::printf("%-9s %-28s %10.0f %10.0f %10.0f\n", name,
+                "hybrid (Spatial+Winograd)", hybrid.luts, hybrid.dsps,
+                hybrid.bram18);
+    std::printf("%-9s %-28s %10.0f %10.0f %10.0f\n", name,
+                "Spatial-only baseline", spatial.luts, spatial.dsps,
+                spatial.bram18);
+    std::printf("%-9s %-28s %+9.1f%% %+9.1f%% %+9.1f%%\n", name, "overhead",
+                100.0 * (hybrid.luts / spatial.luts - 1),
+                100.0 * (hybrid.dsps / spatial.dsps - 1),
+                100.0 * (hybrid.bram18 / spatial.bram18 - 1));
+    PrintRule(72);
+  }
+  std::printf("\npaper (VU9P): +26.4%% LUTs, no extra DSPs\n");
+
+  // The performance side of the trade: what the Spatial-only baseline costs
+  // on VGG16 (same design point, Winograd disabled in the DSE).
+  std::printf("\nVGG16 conv throughput, hybrid vs Spatial-only mapping:\n");
+  for (const auto& [name, spec] :
+       {std::pair{"VU9P", &Vu9pSpec()}, std::pair{"PYNQ-Z1", &PynqZ1Spec()}}) {
+    const Model conv = BuildVgg16ConvOnly();
+    const DseEngine dse(*spec);
+    DseOptions hybrid_opts;
+    DseOptions spat_opts;
+    spat_opts.allow_winograd = false;
+    for (const auto& [variant, opts] :
+         {std::pair{"hybrid", hybrid_opts}, std::pair{"spatial-only", spat_opts}}) {
+      const DseResult r = dse.Explore(conv, opts);
+      CompiledModel cm = Compiler(r.config, *spec).Compile(conv, r.mapping);
+      RunReport rep = Runtime(r.config, *spec).Execute(conv, cm, {}, {}, false);
+      std::printf("  %-8s %-13s %8.1f GOPS (%s)\n", name, variant,
+                  rep.effective_gops, r.config.ToString().c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,111 @@
+// google-benchmark microbenchmarks of the library's hot kernels: Winograd
+// transforms, quantised convolution references, ISA codec, and the
+// simulator itself (host-side speed, not modeled accelerator cycles).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/prng.h"
+#include "isa/codec.h"
+#include "refconv/direct.h"
+#include "winograd/transform.h"
+#include "winograd/wino_conv.h"
+
+namespace hdnn {
+namespace {
+
+void BM_TransformInputTile(benchmark::State& state) {
+  const int pt = static_cast<int>(state.range(0));
+  Prng prng(1);
+  std::vector<std::int32_t> d(static_cast<std::size_t>(pt * pt));
+  for (auto& v : d) v = static_cast<std::int32_t>(prng.NextInt(-2048, 2047));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TransformInputTile(d, pt));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TransformInputTile)->Arg(4)->Arg(6);
+
+void BM_TransformKernelQ(benchmark::State& state) {
+  const int pt = static_cast<int>(state.range(0));
+  Prng prng(2);
+  std::vector<std::int8_t> g(9);
+  for (auto& v : g) v = static_cast<std::int8_t>(prng.NextInt(-127, 127));
+  const int u_shift = pt == 4 ? 2 : 7;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TransformKernelQ(g, pt, u_shift));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TransformKernelQ)->Arg(4)->Arg(6);
+
+void BM_QuantConv(benchmark::State& state) {
+  const bool wino = state.range(0) != 0;
+  Prng prng(3);
+  Tensor<std::int16_t> in(Shape{16, 16, 16});
+  in.FillRandomInt(prng, -256, 255);
+  Tensor<std::int8_t> w(Shape{16, 16, 3, 3});
+  w.FillRandomInt(prng, -32, 32);
+  Tensor<std::int32_t> bias(Shape{16});
+  for (auto _ : state) {
+    if (wino) {
+      benchmark::DoNotOptimize(
+          Conv2dWinogradQ(in, w, bias, 1, 6, 12, false, 4, 2));
+    } else {
+      benchmark::DoNotOptimize(Conv2dDirectQ(in, w, bias, 1, 1, 6, 12, false));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 16 * 16 * 16 * 16 * 9);
+}
+BENCHMARK(BM_QuantConv)->Arg(0)->Arg(1);
+
+void BM_IsaEncodeDecode(benchmark::State& state) {
+  CompFields f;
+  f.iw_num = 114;
+  f.ow_num = 56;
+  f.ic_vecs = 16;
+  f.oc_vecs = 8;
+  f.quan = 13;
+  f.wino = true;
+  for (auto _ : state) {
+    const Instruction instr = Encode(InstrFields{f});
+    benchmark::DoNotOptimize(Decode(instr));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IsaEncodeDecode);
+
+void BM_SimulateLayerTimingOnly(benchmark::State& state) {
+  const Model m = BuildSingleConv(64, 64, 56, 56, 3);
+  const AccelConfig cfg = bench::PynqDesignPoint();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::SimulateLayerCycles(
+        m, ConvMode::kWinograd, Dataflow::kInputStationary, cfg,
+        PynqZ1Spec()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulateLayerTimingOnly);
+
+void BM_SimulateLayerFunctional(benchmark::State& state) {
+  const Model m = BuildSingleConv(8, 8, 16, 16, 3);
+  const AccelConfig cfg = bench::PynqDesignPoint();
+  const FpgaSpec spec = PynqZ1Spec();
+  const Compiler compiler(cfg, spec);
+  std::vector<LayerMapping> mapping{
+      {ConvMode::kWinograd, Dataflow::kInputStationary}};
+  CompiledModel cm = compiler.Compile(m, mapping);
+  const ModelWeightsQ weights = SyntheticWeights(m, 1);
+  Prng prng(2);
+  Tensor<std::int16_t> input(Shape{8, 16, 16});
+  input.FillRandomInt(prng, -128, 127);
+  for (auto _ : state) {
+    Runtime runtime(cfg, spec);
+    benchmark::DoNotOptimize(
+        runtime.Execute(m, cm, weights, input, /*functional=*/true));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulateLayerFunctional);
+
+}  // namespace
+}  // namespace hdnn

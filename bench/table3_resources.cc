@@ -1,0 +1,54 @@
+// Reproduces paper Table 3: "Resource Utilization of VU9P and PYNQ-Z1" for
+// the VGG16 design points. Our "measured" numbers come from the bottom-up
+// implementation resource model (the Vivado-report substitute; DESIGN.md).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "estimator/resource_model.h"
+#include "platform/profile_constants.h"
+
+using namespace hdnn;
+using namespace hdnn::bench;
+
+namespace {
+
+struct PaperRow {
+  const char* name;
+  double luts, lut_pct, dsps, dsp_pct, bram, bram_pct;
+};
+
+void Report(const char* name, const AccelConfig& cfg, const FpgaSpec& spec,
+            const PaperRow& paper) {
+  const ResourceEstimate impl =
+      ImplementationResources(cfg, spec, DefaultProfile());
+  const ResourceEstimate ana = AnalyticalResources(cfg, spec, DefaultProfile());
+  std::printf("%-9s %s\n", name, cfg.ToString().c_str());
+  std::printf("  %-28s %10s %10s %10s\n", "", "LUTs", "DSPs", "18Kb BRAMs");
+  std::printf("  %-28s %10.0f %10.0f %10.0f\n", "measured (impl model)",
+              impl.luts, impl.dsps, impl.bram18);
+  std::printf("  %-28s %9.2f%% %9.2f%% %9.2f%%\n", "device utilization",
+              100.0 * impl.luts / spec.luts, 100.0 * impl.dsps / spec.dsps,
+              100.0 * impl.bram18 / spec.bram18);
+  std::printf("  %-28s %10.0f %10.0f %10.0f\n", "analytical (Eq. 3-5)",
+              ana.luts, ana.dsps, ana.bram18);
+  std::printf("  %-28s %10.0f %10.0f %10.0f\n", "paper Table 3", paper.luts,
+              paper.dsps, paper.bram);
+  std::printf("  %-28s %9.2f%% %9.2f%% %9.2f%%\n", "paper utilization",
+              paper.lut_pct, paper.dsp_pct, paper.bram_pct);
+  std::printf("  %-28s %+9.2f%% %+9.2f%% %+9.2f%%\n", "measured vs paper",
+              100.0 * (impl.luts - paper.luts) / paper.luts,
+              100.0 * (impl.dsps - paper.dsps) / paper.dsps,
+              100.0 * (impl.bram18 - paper.bram) / paper.bram);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 3: Resource Utilization of VU9P and PYNQ-Z1 ===\n\n");
+  Report("VU9P", Vu9pDesignPoint(), Vu9pSpec(),
+         PaperRow{"vu9p", 706353, 59.8, 5163, 75.5, 3169, 73.4});
+  Report("PYNQ-Z1", PynqDesignPoint(), PynqZ1Spec(),
+         PaperRow{"pynq", 37034, 69.61, 220, 100.0, 277, 98.93});
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Reproduces the paper's arithmetic-complexity claims:
+//   Sec. 4.2.1: "an F(4x4, 3x3) Winograd algorithm requires 36
+//   multiplications for one output tile, while the Spatial CONV needs 144
+//   ... The reduction of multiplications is 4 times."
+//   Sec. 5.2: "assuming m = 4 and r = 3 with 5x5 kernel, the loading latency
+//   of Winograd mode is 2*2*36/25 = 5.76x compared to Spatial mode."
+#include <cstdio>
+
+#include "bench_util.h"
+#include "winograd/decompose.h"
+#include "winograd/matrices.h"
+#include "winograd/wino_conv.h"
+
+using namespace hdnn;
+using namespace hdnn::bench;
+
+int main() {
+  std::printf("=== Winograd arithmetic complexity ===\n\n");
+  std::printf("per-tile multiplications (one input x output channel pair):\n");
+  std::printf("%12s %8s %8s %10s\n", "algorithm", "wino", "spatial",
+              "reduction");
+  PrintRule(42);
+  for (int pt : {4, 6}) {
+    const WinoParam p = WinoParamForPt(pt);
+    std::printf("  F(%dx%d,3x3) %8d %8d %9.2fx\n", p.m, p.m,
+                p.wino_mults_per_tile(), p.spatial_mults_per_tile(),
+                static_cast<double>(p.spatial_mults_per_tile()) /
+                    p.wino_mults_per_tile());
+  }
+
+  std::printf("\nwhole-layer multiplication counts (C=K=64, 56x56 fmap):\n");
+  std::printf("%8s | %8s %14s %14s %10s %12s\n", "kernel", "PT", "wino mults",
+              "spatial mults", "reduction", "wgt inflate");
+  PrintRule(76);
+  for (int kernel : {1, 3, 5, 7, 11}) {
+    for (int pt : {4, 6}) {
+      const int pad = (kernel - 1) / 2;
+      const auto count = CountConvMults(64, 64, 56, 56, kernel, kernel, pad, pt);
+      // Weight-stream inflation (Eq. 9 / Eq. 8 ratio):
+      const double slices = NumKernelSlices(kernel, kernel);
+      const double inflate =
+          slices * pt * pt / static_cast<double>(kernel * kernel);
+      std::printf("%5dx%-3d| %8d %14lld %14lld %9.2fx %11.2fx\n", kernel,
+                  kernel, pt, static_cast<long long>(count.winograd),
+                  static_cast<long long>(count.spatial), count.reduction(),
+                  inflate);
+    }
+  }
+  std::printf("\npaper checks: F(4x4,3x3) 3x3 -> 4x reduction; 5x5 kernel -> "
+              "5.76x weight inflation at PT=6.\n");
+  return 0;
+}

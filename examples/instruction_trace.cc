@@ -1,0 +1,62 @@
+// A look inside the compiler: lower one convolution layer and print the
+// decoded 128-bit instruction stream (paper Fig. 2's five instructions,
+// with the handshake DEPT flags of Sec. 4.1 and the ping-pong BUFF_IDs),
+// then execute it and show the per-instruction completion times.
+#include <cstdio>
+
+#include "compiler/compiler.h"
+#include "isa/assembler.h"
+#include "nn/builders.h"
+#include "platform/fpga_spec.h"
+#include "runtime/runtime.h"
+
+int main() {
+  using namespace hdnn;
+  const FpgaSpec& spec = PynqZ1Spec();
+  AccelConfig cfg;
+  cfg.pi = 4;
+  cfg.po = 4;
+  cfg.pt = 4;
+
+  // A small layer so the whole program fits on screen: 8x8 fmap, 16->16
+  // channels, 3x3 kernel, ReLU + 2x2 max-pool fused.
+  const Model model = BuildSingleConv(16, 16, 8, 8, 3, 1, 1, true);
+  Model pooled("traced", FmapShape{16, 8, 8});
+  ConvLayer layer = model.layer(0);
+  layer.pool = 2;
+  pooled.Append(layer);
+
+  const Compiler compiler(cfg, spec);
+  const std::vector<LayerMapping> mapping{
+      {ConvMode::kWinograd, Dataflow::kInputStationary}};
+  const CompiledModel cm = compiler.Compile(pooled, mapping);
+
+  Runtime runtime(cfg, spec);
+  const ModelWeightsQ weights = SyntheticWeights(pooled, 7);
+  Prng prng(8);
+  Tensor<std::int16_t> input(Shape{16, 8, 8});
+  input.FillRandomInt(prng, -128, 127);
+  const RunReport rep =
+      runtime.Execute(pooled, cm, weights, input, /*functional=*/true);
+
+  std::printf("program: %zu instructions, executed in %.0f cycles\n\n",
+              cm.program.size(), rep.stats.total_cycles);
+  std::printf("%-4s %8s  %s\n", "idx", "done@", "instruction");
+  for (std::size_t i = 0; i < cm.program.size(); ++i) {
+    std::printf("%-4zu %8.0f  %s\n", i, rep.stats.completion[i],
+                Disassemble(cm.program[i]).c_str());
+  }
+
+  std::printf("\nDRAM map: weights @%lld (%lld words), bias @%lld, "
+              "fmap A @%lld, fmap B @%lld\n",
+              static_cast<long long>(cm.plans[0].wgt_dram_base),
+              static_cast<long long>(cm.plans[0].wgt_dram_words),
+              static_cast<long long>(cm.plans[0].bias_dram_base),
+              static_cast<long long>(cm.fmap_a_base),
+              static_cast<long long>(cm.fmap_b_base));
+  std::printf("output fmap: %lld x %lld x %lld (after fused 2x2 max-pool)\n",
+              static_cast<long long>(rep.output.shape().dim(0)),
+              static_cast<long long>(rep.output.shape().dim(1)),
+              static_cast<long long>(rep.output.shape().dim(2)));
+  return 0;
+}

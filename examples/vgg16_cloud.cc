@@ -1,0 +1,52 @@
+// The paper's cloud case study (Sec. 6.1): VGG16 on the multi-die VU9P.
+// Reproduces the design point (six accelerator instances, PI=4, PO=4, PT=6),
+// prints the per-layer mapping the DSE selects, the resource picture and the
+// end-to-end throughput.
+#include <cstdio>
+
+#include "compiler/compiler.h"
+#include "dse/search.h"
+#include "estimator/resource_model.h"
+#include "hlsgen/hls_config_gen.h"
+#include "nn/builders.h"
+#include "platform/power_model.h"
+#include "platform/profile_constants.h"
+#include "runtime/runtime.h"
+
+int main() {
+  using namespace hdnn;
+  const FpgaSpec& spec = Vu9pSpec();
+  const Model model = BuildVgg16ConvOnly();
+  std::printf("%s", model.Summary().c_str());
+
+  const DseEngine dse(spec);
+  const DseResult r = dse.Explore(model);
+  std::printf("\nDSE result: %s  (objective %.3e cycles/image/instance)\n",
+              r.config.ToString().c_str(), r.objective);
+  std::printf("%s\n", GenerateBuildSummary(r.config, spec).c_str());
+
+  const Compiler compiler(r.config, spec);
+  const CompiledModel cm = compiler.Compile(model, r.mapping);
+  Runtime runtime(r.config, spec);
+  const RunReport rep =
+      runtime.Execute(model, cm, {}, {}, /*functional=*/false);
+
+  std::printf("per-layer mapping and simulated latency:\n");
+  for (int i = 0; i < model.num_layers(); ++i) {
+    const LayerPlan& plan = cm.plans[static_cast<std::size_t>(i)];
+    std::printf("  %-10s %s/%s  %10.0f cycles\n", model.layer(i).name.c_str(),
+                ToString(plan.mapping.mode), ToString(plan.mapping.dataflow),
+                rep.layer_cycles[static_cast<std::size_t>(i)]);
+  }
+  const PowerModel pm;
+  const auto impl = ImplementationResources(r.config, spec, DefaultProfile());
+  const double watts = pm.TotalWatts(spec, impl.AsUsage());
+  std::printf("\nVGG16 conv layers: %.1f ms/image/instance\n",
+              rep.seconds * 1e3);
+  std::printf("throughput: %.1f GOPS x %d instances = %.1f GOPS  "
+              "(paper: 3375.7)\n",
+              rep.gops, r.config.ni, rep.effective_gops);
+  std::printf("power: %.1f W -> %.1f GOPS/W  (paper: 73.5)\n", watts,
+              rep.effective_gops / watts);
+  return 0;
+}

@@ -1,0 +1,17 @@
+#include "common/check.h"
+
+namespace hdnn::detail {
+
+[[noreturn]] void ThrowCheckFailure(const char* kind, const char* expr,
+                                    const char* file, int line,
+                                    const std::string& message) {
+  std::ostringstream out;
+  out << "HybridDNN " << kind << " failure at " << file << ":" << line
+      << ": (" << expr << ")";
+  if (!message.empty()) out << " — " << message;
+  const std::string what = out.str();
+  if (std::string(kind) == "internal invariant") throw InternalError(what);
+  throw InvalidArgument(what);
+}
+
+}  // namespace hdnn::detail

@@ -1,0 +1,93 @@
+// Error handling primitives for HybridDNN.
+//
+// The library reports contract violations and invalid user input through
+// exceptions derived from hdnn::Error (per C++ Core Guidelines E.2: throw an
+// exception to signal that a function can't perform its assigned task).
+// HDNN_CHECK is used for preconditions on public API boundaries; internal
+// invariants that indicate library bugs use HDNN_INTERNAL.
+#ifndef HDNN_COMMON_CHECK_H_
+#define HDNN_COMMON_CHECK_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hdnn {
+
+/// Base class of all exceptions thrown by HybridDNN.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition of a public API.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Parsing of a model / spec / assembly text failed.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// A resource or capacity limit was exceeded (buffer overflow, DRAM range,
+/// encoding field overflow, ...).
+class CapacityError : public Error {
+ public:
+  explicit CapacityError(const std::string& what) : Error(what) {}
+};
+
+/// An internal invariant failed; indicates a bug in HybridDNN itself.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void ThrowCheckFailure(const char* kind, const char* expr,
+                                    const char* file, int line,
+                                    const std::string& message);
+}  // namespace detail
+
+/// Builds failure messages with streaming syntax:
+///   HDNN_CHECK(x > 0) << "x was " << x;
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* kind, const char* expr, const char* file,
+                      int line)
+      : kind_(kind), expr_(expr), file_(file), line_(line) {}
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() noexcept(false) {
+    detail::ThrowCheckFailure(kind_, expr_, file_, line_, stream_.str());
+  }
+
+ private:
+  const char* kind_;
+  const char* expr_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace hdnn
+
+#define HDNN_CHECK(cond)                                                  \
+  if (cond) {                                                             \
+  } else                                                                  \
+    ::hdnn::CheckMessageBuilder("precondition", #cond, __FILE__, __LINE__)
+
+#define HDNN_INTERNAL(cond)                                              \
+  if (cond) {                                                            \
+  } else                                                                 \
+    ::hdnn::CheckMessageBuilder("internal invariant", #cond, __FILE__,   \
+                                __LINE__)
+
+#endif  // HDNN_COMMON_CHECK_H_

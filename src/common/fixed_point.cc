@@ -1,0 +1,47 @@
+#include "common/fixed_point.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hdnn {
+
+SignedRange SignedRangeOf(int bits) {
+  HDNN_CHECK(bits >= 2 && bits <= 63) << "bits=" << bits;
+  const std::int64_t max = (std::int64_t{1} << (bits - 1)) - 1;
+  return SignedRange{-max - 1, max};
+}
+
+std::int64_t SaturateSigned(std::int64_t v, int bits) {
+  const SignedRange r = SignedRangeOf(bits);
+  if (v < r.min) return r.min;
+  if (v > r.max) return r.max;
+  return v;
+}
+
+std::int64_t RoundingShiftRight(std::int64_t v, int shift) {
+  HDNN_CHECK(shift >= 0 && shift < 63) << "shift=" << shift;
+  if (shift == 0) return v;
+  const std::int64_t bias = std::int64_t{1} << (shift - 1);
+  if (v >= 0) return (v + bias) >> shift;
+  return -((-v + bias) >> shift);
+}
+
+std::int64_t Requantize(std::int64_t acc, int shift, int out_bits) {
+  return SaturateSigned(RoundingShiftRight(acc, shift), out_bits);
+}
+
+std::int64_t QuantizeValue(double value, int frac_bits, int bits) {
+  HDNN_CHECK(frac_bits >= 0 && frac_bits < 62) << "frac_bits=" << frac_bits;
+  const double scaled = value * static_cast<double>(std::int64_t{1} << frac_bits);
+  const double rounded = scaled >= 0 ? std::floor(scaled + 0.5)
+                                     : std::ceil(scaled - 0.5);
+  return SaturateSigned(static_cast<std::int64_t>(rounded), bits);
+}
+
+double DequantizeValue(std::int64_t q, int frac_bits) {
+  return static_cast<double>(q) /
+         static_cast<double>(std::int64_t{1} << frac_bits);
+}
+
+}  // namespace hdnn

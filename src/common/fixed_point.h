@@ -1,0 +1,41 @@
+// Fixed-point arithmetic helpers matching the accelerator's quantisation
+// scheme: int8 weights, int12 feature maps ("input feature maps are set to
+// 12-bit in PE due to the Winograd matrix transformation", paper Table 4
+// footnote), wide accumulation, and a single requantisation step controlled
+// by the COMP instruction's QUAN_PARAM shift field.
+#ifndef HDNN_COMMON_FIXED_POINT_H_
+#define HDNN_COMMON_FIXED_POINT_H_
+
+#include <cstdint>
+
+namespace hdnn {
+
+/// Inclusive value range of a signed two's-complement field of `bits` bits.
+struct SignedRange {
+  std::int64_t min;
+  std::int64_t max;
+};
+
+/// Range of an N-bit signed integer, N in [2, 63].
+SignedRange SignedRangeOf(int bits);
+
+/// Clamps v into the N-bit signed range (saturating cast).
+std::int64_t SaturateSigned(std::int64_t v, int bits);
+
+/// Arithmetic right shift with round-half-away-from-zero, the rounding the
+/// accelerator's requantisation stage implements. shift >= 0.
+std::int64_t RoundingShiftRight(std::int64_t v, int shift);
+
+/// Full requantisation: round-shift then saturate to `out_bits`.
+std::int64_t Requantize(std::int64_t acc, int shift, int out_bits);
+
+/// Quantises a real value onto a fixed-point grid with `frac_bits` fraction
+/// bits, saturating to `bits` total (signed). Rounds half away from zero.
+std::int64_t QuantizeValue(double value, int frac_bits, int bits);
+
+/// Inverse of QuantizeValue (exact).
+double DequantizeValue(std::int64_t q, int frac_bits);
+
+}  // namespace hdnn
+
+#endif  // HDNN_COMMON_FIXED_POINT_H_

@@ -1,0 +1,40 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace hdnn {
+namespace {
+std::atomic<int> g_threshold{static_cast<int>(LogLevel::kWarning)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogThreshold(LogLevel level) {
+  g_threshold.store(static_cast<int>(level));
+}
+
+LogLevel GetLogThreshold() {
+  return static_cast<LogLevel>(g_threshold.load());
+}
+
+namespace detail {
+void EmitLog(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < g_threshold.load()) return;
+  std::cerr << "[hdnn " << LevelName(level) << "] " << message << "\n";
+}
+}  // namespace detail
+
+}  // namespace hdnn

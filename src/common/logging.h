@@ -1,0 +1,41 @@
+// Minimal leveled logging. Disabled below the global threshold; defaults to
+// warnings only so library code stays quiet inside tests and benchmarks.
+#ifndef HDNN_COMMON_LOGGING_H_
+#define HDNN_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace hdnn {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global threshold; messages below it are dropped.
+void SetLogThreshold(LogLevel level);
+LogLevel GetLogThreshold();
+
+namespace detail {
+void EmitLog(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { EmitLog(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace hdnn
+
+#define HDNN_LOG(level) ::hdnn::detail::LogLine(::hdnn::LogLevel::level)
+
+#endif  // HDNN_COMMON_LOGGING_H_

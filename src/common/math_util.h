@@ -1,0 +1,47 @@
+// Small integer-math helpers.
+#ifndef HDNN_COMMON_MATH_UTIL_H_
+#define HDNN_COMMON_MATH_UTIL_H_
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace hdnn {
+
+/// ceil(a / b) for non-negative a, positive b.
+template <typename T>
+constexpr T CeilDiv(T a, T b) {
+  return (a + b - 1) / b;
+}
+
+/// Rounds `a` up to the next multiple of `b` (b > 0).
+template <typename T>
+constexpr T RoundUp(T a, T b) {
+  return CeilDiv(a, b) * b;
+}
+
+/// True iff v is a power of two (v > 0).
+constexpr bool IsPowerOfTwo(std::int64_t v) {
+  return v > 0 && (v & (v - 1)) == 0;
+}
+
+/// Next power of two >= v (v >= 1).
+constexpr std::int64_t NextPowerOfTwo(std::int64_t v) {
+  std::int64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// floor(log2(v)) for v >= 1.
+constexpr int Log2Floor(std::int64_t v) {
+  int r = -1;
+  while (v > 0) {
+    v >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+}  // namespace hdnn
+
+#endif  // HDNN_COMMON_MATH_UTIL_H_

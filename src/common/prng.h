@@ -1,0 +1,48 @@
+// Deterministic pseudo-random generator for synthetic weights/activations.
+//
+// All experiments must be reproducible run-to-run and machine-to-machine, so
+// we use a fixed splitmix64 generator rather than std::mt19937 seeded from
+// the environment (paper substitution: pretrained VGG16 parameters ->
+// deterministic synthetic parameters; see DESIGN.md Sec. 1).
+#ifndef HDNN_COMMON_PRNG_H_
+#define HDNN_COMMON_PRNG_H_
+
+#include <cstdint>
+
+namespace hdnn {
+
+/// splitmix64: tiny, fast, well-distributed, fully deterministic.
+class Prng {
+ public:
+  explicit Prng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t NextU64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [lo, hi] inclusive; requires hi >= lo.
+  std::int64_t NextInt(std::int64_t lo, std::int64_t hi) {
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(NextU64() % span);
+  }
+
+  /// Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double NextDouble(double lo, double hi) {
+    return lo + NextDouble() * (hi - lo);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace hdnn
+
+#endif  // HDNN_COMMON_PRNG_H_

@@ -1,0 +1,478 @@
+#include "compiler/compiler.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/math_util.h"
+#include "compiler/weight_pack.h"
+#include "winograd/matrices.h"
+
+namespace hdnn {
+namespace {
+
+constexpr int kBaseShift = 6;  // features are Q5.6
+
+int Lcm(int a, int b) { return a / std::gcd(a, b) * b; }
+
+SaveLayout LayoutFor(ConvMode source_mode, ConvMode target_layout) {
+  if (source_mode == ConvMode::kWinograd) {
+    return target_layout == ConvMode::kWinograd ? SaveLayout::kWinoToWino
+                                                : SaveLayout::kWinoToSpat;
+  }
+  return target_layout == ConvMode::kWinograd ? SaveLayout::kSpatToWino
+                                              : SaveLayout::kSpatToSpat;
+}
+
+/// Geometry of one fmap (row x column) group.
+struct GroupGeom {
+  int oh0, oh_cnt;       ///< output rows covered (pre-pool)
+  int ow0, ow_cnt;       ///< output cols covered (pre-pool)
+  int tiles_h, tiles_w;  ///< Winograd tiles (0 for Spatial)
+  // Input window (slab geometry).
+  int dram_r0, rows_read, pad_t, pad_b;
+  int dram_c0, cols_read, pad_l, pad_r;
+  int window_rows, window_cols;
+};
+
+GroupGeom MakeGroupGeom(const ConvLayer& layer, const FmapShape& in,
+                        const FmapShape& conv_out, const GroupCounts& g,
+                        ConvMode mode, const AccelConfig& cfg, int hg,
+                        int wg) {
+  GroupGeom geom{};
+  const int m = cfg.wino_m();
+  geom.oh0 = hg * g.rows_per_group;
+  geom.oh_cnt = std::min(g.rows_per_group, conv_out.height - geom.oh0);
+  geom.ow0 = wg * g.cols_per_group;
+  geom.ow_cnt = std::min(g.cols_per_group, conv_out.width - geom.ow0);
+
+  int rstart, cstart;
+  if (mode == ConvMode::kWinograd) {
+    geom.tiles_h = static_cast<int>(CeilDiv(geom.oh_cnt, m));
+    geom.tiles_w = static_cast<int>(CeilDiv(geom.ow_cnt, m));
+    rstart = geom.oh0 - layer.pad;
+    cstart = geom.ow0 - layer.pad;
+    geom.window_rows = (geom.tiles_h - 1) * m + cfg.pt +
+                       3 * (static_cast<int>(CeilDiv(layer.kernel_h, 3)) - 1);
+    geom.window_cols = (geom.tiles_w - 1) * m + cfg.pt +
+                       3 * (static_cast<int>(CeilDiv(layer.kernel_w, 3)) - 1);
+  } else {
+    rstart = geom.oh0 * layer.stride - layer.pad;
+    cstart = geom.ow0 * layer.stride - layer.pad;
+    geom.window_rows = (geom.oh_cnt - 1) * layer.stride + layer.kernel_h;
+    geom.window_cols = (geom.ow_cnt - 1) * layer.stride + layer.kernel_w;
+  }
+  geom.pad_t = std::max(0, -rstart);
+  geom.dram_r0 = std::max(0, rstart);
+  geom.rows_read =
+      std::max(0, std::min(in.height, rstart + geom.window_rows) - geom.dram_r0);
+  geom.pad_b = geom.window_rows - geom.pad_t - geom.rows_read;
+  geom.pad_l = std::max(0, -cstart);
+  geom.dram_c0 = std::max(0, cstart);
+  geom.cols_read =
+      std::max(0, std::min(in.width, cstart + geom.window_cols) - geom.dram_c0);
+  geom.pad_r = geom.window_cols - geom.pad_l - geom.cols_read;
+  HDNN_INTERNAL(geom.pad_b >= 0 && geom.pad_r >= 0) << "negative padding";
+  return geom;
+}
+
+/// Codegen context for one model.
+class Codegen {
+ public:
+  Codegen(const Model& model, const std::vector<LayerMapping>& mapping,
+          const AccelConfig& cfg, const FpgaSpec& spec)
+      : model_(model), mapping_(mapping), cfg_(cfg), spec_(spec) {}
+
+  CompiledModel Run() {
+    CompiledModel cm;
+    cm.cfg = cfg_;
+    cm.base_shift = kBaseShift;
+    PlanLayers(cm);
+    AllocateDram(cm);
+    for (int i = 0; i < model_.num_layers(); ++i) EmitLayer(cm, i);
+    CtrlFields end;
+    end.op = Opcode::kEnd;
+    cm.program.push_back(Encode(InstrFields{end}));
+    return cm;
+  }
+
+ private:
+  void PlanLayers(CompiledModel& cm) {
+    const int chan_quantum = Lcm(cfg_.pi, cfg_.po);
+    for (int i = 0; i < model_.num_layers(); ++i) {
+      const ConvLayer& layer = model_.layer(i);
+      LayerPlan plan;
+      plan.mapping = mapping_[static_cast<std::size_t>(i)];
+      plan.in_shape = model_.InputOf(i);
+      plan.conv_out = layer.ConvOutput(plan.in_shape);
+      plan.out_shape = model_.OutputOf(i);
+      if (plan.mapping.mode == ConvMode::kWinograd) {
+        HDNN_CHECK(WinogradApplicable(layer))
+            << layer.name << ": Winograd requires stride 1";
+        plan.u_shift = WinoParamForPt(cfg_.pt).recommended_u_shift();
+      }
+      plan.quan_shift = kBaseShift + plan.u_shift;
+      plan.groups = ComputeGroups(layer, plan.in_shape, plan.mapping.mode, cfg_);
+      if (plan.groups.cb > 1) {
+        // Channel blocking: WS only, single fmap group (see compiler.h).
+        HDNN_CHECK(plan.groups.fmap_groups() == 1)
+            << layer.name
+            << ": channel blocking with multiple fmap groups is unsupported";
+        HDNN_CHECK(plan.groups.slices == 1)
+            << layer.name
+            << ": channel blocking with decomposed kernels is unsupported";
+        plan.mapping.dataflow = Dataflow::kWeightStationary;
+      } else if (plan.groups.slices > 1) {
+        // Decomposed Winograd kernels accumulate slices on chip per fmap
+        // group, which requires the IS loop order.
+        plan.mapping.dataflow = Dataflow::kInputStationary;
+      }
+      plan.input_layout = (plan.mapping.mode == ConvMode::kWinograd ||
+                           layer.is_fc || plan.groups.cb > 1)
+                              ? ConvMode::kWinograd
+                              : ConvMode::kSpatial;
+      plan.cp_in = static_cast<int>(
+          RoundUp<std::int64_t>(plan.in_shape.channels, chan_quantum));
+      plan.cp_out = static_cast<int>(
+          RoundUp<std::int64_t>(layer.out_channels, chan_quantum));
+      cm.plans.push_back(plan);
+    }
+    // Output layouts: what the NEXT layer wants to read; the last layer
+    // writes WINO (channel-outermost == flat), convenient for the host.
+    for (int i = 0; i < model_.num_layers(); ++i) {
+      cm.plans[static_cast<std::size_t>(i)].output_layout =
+          (i + 1 < model_.num_layers())
+              ? cm.plans[static_cast<std::size_t>(i + 1)].input_layout
+              : ConvMode::kWinograd;
+    }
+  }
+
+  void AllocateDram(CompiledModel& cm) {
+    std::int64_t offset = 0;
+    for (int i = 0; i < model_.num_layers(); ++i) {
+      LayerPlan& plan = cm.plans[static_cast<std::size_t>(i)];
+      plan.wgt_dram_base = offset;
+      plan.wgt_dram_words = WeightImageWords(plan, model_.layer(i), cfg_);
+      offset += plan.wgt_dram_words;
+      plan.bias_dram_base = offset;
+      offset += BiasImageWords(model_.layer(i), cfg_);
+    }
+    std::int64_t region = 0;
+    for (const LayerPlan& plan : cm.plans) {
+      region = std::max(region, static_cast<std::int64_t>(plan.cp_in) *
+                                    plan.in_shape.height * plan.in_shape.width);
+      region = std::max(region, static_cast<std::int64_t>(plan.cp_out) *
+                                    plan.out_shape.height *
+                                    plan.out_shape.width);
+    }
+    cm.fmap_region_words = region;
+    cm.fmap_a_base = offset;
+    cm.fmap_b_base = offset + region;
+    cm.total_dram_words = offset + 2 * region;
+  }
+
+  // --- Instruction emission helpers -------------------------------------
+
+  void Emit(CompiledModel& cm, const InstrFields& f) {
+    cm.program.push_back(Encode(f));
+  }
+
+  LoadFields MakeLoadInp(const CompiledModel& cm, int li,
+                         const GroupGeom& geom, int c0, int cv) {
+    const LayerPlan& plan = cm.plans[static_cast<std::size_t>(li)];
+    const FmapShape& in = plan.in_shape;
+    LoadFields f;
+    f.op = Opcode::kLoadInp;
+    f.dept = kWaitCredit | kEmitData;
+    f.buff_id = static_cast<std::uint8_t>(ldi_count_++ % 2);
+    f.buff_base = 0;
+    f.rows = static_cast<std::uint16_t>(geom.rows_read);
+    f.cols = static_cast<std::uint16_t>(geom.cols_read);
+    f.chan_vecs = static_cast<std::uint16_t>(cv);
+    f.pad_t = static_cast<std::uint8_t>(geom.pad_t);
+    f.pad_b = static_cast<std::uint8_t>(geom.pad_b);
+    f.pad_l = static_cast<std::uint8_t>(geom.pad_l);
+    f.pad_r = static_cast<std::uint8_t>(geom.pad_r);
+    f.pitch = static_cast<std::uint16_t>(in.width);
+    f.aux = static_cast<std::uint16_t>(in.height);
+    const std::int64_t region = cm.input_region(li);
+    if (plan.input_layout == ConvMode::kWinograd) {
+      f.wino = true;
+      f.dram_base = static_cast<std::uint32_t>(
+          region + static_cast<std::int64_t>(c0) * in.height * in.width +
+          static_cast<std::int64_t>(geom.dram_r0) * in.width + geom.dram_c0);
+    } else {
+      HDNN_INTERNAL(c0 == 0) << "SPAT layout cannot address channel blocks";
+      f.dram_base = static_cast<std::uint32_t>(
+          region + (static_cast<std::int64_t>(geom.dram_r0) * in.width +
+                    geom.dram_c0) *
+                       plan.cp_in);
+    }
+    return f;
+  }
+
+  /// Emits LOAD_WGT followed by LOAD_BIAS for one weight block.
+  void EmitWeightBlock(CompiledModel& cm, int li, const WeightBlock& block) {
+    const LayerPlan& plan = cm.plans[static_cast<std::size_t>(li)];
+    const ConvLayer& layer = model_.layer(li);
+    const bool wino = plan.mapping.mode == ConvMode::kWinograd;
+    const int half = ldw_count_++ % 2;
+
+    LoadFields w;
+    w.op = Opcode::kLoadWgt;
+    w.dept = kWaitCredit;
+    w.buff_id = static_cast<std::uint8_t>(half);
+    w.buff_base = 0;
+    w.dram_base =
+        static_cast<std::uint32_t>(plan.wgt_dram_base + block.base_words);
+    w.rows = static_cast<std::uint16_t>(wino ? cfg_.pt : layer.kernel_h);
+    w.cols = static_cast<std::uint16_t>(wino ? cfg_.pt : layer.kernel_w);
+    w.chan_vecs =
+        static_cast<std::uint16_t>(CeilDiv(block.c_count, cfg_.pi));
+    w.aux = static_cast<std::uint16_t>(CeilDiv(block.k_count, cfg_.po));
+    w.wino = wino;
+    w.wino_offset = static_cast<std::uint8_t>(std::min(block.slice, 7));
+    Emit(cm, w);
+
+    LoadFields b;
+    b.op = Opcode::kLoadBias;
+    b.dept = kEmitData;
+    b.buff_id = static_cast<std::uint8_t>(half);
+    b.buff_base = 0;
+    b.dram_base = static_cast<std::uint32_t>(plan.bias_dram_base +
+                                             2LL * block.k0);
+    b.aux = static_cast<std::uint16_t>(CeilDiv(block.k_count, cfg_.po));
+    Emit(cm, b);
+  }
+
+  CompFields MakeComp(const CompiledModel& cm, int li, const GroupGeom& geom,
+                      const WeightBlock& block, int inp_half, int wgt_half) {
+    const LayerPlan& plan = cm.plans[static_cast<std::size_t>(li)];
+    const ConvLayer& layer = model_.layer(li);
+    const bool wino = plan.mapping.mode == ConvMode::kWinograd;
+    CompFields f;
+    f.inp_buff_id = static_cast<std::uint8_t>(inp_half);
+    f.wgt_buff_id = static_cast<std::uint8_t>(wgt_half);
+    f.out_buff_id = static_cast<std::uint8_t>(save_count_ % 2);
+    f.inp_buff_base = 0;
+    f.out_buff_base = 0;
+    f.wgt_buff_base = 0;
+    f.iw_num = static_cast<std::uint16_t>(geom.window_cols);
+    f.ic_vecs = static_cast<std::uint16_t>(CeilDiv(block.c_count, cfg_.pi));
+    f.oc_vecs = static_cast<std::uint16_t>(CeilDiv(block.k_count, cfg_.po));
+    f.stride = static_cast<std::uint8_t>(layer.stride);
+    f.relu = layer.relu;
+    f.quan = static_cast<std::uint8_t>(plan.quan_shift);
+    f.wino = wino;
+    f.wino_offset = static_cast<std::uint8_t>(block.slice);
+    if (wino) {
+      f.ow_num = static_cast<std::uint16_t>(geom.tiles_w);
+      f.oh_num = static_cast<std::uint8_t>(geom.tiles_h);
+      f.kh = 3;
+      f.kw = 3;
+      const int slices_w = static_cast<int>(CeilDiv(layer.kernel_w, 3));
+      f.base_row = static_cast<std::uint8_t>(3 * (block.slice / slices_w));
+      f.base_col = static_cast<std::uint8_t>(3 * (block.slice % slices_w));
+    } else {
+      f.ow_num = static_cast<std::uint16_t>(geom.ow_cnt);
+      f.oh_num = static_cast<std::uint8_t>(geom.oh_cnt);
+      f.kh = static_cast<std::uint8_t>(layer.kernel_h);
+      f.kw = static_cast<std::uint8_t>(layer.kernel_w);
+      f.base_row = 0;
+      f.base_col = 0;
+    }
+    return f;
+  }
+
+  void EmitSave(CompiledModel& cm, int li, const GroupGeom& geom,
+                const WeightBlock& block) {
+    const LayerPlan& plan = cm.plans[static_cast<std::size_t>(li)];
+    const ConvLayer& layer = model_.layer(li);
+    const int pool = layer.pool;
+    const FmapShape& out = plan.out_shape;
+    SaveFields f;
+    f.dept = kWaitData0 | kEmitCredit0;
+    f.buff_id = static_cast<std::uint8_t>(save_count_++ % 2);
+    f.buff_base = 0;
+    f.rows = static_cast<std::uint8_t>(geom.oh_cnt);
+    f.cols = static_cast<std::uint16_t>(geom.ow_cnt);
+    f.oc_vecs = static_cast<std::uint16_t>(CeilDiv(block.k_count, cfg_.po));
+    f.layout = LayoutFor(plan.mapping.mode, plan.output_layout);
+    f.pool = static_cast<std::uint8_t>(pool);
+    f.out_h = static_cast<std::uint16_t>(out.height);
+    f.out_w = static_cast<std::uint16_t>(out.width);
+    f.oc_pitch = static_cast<std::uint16_t>(plan.cp_out);
+    const std::int64_t region = cm.output_region(li);
+    const int pr0 = geom.oh0 / pool;
+    const int pc0 = geom.ow0 / pool;
+    if (plan.output_layout == ConvMode::kWinograd) {
+      f.dram_base = static_cast<std::uint32_t>(
+          region + static_cast<std::int64_t>(block.k0) * out.height * out.width +
+          static_cast<std::int64_t>(pr0) * out.width + pc0);
+    } else {
+      f.dram_base = static_cast<std::uint32_t>(
+          region +
+          (static_cast<std::int64_t>(pr0) * out.width + pc0) * plan.cp_out +
+          block.k0);
+    }
+    Emit(cm, f);
+  }
+
+  // --- Layer emission -----------------------------------------------------
+
+  void EmitLayer(CompiledModel& cm, int li) {
+    LayerPlan& plan = cm.plans[static_cast<std::size_t>(li)];
+    plan.first_instr = static_cast<int>(cm.program.size());
+    if (plan.mapping.dataflow == Dataflow::kInputStationary) {
+      EmitLayerIS(cm, li);
+    } else {
+      EmitLayerWS(cm, li);
+    }
+    plan.num_instrs = static_cast<int>(cm.program.size()) - plan.first_instr;
+
+    // Layer barrier: layer li+1 reads the fmap region layer li writes, so
+    // its first LOAD_INP must wait for li's last SAVE to drain. The barrier
+    // is a SAVE -> LOAD_INP handshake token (kEmitData on the last SAVE,
+    // kWaitData0 on the next layer's first LOAD_INP).
+    for (int i = plan.first_instr + plan.num_instrs - 1; i >= plan.first_instr;
+         --i) {
+      if (PeekOpcode(cm.program[static_cast<std::size_t>(i)]) == Opcode::kSave) {
+        auto f = std::get<SaveFields>(
+            Decode(cm.program[static_cast<std::size_t>(i)]));
+        f.dept |= kEmitData;
+        cm.program[static_cast<std::size_t>(i)] = Encode(f);
+        break;
+      }
+    }
+    if (li > 0) {
+      for (int i = plan.first_instr;
+           i < plan.first_instr + plan.num_instrs; ++i) {
+        if (PeekOpcode(cm.program[static_cast<std::size_t>(i)]) ==
+            Opcode::kLoadInp) {
+          auto f = std::get<LoadFields>(
+              Decode(cm.program[static_cast<std::size_t>(i)]));
+          f.dept |= kWaitData0;
+          cm.program[static_cast<std::size_t>(i)] = Encode(f);
+          break;
+        }
+      }
+    }
+  }
+
+  void EmitLayerIS(CompiledModel& cm, int li) {
+    const LayerPlan& plan = cm.plans[static_cast<std::size_t>(li)];
+    const ConvLayer& layer = model_.layer(li);
+    const GroupCounts& g = plan.groups;
+    HDNN_CHECK(g.cb == 1) << layer.name << ": IS requires CB == 1";
+
+    std::vector<WeightBlock> blocks;
+    ForEachWeightBlock(plan, layer, cfg_,
+                       [&](const WeightBlock& b) { blocks.push_back(b); });
+
+    // Column tiles outer, rows inner: row sweeps stay contiguous so the
+    // input line buffer can reuse overlapping window rows.
+    for (int wg = 0; wg < g.wg; ++wg) {
+      for (int hg = 0; hg < g.num_groups; ++hg) {
+        const GroupGeom geom = MakeGroupGeom(layer, plan.in_shape,
+                                             plan.conv_out, g, plan.mapping.mode,
+                                             cfg_, hg, wg);
+        const int inp_half = ldi_count_ % 2;
+        Emit(cm, MakeLoadInp(cm, li, geom, 0,
+                             static_cast<int>(CeilDiv(plan.cp_in, cfg_.pi))));
+        for (int kg = 0; kg < g.gk; ++kg) {
+          // Each kernel-decomposition slice is its own weight block with its
+          // own LOAD_WGT; partial results accumulate on chip (Sec. 4.2.5).
+          for (int slice = 0; slice < g.slices; ++slice) {
+            const WeightBlock& block =
+                blocks[static_cast<std::size_t>(kg * g.slices + slice)];
+            const int wgt_half = ldw_count_ % 2;
+            EmitWeightBlock(cm, li, block);
+            CompFields comp = MakeComp(cm, li, geom, block, inp_half, wgt_half);
+            comp.accum_clear = (slice == 0);
+            comp.accum_emit = (slice == g.slices - 1);
+            comp.dept = kWaitData1 | kEmitCredit1;
+            if (kg == 0 && slice == 0) comp.dept |= kWaitData0;
+            if (kg == g.gk - 1 && slice == g.slices - 1) {
+              comp.dept |= kEmitCredit0;
+            }
+            if (comp.accum_emit) comp.dept |= kWaitCredit | kEmitData;
+            Emit(cm, comp);
+          }
+          EmitSave(cm, li, geom, blocks[static_cast<std::size_t>(kg * g.slices)]);
+        }
+      }
+    }
+  }
+
+  void EmitLayerWS(CompiledModel& cm, int li) {
+    const LayerPlan& plan = cm.plans[static_cast<std::size_t>(li)];
+    const ConvLayer& layer = model_.layer(li);
+    const GroupCounts& g = plan.groups;
+    HDNN_CHECK(g.slices == 1)
+        << layer.name << ": WS requires a single kernel slice (use IS for "
+        << "decomposed Winograd kernels)";
+
+    std::vector<WeightBlock> blocks;
+    ForEachWeightBlock(plan, layer, cfg_,
+                       [&](const WeightBlock& b) { blocks.push_back(b); });
+
+    const int total_groups = g.fmap_groups();
+    for (int kg = 0; kg < g.gk; ++kg) {
+      for (int cb = 0; cb < g.cb; ++cb) {
+        const int wgt_half = ldw_count_ % 2;
+        const WeightBlock& block =
+            blocks[static_cast<std::size_t>(kg * g.cb + cb)];
+        EmitWeightBlock(cm, li, block);
+        int group_index = 0;
+        for (int wg = 0; wg < g.wg; ++wg) {
+          for (int hg = 0; hg < g.num_groups; ++hg, ++group_index) {
+            const GroupGeom geom =
+                MakeGroupGeom(layer, plan.in_shape, plan.conv_out, g,
+                              plan.mapping.mode, cfg_, hg, wg);
+            const int inp_half = ldi_count_ % 2;
+            Emit(cm, MakeLoadInp(cm, li, geom, block.c0,
+                                 static_cast<int>(
+                                     CeilDiv(block.c_count, cfg_.pi))));
+            CompFields comp = MakeComp(cm, li, geom, block, inp_half, wgt_half);
+            comp.accum_clear = (cb == 0);
+            comp.accum_emit = (cb == g.cb - 1);
+            comp.dept = kWaitData0 | kEmitCredit0;
+            if (group_index == 0) comp.dept |= kWaitData1;
+            if (group_index == total_groups - 1) comp.dept |= kEmitCredit1;
+            if (comp.accum_emit) comp.dept |= kWaitCredit | kEmitData;
+            Emit(cm, comp);
+            if (cb == g.cb - 1) {
+              EmitSave(cm, li, geom, block);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  const Model& model_;
+  const std::vector<LayerMapping>& mapping_;
+  AccelConfig cfg_;
+  FpgaSpec spec_;
+  int ldi_count_ = 0;
+  int ldw_count_ = 0;
+  int save_count_ = 0;
+};
+
+}  // namespace
+
+Compiler::Compiler(const AccelConfig& cfg, const FpgaSpec& spec)
+    : cfg_(cfg), spec_(spec) {
+  cfg_.Validate();
+}
+
+CompiledModel Compiler::Compile(const Model& model,
+                                const std::vector<LayerMapping>& mapping) const {
+  HDNN_CHECK(model.num_layers() > 0) << "empty model";
+  HDNN_CHECK(static_cast<int>(mapping.size()) == model.num_layers())
+      << "mapping size mismatch";
+  Codegen codegen(model, mapping, cfg_, spec_);
+  return codegen.Run();
+}
+
+}  // namespace hdnn

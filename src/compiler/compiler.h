@@ -1,0 +1,85 @@
+// The HybridDNN compiler (paper Fig. 1, Step 3): lowers a DNN model plus a
+// per-layer mapping strategy (CONV mode + dataflow, chosen by the DSE) into
+// the 128-bit instruction stream executed by the accelerator, together with
+// the DRAM memory map for weights, biases and the two feature-map regions.
+//
+// Loop structures (paper Fig. 4):
+//   IS:  for each fmap group { LOAD_INP; for each weight block
+//        { LOAD_WGT(+BIAS); COMP per slice }; SAVE per K-group }
+//   WS:  for each weight block { LOAD_WGT(+BIAS); for each fmap group
+//        { LOAD_INP; COMP per slice; SAVE on last C-block } }
+//
+// Channel blocking (CB > 1, needed for FC-scale layers) is only legal with
+// WS and a single fmap group; the layer then reads the WINO (channel-
+// outermost) DDR layout so channel sub-ranges are contiguous.
+#ifndef HDNN_COMPILER_COMPILER_H_
+#define HDNN_COMPILER_COMPILER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "estimator/latency_model.h"
+#include "isa/codec.h"
+#include "nn/model.h"
+#include "platform/fpga_spec.h"
+
+namespace hdnn {
+
+/// Per-layer compilation record.
+struct LayerPlan {
+  LayerMapping mapping;
+  GroupCounts groups;
+  int u_shift = 0;      ///< offline kernel-transform shift (Winograd)
+  int quan_shift = 0;   ///< COMP QUAN_PARAM (base shift + u_shift)
+  ConvMode input_layout = ConvMode::kSpatial;   ///< DDR layout read
+  ConvMode output_layout = ConvMode::kSpatial;  ///< DDR layout written
+  int cp_in = 0;        ///< padded input channels in DRAM
+  int cp_out = 0;       ///< padded output channels in DRAM
+  FmapShape in_shape;   ///< (real) input geometry
+  FmapShape conv_out;   ///< conv output before pooling
+  FmapShape out_shape;  ///< after pooling
+  std::int64_t wgt_dram_base = 0;   ///< start of this layer's weight image
+  std::int64_t wgt_dram_words = 0;
+  std::int64_t bias_dram_base = 0;  ///< start of this layer's bias image
+  int first_instr = 0;  ///< index of this layer's first instruction
+  int num_instrs = 0;
+};
+
+/// A fully lowered model.
+struct CompiledModel {
+  AccelConfig cfg;
+  int base_shift = 6;  ///< feature fraction bits (Q5.6)
+  std::vector<Instruction> program;  ///< END-terminated
+  std::vector<LayerPlan> plans;
+  std::int64_t fmap_region_words = 0;  ///< size of each ping-pong region
+  std::int64_t fmap_a_base = 0;
+  std::int64_t fmap_b_base = 0;
+  std::int64_t total_dram_words = 0;
+
+  /// Layer i reads region A when i is even, B when odd.
+  std::int64_t input_region(int layer) const {
+    return (layer % 2 == 0) ? fmap_a_base : fmap_b_base;
+  }
+  std::int64_t output_region(int layer) const {
+    return (layer % 2 == 0) ? fmap_b_base : fmap_a_base;
+  }
+};
+
+class Compiler {
+ public:
+  Compiler(const AccelConfig& cfg, const FpgaSpec& spec);
+
+  /// Lowers `model` under the given per-layer mapping. Throws CapacityError
+  /// when a layer cannot be scheduled on this configuration.
+  CompiledModel Compile(const Model& model,
+                        const std::vector<LayerMapping>& mapping) const;
+
+ private:
+  AccelConfig cfg_;
+  FpgaSpec spec_;
+};
+
+}  // namespace hdnn
+
+#endif  // HDNN_COMPILER_COMPILER_H_

@@ -1,0 +1,36 @@
+// Static validation of compiled instruction streams — the compiler's QA
+// pass. Catches the bug classes that would otherwise surface as simulator
+// deadlocks or silent data corruption:
+//   * handshake token imbalance on any of the four FIFO channels,
+//   * ping-pong credit underflow (more than `depth` outstanding buffers),
+//   * buffer-capacity violations per slab,
+//   * DRAM accesses outside the compiled memory map,
+//   * COMP/SAVE half mismatches (an emit whose SAVE reads the other half).
+#ifndef HDNN_COMPILER_STREAM_CHECK_H_
+#define HDNN_COMPILER_STREAM_CHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "compiler/compiler.h"
+
+namespace hdnn {
+
+struct StreamCheckReport {
+  int instructions = 0;
+  int loads_inp = 0, loads_wgt = 0, loads_bias = 0, comps = 0, saves = 0;
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+};
+
+/// Validates `cm.program` against the architecture rules and cm's memory
+/// map. Returns a report with all violations found (empty = clean).
+StreamCheckReport CheckInstructionStream(const CompiledModel& cm);
+
+/// Throws InternalError with the joined violations if the stream is invalid.
+void RequireValidStream(const CompiledModel& cm);
+
+}  // namespace hdnn
+
+#endif  // HDNN_COMPILER_STREAM_CHECK_H_

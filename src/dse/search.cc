@@ -1,0 +1,203 @@
+#include "dse/search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace hdnn {
+namespace {
+
+/// Buffer geometry ladder (vectors per half), largest first. The DSE picks
+/// the largest rung whose BRAM cost fits; performance grows with buffer
+/// size (fewer fmap groups, less halo reload).
+struct BufferRung {
+  int input, weight, output;
+};
+constexpr BufferRung kBufferLadder[] = {
+    {16384, 18432, 8192},  // deep weight buffers keep GK small on big parts
+    {16384, 9216, 8192},
+    {16384, 4608, 8192},
+    {8192, 2304, 8192},
+    {8192, 2304, 4096},
+    {4096, 1152, 4096},
+    {2048, 1152, 2048},
+    {2048, 576, 1024},
+};
+
+bool IsLegalCombo(const ConvLayer& layer, ConvMode mode, Dataflow flow,
+                  const GroupCounts& g) {
+  if (mode == ConvMode::kWinograd && !WinogradApplicable(layer)) return false;
+  if (g.cb > 1) {
+    // Channel blocking requires WS and a single fmap group (compiler rule).
+    if (flow != Dataflow::kWeightStationary) return false;
+    if (g.fmap_groups() != 1) return false;
+    if (g.slices > 1) return false;
+  } else if (g.slices > 1 && flow != Dataflow::kInputStationary) {
+    return false;  // decomposed kernels accumulate per group -> IS only
+  }
+  return true;
+}
+
+}  // namespace
+
+DseEngine::DseEngine(const FpgaSpec& spec, const ProfileConstants& profile)
+    : spec_(spec), profile_(profile) {}
+
+bool DseEngine::AssignBuffers(AccelConfig& cfg) const {
+  for (const BufferRung& rung : kBufferLadder) {
+    cfg.input_buffer_vectors = rung.input;
+    cfg.weight_buffer_vectors = rung.weight;
+    cfg.output_buffer_vectors = rung.output;
+    // The analytical model is checked against the raw Table 2 limits (it
+    // deliberately over-estimates BRAM, as the paper's own Table 3 shows);
+    // the implementation model additionally honours the per-die headroom.
+    const ResourceEstimate impl =
+        ImplementationResources(cfg, spec_, profile_);
+    const ResourceEstimate ana = AnalyticalResources(cfg, spec_, profile_);
+    if (FitsDeviceLimits(ana, spec_) && FitsDeviceLimits(impl, spec_) &&
+        FitsPerDie(impl, cfg, spec_)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<AccelConfig> DseEngine::EnumerateCandidates(
+    const DseOptions& opts) const {
+  std::vector<AccelConfig> candidates;
+  for (int pt : {4, 6}) {
+    for (int pi = 1; pi <= opts.max_pi; pi *= 2) {
+      for (int po = 1; po <= pi; po *= 2) {
+        // Broadcast fanout cap: PI*PT channels of DATA_WIDTH bits is the
+        // timing-critical broadcast net (profiled routing constraint; this
+        // is what keeps instances within one die on multi-SLR parts).
+        if (pi * pt > 32) continue;
+        for (int ni = 1; ni <= opts.max_ni; ++ni) {
+          AccelConfig cfg;
+          cfg.pi = pi;
+          cfg.po = po;
+          cfg.pt = pt;
+          cfg.ni = ni;
+          if (!AssignBuffers(cfg)) continue;
+          candidates.push_back(cfg);
+        }
+      }
+    }
+  }
+  return candidates;
+}
+
+std::vector<LayerMapping> DseEngine::BestMapping(const Model& model,
+                                                 const AccelConfig& cfg,
+                                                 const DseOptions& opts,
+                                                 double* total_cycles) const {
+  std::vector<LayerMapping> mapping;
+  double total = 0;
+  for (int i = 0; i < model.num_layers(); ++i) {
+    const ConvLayer& layer = model.layer(i);
+    const FmapShape in = model.InputOf(i);
+    double best = std::numeric_limits<double>::infinity();
+    LayerMapping best_map;
+    bool feasible = false;
+    for (ConvMode mode : {ConvMode::kSpatial, ConvMode::kWinograd}) {
+      if (mode == ConvMode::kWinograd && !opts.allow_winograd) continue;
+      if (mode == ConvMode::kWinograd && !WinogradApplicable(layer)) continue;
+      GroupCounts g;
+      try {
+        g = ComputeGroups(layer, in, mode, cfg);
+      } catch (const CapacityError&) {
+        continue;  // this mode cannot be scheduled on this config
+      }
+      for (Dataflow flow :
+           {Dataflow::kInputStationary, Dataflow::kWeightStationary}) {
+        if (!IsLegalCombo(layer, mode, flow, g)) continue;
+        const LatencyBreakdown lb =
+            EstimateLayerLatency(layer, in, mode, flow, cfg, spec_);
+        if (lb.total < best) {
+          best = lb.total;
+          best_map = LayerMapping{mode, flow};
+          feasible = true;
+        }
+      }
+    }
+    if (!feasible) {
+      throw CapacityError("layer " + layer.name +
+                          " cannot be scheduled on config " + cfg.ToString());
+    }
+    mapping.push_back(best_map);
+    total += best;
+  }
+  if (total_cycles) *total_cycles = total;
+  return mapping;
+}
+
+DseResult DseEngine::Explore(const Model& model, const DseOptions& opts) const {
+  const std::vector<AccelConfig> candidates = EnumerateCandidates(opts);
+  HDNN_CHECK(!candidates.empty())
+      << "no feasible accelerator configuration for platform " << spec_.name;
+
+  struct Scored {
+    AccelConfig cfg;
+    std::vector<LayerMapping> mapping;
+    double cycles;
+    double objective;
+  };
+  std::vector<Scored> scored;
+  for (const AccelConfig& cfg : candidates) {
+    try {
+      double cycles = 0;
+      std::vector<LayerMapping> mapping =
+          BestMapping(model, cfg, opts, &cycles);
+      scored.push_back(
+          Scored{cfg, std::move(mapping), cycles, cycles / cfg.ni});
+    } catch (const CapacityError&) {
+      continue;  // some layer does not fit this candidate at all
+    }
+  }
+  HDNN_CHECK(!scored.empty())
+      << "no candidate can schedule every layer of " << model.name();
+
+  const double best_objective =
+      std::min_element(scored.begin(), scored.end(),
+                       [](const Scored& a, const Scored& b) {
+                         return a.objective < b.objective;
+                       })
+          ->objective;
+
+  // Step 3 with tie-breaking: within the tie window prefer balanced PE
+  // geometry (small PI/PO ratio), then more instances, then fewer LUTs.
+  const Scored* chosen = nullptr;
+  for (const Scored& s : scored) {
+    if (s.objective > best_objective * (1.0 + opts.tie_fraction)) continue;
+    if (chosen == nullptr) {
+      chosen = &s;
+      continue;
+    }
+    const int ratio_a = s.cfg.pi / s.cfg.po;
+    const int ratio_b = chosen->cfg.pi / chosen->cfg.po;
+    if (ratio_a != ratio_b) {
+      if (ratio_a < ratio_b) chosen = &s;
+      continue;
+    }
+    if (s.cfg.ni != chosen->cfg.ni) {
+      if (s.cfg.ni > chosen->cfg.ni) chosen = &s;
+      continue;
+    }
+    if (s.objective < chosen->objective) chosen = &s;
+  }
+  HDNN_INTERNAL(chosen != nullptr) << "tie-break selected nothing";
+
+  DseResult result;
+  result.config = chosen->cfg;
+  result.mapping = chosen->mapping;
+  result.estimated_cycles = chosen->cycles;
+  result.objective = chosen->objective;
+  result.analytical = AnalyticalResources(chosen->cfg, spec_, profile_);
+  result.implementation = ImplementationResources(chosen->cfg, spec_, profile_);
+  result.candidates_evaluated = static_cast<int>(scored.size());
+  return result;
+}
+
+}  // namespace hdnn

@@ -1,0 +1,84 @@
+// Design Space Exploration engine (paper Sec. 5.3, Table 2).
+//
+// The optimisation problem:
+//   HW parameters: PI, PO, PT, NI (+ buffer geometry)
+//   SW parameters: per-layer CONV mode and dataflow
+//   Constraints:   PI >= PO >= 1, PT in {4,6}, resource models under the
+//                  platform limits (incl. per-die packing), mode/dataflow
+//                  legality (stride, channel blocking, kernel slices)
+//   Objective:     sum_l T_l / NI   (per-image latency divided by instance
+//                  count == steady-state throughput; NI instances process
+//                  independent inputs, as in the paper's 6-instance VU9P
+//                  design)
+//
+// The 3-step algorithm: (1) enumerate HW candidates by growing PI, PO and NI
+// under the resource constraints for each PT; (2) for each candidate select
+// per-layer mode/dataflow with the Eq. 12-15 latency model; (3) pick the
+// globally best. Within a small objective window, ties break toward
+// balanced (PI == PO) and more-replicated designs, which is what multi-die
+// timing closure favours (paper Sec. 1 and Sec. 6.1).
+#ifndef HDNN_DSE_SEARCH_H_
+#define HDNN_DSE_SEARCH_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "estimator/latency_model.h"
+#include "estimator/resource_model.h"
+#include "nn/model.h"
+#include "platform/fpga_spec.h"
+#include "platform/profile_constants.h"
+
+namespace hdnn {
+
+struct DseOptions {
+  bool allow_winograd = true;  ///< false = Spatial-only baseline accelerator
+  int max_ni = 8;
+  int max_pi = 16;
+  /// Tie window for the balanced/replicated preference.
+  double tie_fraction = 0.05;
+};
+
+struct DseResult {
+  AccelConfig config;
+  std::vector<LayerMapping> mapping;
+  double estimated_cycles = 0;       ///< sum of per-layer Eq. 12-15 latencies
+  double objective = 0;              ///< estimated_cycles / NI
+  ResourceEstimate analytical;       ///< Eq. 3-5
+  ResourceEstimate implementation;   ///< bottom-up model
+  int candidates_evaluated = 0;
+};
+
+class DseEngine {
+ public:
+  explicit DseEngine(const FpgaSpec& spec,
+                     const ProfileConstants& profile = DefaultProfile());
+
+  /// Step 1: HW candidates satisfying the resource constraints.
+  std::vector<AccelConfig> EnumerateCandidates(const DseOptions& opts) const;
+
+  /// Step 2: best per-layer mapping for a fixed config; returns the summed
+  /// latency (cycles). Layers that cannot be scheduled at all raise
+  /// CapacityError.
+  std::vector<LayerMapping> BestMapping(const Model& model,
+                                        const AccelConfig& cfg,
+                                        const DseOptions& opts,
+                                        double* total_cycles) const;
+
+  /// Steps 1-3 together.
+  DseResult Explore(const Model& model, const DseOptions& opts = {}) const;
+
+  const FpgaSpec& spec() const { return spec_; }
+
+ private:
+  /// Picks the largest buffer geometry (from a fixed ladder) that fits the
+  /// BRAM budget for the given parallel factors; returns false if none fits.
+  bool AssignBuffers(AccelConfig& cfg) const;
+
+  FpgaSpec spec_;
+  ProfileConstants profile_;
+};
+
+}  // namespace hdnn
+
+#endif  // HDNN_DSE_SEARCH_H_

@@ -1,0 +1,297 @@
+#include "estimator/latency_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/math_util.h"
+#include "winograd/decompose.h"
+#include "winograd/matrices.h"
+
+namespace hdnn {
+namespace {
+
+/// CTRL-pipeline overhead charged per instruction group (instruction fetch /
+/// decode and handshake round trips that cannot overlap with data).
+constexpr double kGroupOverheadCycles = 12.0;
+
+/// Fixed per-DRAM-transaction setup cost, cycles.
+constexpr double kBurstOverheadCycles = 24.0;
+
+double BwElementsPerCycle(const AccelConfig& cfg, const FpgaSpec& spec) {
+  const double bytes_per_cycle = spec.bandwidth_per_instance_gbps(cfg.ni) *
+                                 1e9 / (spec.freq_mhz * 1e6);
+  return bytes_per_cycle / 2.0;  // 16-bit words
+}
+
+}  // namespace
+
+bool WinogradApplicable(const ConvLayer& layer) {
+  return layer.stride == 1;
+}
+
+GroupCounts ComputeGroups(const ConvLayer& layer, const FmapShape& in,
+                          ConvMode mode, const AccelConfig& cfg) {
+  const FmapShape out = layer.ConvOutput(in);
+  GroupCounts g;
+
+  // Row groups along output H. Spatial: 1 row; Winograd: m rows. A fused
+  // pool window must be fully contained in one group.
+  int rows = (mode == ConvMode::kWinograd) ? cfg.wino_m() : 1;
+  if (layer.pool > 1) {
+    while (rows % layer.pool != 0 && layer.pool % rows != 0) ++rows;
+    rows = std::max(rows, layer.pool);
+    if (mode == ConvMode::kWinograd) rows = RoundUp(rows, cfg.wino_m());
+  }
+  g.rows_per_group = rows;
+  g.num_groups = static_cast<int>(CeilDiv(out.height, rows));
+
+  // The input slab for one group must fit one input-buffer half; wide rows
+  // are additionally tiled along W (with halo overlap) until they fit.
+  const int window_rows =
+      (mode == ConvMode::kWinograd)
+          ? (rows / cfg.wino_m() - 1) * cfg.wino_m() + cfg.pt +
+                3 * (CeilDiv(layer.kernel_h, 3) - 1)
+          : (rows - 1) * layer.stride + layer.kernel_h;
+  const std::int64_t cv = CeilDiv<std::int64_t>(in.channels, cfg.pi);
+  // Column groups must respect both the tile quantum and the pool window.
+  int col_quantum = (mode == ConvMode::kWinograd) ? cfg.wino_m() : 1;
+  if (layer.pool > 1) {
+    col_quantum = col_quantum * layer.pool / std::gcd(col_quantum, layer.pool);
+  }
+  int cols = static_cast<int>(RoundUp<std::int64_t>(out.width, col_quantum));
+  auto slab_vectors = [&](int out_cols) {
+    const int window_cols =
+        (mode == ConvMode::kWinograd)
+            ? (out_cols / cfg.wino_m() - 1) * cfg.wino_m() + cfg.pt +
+                  3 * (CeilDiv(layer.kernel_w, 3) - 1)
+            : (out_cols - 1) * layer.stride + layer.kernel_w;
+    return static_cast<std::int64_t>(window_rows) * window_cols * cv;
+  };
+  while (cols > col_quantum &&
+         slab_vectors(cols) > cfg.input_buffer_vectors) {
+    cols = static_cast<int>(
+        RoundUp<std::int64_t>(CeilDiv(cols, 2), col_quantum));
+  }
+  if (slab_vectors(cols) > cfg.input_buffer_vectors) {
+    throw CapacityError("minimal input group (" +
+                        std::to_string(slab_vectors(cols)) +
+                        " vectors) exceeds input buffer half (" +
+                        std::to_string(cfg.input_buffer_vectors) +
+                        ") for layer " + layer.name);
+  }
+  g.cols_per_group = std::min<int>(cols, static_cast<int>(
+                                             RoundUp<std::int64_t>(
+                                                 out.width, col_quantum)));
+  g.wg = static_cast<int>(CeilDiv(out.width, g.cols_per_group));
+
+  // Kernel-decomposition slices.
+  g.slices = (mode == ConvMode::kWinograd)
+                 ? NumKernelSlices(layer.kernel_h, layer.kernel_w)
+                 : 1;
+
+  // Weight groups: one (K-group x C-block) slice must fit a weight-buffer
+  // half. Weight vectors carry PI*PO elements.
+  const std::int64_t wgt_cap_elems =
+      static_cast<std::int64_t>(cfg.weight_buffer_vectors) * cfg.pi * cfg.po;
+  const std::int64_t elems_per_kc =
+      (mode == ConvMode::kWinograd)
+          ? static_cast<std::int64_t>(cfg.pt) * cfg.pt
+          : static_cast<std::int64_t>(layer.kernel_h) * layer.kernel_w;
+
+  // Prefer the full C per block; shrink C-blocks only when one K-row of
+  // weights cannot fit. The ISA's 12-bit chan_vecs field caps one block at
+  // 4095 channel vectors regardless of buffer capacity.
+  const std::int64_t max_c_block = 4095LL * cfg.pi;
+  std::int64_t c_block = std::min<std::int64_t>(in.channels, max_c_block);
+  std::int64_t k_group = out.channels;
+  auto group_elems = [&](std::int64_t kg, std::int64_t cb) {
+    return RoundUp<std::int64_t>(kg, cfg.po) * RoundUp<std::int64_t>(cb, cfg.pi) *
+           elems_per_kc;
+  };
+  while (k_group > cfg.po && group_elems(k_group, c_block) > wgt_cap_elems) {
+    k_group = CeilDiv<std::int64_t>(k_group, 2);
+  }
+  k_group = RoundUp<std::int64_t>(k_group, cfg.po);
+  while (c_block > cfg.pi && group_elems(k_group, c_block) > wgt_cap_elems) {
+    c_block = CeilDiv<std::int64_t>(c_block, 2);
+  }
+  c_block = RoundUp<std::int64_t>(c_block, cfg.pi);
+  if (group_elems(k_group, c_block) > wgt_cap_elems) {
+    throw CapacityError("minimal weight group exceeds weight buffer for layer " +
+                        layer.name);
+  }
+  g.k_per_group = static_cast<int>(std::min<std::int64_t>(k_group, out.channels));
+  g.gk = static_cast<int>(CeilDiv<std::int64_t>(out.channels, g.k_per_group));
+  g.c_per_block = static_cast<int>(std::min<std::int64_t>(c_block, in.channels));
+  g.cb = static_cast<int>(CeilDiv<std::int64_t>(in.channels, g.c_per_block));
+
+  // The output group (rows x group cols x K-group channels) must fit an
+  // output half; shrink the weight group further if needed.
+  const std::int64_t group_cols =
+      RoundUp<std::int64_t>(g.cols_per_group, col_quantum);
+  while (static_cast<std::int64_t>(rows) * group_cols *
+             CeilDiv<std::int64_t>(g.k_per_group, cfg.po) >
+         cfg.output_buffer_vectors) {
+    if (g.k_per_group <= cfg.po) {
+      throw CapacityError("output group exceeds output buffer for layer " +
+                          layer.name);
+    }
+    g.k_per_group = static_cast<int>(
+        RoundUp<std::int64_t>(CeilDiv(g.k_per_group, 2), cfg.po));
+  }
+  g.gk = static_cast<int>(
+      CeilDiv<std::int64_t>(out.channels, g.k_per_group));
+  return g;
+}
+
+LatencyBreakdown EstimateLayerLatency(const ConvLayer& layer,
+                                      const FmapShape& in, ConvMode mode,
+                                      Dataflow flow, const AccelConfig& cfg,
+                                      const FpgaSpec& spec) {
+  HDNN_CHECK(mode == ConvMode::kSpatial || WinogradApplicable(layer))
+      << layer.name << ": Winograd requires stride 1";
+  const FmapShape out = layer.ConvOutput(in);
+  const GroupCounts groups = ComputeGroups(layer, in, mode, cfg);
+  const double bw = BwElementsPerCycle(cfg, spec);
+  const double pe_width = static_cast<double>(cfg.pi) * cfg.po * cfg.pt;
+  const double m = cfg.wino_m();
+
+  const double K = out.channels, C = in.channels;
+  const double R = layer.kernel_h, S = layer.kernel_w;
+  const double OH = out.height, OW = out.width;
+  const double H = in.height, W = in.width;
+  const double slice_area = 3.0 * 3.0;
+  const double slices = groups.slices;
+
+  // Discretised problem dimensions: the PE processes whole channel vectors
+  // and whole output tiles, so partial vectors/tiles cost full slots. In
+  // Spatial mode the PT x PT cores merge into one broadcast array consuming
+  // PI*PT input channels x PO*PT output channels per cycle (Sec. 4.2.2), so
+  // channels round to that coarser granularity. The smooth paper equations
+  // are recovered exactly when everything divides.
+  const int k_quant = (mode == ConvMode::kSpatial) ? cfg.po * cfg.pt : cfg.po;
+  const int c_quant = (mode == ConvMode::kSpatial) ? cfg.pi * cfg.pt : cfg.pi;
+  // Compute slots round to the PE consumption granularity *per weight
+  // group*: a K-group smaller than PO*PT leaves Spatial-mode output lanes
+  // idle (weight-buffer-limited deep layers). Memory traffic rounds only to
+  // the DRAM packing granularity (PI / PO vectors).
+  const double Kp_cp = static_cast<double>(groups.gk) *
+                       static_cast<double>(RoundUp<std::int64_t>(
+                           std::min(groups.k_per_group, out.channels), k_quant));
+  const double Cp_cp = static_cast<double>(groups.cb) *
+                       static_cast<double>(RoundUp<std::int64_t>(
+                           std::min(groups.c_per_block, in.channels), c_quant));
+  const double Kp =
+      static_cast<double>(RoundUp<std::int64_t>(out.channels, cfg.po));
+  const double Cp =
+      static_cast<double>(RoundUp<std::int64_t>(in.channels, cfg.pi));
+  const double OHt =
+      (mode == ConvMode::kWinograd)
+          ? static_cast<double>(groups.num_groups * groups.rows_per_group)
+          : OH;
+  const double OWt =
+      (mode == ConvMode::kWinograd)
+          ? static_cast<double>(groups.wg *
+                                RoundUp<std::int64_t>(groups.cols_per_group,
+                                                      cfg.wino_m()))
+          : OW;
+
+  LatencyBreakdown lb;
+  if (mode == ConvMode::kSpatial) {
+    // Eq. 6 / Eq. 8.
+    lb.t_cp = Kp_cp * Cp_cp * R * S * OHt * OWt /
+              (static_cast<double>(cfg.pi) * cfg.po * cfg.pt * cfg.pt);
+    lb.t_ldw = Kp * Cp * R * S / std::min(bw, pe_width);
+  } else {
+    // Eq. 7 / Eq. 9 (slices = ceil(R/3)*ceil(S/3)).
+    lb.t_cp = Kp_cp * Cp_cp * slices * (cfg.pt * cfg.pt) * OHt * OWt /
+              (static_cast<double>(cfg.pi) * cfg.po * cfg.pt * cfg.pt * m * m);
+    lb.t_ldw = Kp * Cp * slices * (cfg.pt * cfg.pt) / std::min(bw, pe_width);
+    (void)slice_area;
+  }
+  // Eq. 10 / Eq. 11, with the group-window halo the line buffer cannot
+  // avoid: each row sweep loads (window + (ng-1)*advance) rows instead of H,
+  // and each column tile re-reads its horizontal halo.
+  const int window_rows =
+      (mode == ConvMode::kWinograd)
+          ? (groups.rows_per_group / cfg.wino_m() - 1) * cfg.wino_m() +
+                cfg.pt + 3 * (static_cast<int>(CeilDiv(layer.kernel_h, 3)) - 1)
+          : (groups.rows_per_group - 1) * layer.stride + layer.kernel_h;
+  const double rows_swept =
+      window_rows + static_cast<double>(groups.num_groups - 1) *
+                        ((mode == ConvMode::kWinograd)
+                             ? groups.rows_per_group
+                             : groups.rows_per_group * layer.stride);
+  const int window_cols =
+      (mode == ConvMode::kWinograd)
+          ? (static_cast<int>(CeilDiv(groups.cols_per_group, cfg.wino_m())) -
+             1) * cfg.wino_m() +
+                cfg.pt + 3 * (static_cast<int>(CeilDiv(layer.kernel_w, 3)) - 1)
+          : (groups.cols_per_group - 1) * layer.stride + layer.kernel_w;
+  const double cols_advance = (mode == ConvMode::kWinograd)
+                                  ? groups.cols_per_group
+                                  : groups.cols_per_group * layer.stride;
+  const double cols_swept =
+      W + static_cast<double>(groups.wg - 1) *
+              std::max(0.0, window_cols - cols_advance);
+  const double halo =
+      std::min(std::max(rows_swept / H, 1.0), 2.0) *
+      std::min(std::max(cols_swept / W, 1.0), 2.0);
+  lb.t_ldi = Cp * H * W * halo /
+             std::min(bw, static_cast<double>(cfg.pi) * cfg.pt);
+  lb.t_sv = Kp * OHt * OWt / std::min(bw, static_cast<double>(cfg.po) * cfg.pt);
+
+  const double ng = groups.fmap_groups();
+  const double gk = static_cast<double>(groups.gk) * groups.cb;
+
+  // Eqs. 12-15: the dataflow determines which stream is re-loaded. Under WS
+  // with channel blocking each K-group streams the full input once (its CB
+  // blocks partition the channels), so the input reload factor is GK alone.
+  double body;
+  if (flow == Dataflow::kInputStationary) {
+    body = std::max({lb.t_ldi, ng * lb.t_ldw, lb.t_cp, lb.t_sv});
+  } else {
+    body = std::max({static_cast<double>(groups.gk) * lb.t_ldi, lb.t_ldw,
+                     lb.t_cp, lb.t_sv});
+  }
+
+  // Non-hidable penalty: pipeline fill (first input + first weight group)
+  // and drain (last save), plus per-group control overhead and burst setup.
+  const double t_ldi_g = lb.t_ldi / ng;
+  const double t_ldw_g = lb.t_ldw / gk;
+  const double t_sv_g = lb.t_sv / (ng * gk);
+  const double n_groups_total = ng * gk * slices;
+  lb.penalty = t_ldi_g + t_ldw_g + t_sv_g +
+               n_groups_total * kGroupOverheadCycles +
+               (ng + ng * gk) * kBurstOverheadCycles;
+  lb.total = body + lb.penalty;
+  return lb;
+}
+
+double EstimateModelLatencyCycles(const Model& model,
+                                  const std::vector<LayerMapping>& mapping,
+                                  const AccelConfig& cfg,
+                                  const FpgaSpec& spec) {
+  HDNN_CHECK(static_cast<int>(mapping.size()) == model.num_layers())
+      << "mapping size " << mapping.size() << " vs " << model.num_layers()
+      << " layers";
+  double total = 0;
+  for (int i = 0; i < model.num_layers(); ++i) {
+    const auto& lm = mapping[static_cast<std::size_t>(i)];
+    total += EstimateLayerLatency(model.layer(i), model.InputOf(i), lm.mode,
+                                  lm.dataflow, cfg, spec)
+                 .total;
+  }
+  return total;
+}
+
+double ThroughputGops(double ops, double cycles, const AccelConfig& cfg,
+                      const FpgaSpec& spec) {
+  HDNN_CHECK(cycles > 0) << "cycles must be positive";
+  const double seconds = cycles / (spec.freq_mhz * 1e6);
+  return ops * cfg.ni / seconds / 1e9;
+}
+
+}  // namespace hdnn

@@ -1,0 +1,205 @@
+#include "frontend/parser.h"
+
+#include <map>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace hdnn {
+namespace {
+
+std::string StripComment(std::string line) {
+  const auto hash = line.find('#');
+  if (hash != std::string::npos) line = line.substr(0, hash);
+  return line;
+}
+
+std::map<std::string, std::string> ParseKv(std::istringstream& in,
+                                           int line_no) {
+  std::map<std::string, std::string> kv;
+  std::string token;
+  while (in >> token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) {
+      throw ParseError("line " + std::to_string(line_no) +
+                       ": expected key=value, got '" + token + "'");
+    }
+    kv[token.substr(0, eq)] = token.substr(eq + 1);
+  }
+  return kv;
+}
+
+int GetInt(const std::map<std::string, std::string>& kv,
+           const std::string& key, int fallback, int line_no) {
+  const auto it = kv.find(key);
+  if (it == kv.end()) return fallback;
+  try {
+    std::size_t used = 0;
+    const int v = std::stoi(it->second, &used);
+    if (used != it->second.size()) throw ParseError("");
+    return v;
+  } catch (const std::exception&) {
+    throw ParseError("line " + std::to_string(line_no) + ": bad value '" +
+                     it->second + "' for " + key);
+  }
+}
+
+}  // namespace
+
+Model ParseModelText(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  std::string model_name;
+  FmapShape input{};
+  bool have_input = false;
+  Model model;
+  bool model_started = false;
+  int anon_counter = 0;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream ls(StripComment(line));
+    std::string head;
+    if (!(ls >> head)) continue;
+
+    if (head == "model") {
+      if (!(ls >> model_name)) {
+        throw ParseError("line " + std::to_string(line_no) +
+                         ": model needs a name");
+      }
+    } else if (head == "input") {
+      if (!(ls >> input.channels >> input.height >> input.width)) {
+        throw ParseError("line " + std::to_string(line_no) +
+                         ": input needs C H W");
+      }
+      have_input = true;
+    } else if (head == "conv" || head == "fc") {
+      if (!have_input) {
+        throw ParseError("line " + std::to_string(line_no) +
+                         ": layer before input declaration");
+      }
+      if (!model_started) {
+        model = Model(model_name.empty() ? "model" : model_name, input);
+        model_started = true;
+      }
+      const auto kv = ParseKv(ls, line_no);
+      const int out = GetInt(kv, "out", -1, line_no);
+      if (out <= 0) {
+        throw ParseError("line " + std::to_string(line_no) +
+                         ": layer needs out=<channels>");
+      }
+      std::string name = kv.count("name") ? kv.at("name")
+                                          : head + std::to_string(anon_counter);
+      ++anon_counter;
+      if (head == "fc") {
+        model.AppendFullyConnected(name, out,
+                                   GetInt(kv, "relu", 0, line_no) != 0);
+      } else {
+        ConvLayer l;
+        l.name = name;
+        const FmapShape cur = model.num_layers() == 0
+                                  ? input
+                                  : model.OutputOf(model.num_layers() - 1);
+        l.in_channels = GetInt(kv, "in", cur.channels, line_no);
+        l.out_channels = out;
+        l.kernel_h = l.kernel_w = GetInt(kv, "k", 3, line_no);
+        l.stride = GetInt(kv, "s", 1, line_no);
+        const int same_pad = (l.kernel_h % 2 == 1) ? (l.kernel_h - 1) / 2 : 0;
+        l.pad = GetInt(kv, "p", same_pad, line_no);
+        l.relu = GetInt(kv, "relu", 0, line_no) != 0;
+        l.pool = GetInt(kv, "pool", 1, line_no);
+        try {
+          model.Append(l);
+        } catch (const Error& e) {
+          throw ParseError("line " + std::to_string(line_no) + ": " +
+                           e.what());
+        }
+      }
+    } else {
+      throw ParseError("line " + std::to_string(line_no) +
+                       ": unknown directive '" + head + "'");
+    }
+  }
+  if (!model_started) throw ParseError("model has no layers");
+  return model;
+}
+
+std::string WriteModelText(const Model& model) {
+  std::ostringstream out;
+  out << "model " << model.name() << "\n";
+  out << "input " << model.input().channels << " " << model.input().height
+      << " " << model.input().width << "\n";
+  for (int i = 0; i < model.num_layers(); ++i) {
+    const ConvLayer& l = model.layer(i);
+    if (l.is_fc) {
+      out << "fc name=" << l.name << " out=" << l.out_channels
+          << " relu=" << (l.relu ? 1 : 0) << "\n";
+    } else {
+      out << "conv name=" << l.name << " out=" << l.out_channels
+          << " k=" << l.kernel_h << " s=" << l.stride << " p=" << l.pad
+          << " relu=" << (l.relu ? 1 : 0);
+      if (l.pool > 1) out << " pool=" << l.pool;
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+FpgaSpec ParseFpgaSpecText(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  FpgaSpec spec;
+  bool named = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream ls(StripComment(line));
+    std::string head;
+    if (!(ls >> head)) continue;
+    if (head == "fpga") {
+      if (!(ls >> spec.name)) {
+        throw ParseError("line " + std::to_string(line_no) +
+                         ": fpga needs a name");
+      }
+      named = true;
+      continue;
+    }
+    double value = 0;
+    if (!(ls >> value)) {
+      throw ParseError("line " + std::to_string(line_no) +
+                       ": expected '" + head + " <number>'");
+    }
+    if (head == "luts") {
+      spec.luts = static_cast<long long>(value);
+    } else if (head == "dsps") {
+      spec.dsps = static_cast<long long>(value);
+    } else if (head == "bram18") {
+      spec.bram18 = static_cast<long long>(value);
+    } else if (head == "dies") {
+      spec.dies = static_cast<int>(value);
+    } else if (head == "bandwidth_gbps") {
+      spec.dram_bandwidth_gbps = value;
+    } else if (head == "channels") {
+      spec.dram_channels = static_cast<int>(value);
+    } else if (head == "freq_mhz") {
+      spec.freq_mhz = value;
+    } else if (head == "dsp_pack") {
+      spec.dsp_pack = value;
+    } else if (head == "static_watts") {
+      spec.static_watts = value;
+    } else if (head == "max_utilization") {
+      spec.max_utilization = value;
+    } else {
+      throw ParseError("line " + std::to_string(line_no) +
+                       ": unknown FPGA property '" + head + "'");
+    }
+  }
+  if (!named) throw ParseError("FPGA spec has no 'fpga <name>' line");
+  HDNN_CHECK(spec.luts > 0 && spec.dsps > 0 && spec.bram18 > 0 &&
+             spec.freq_mhz > 0)
+      << "FPGA spec incomplete: " << spec.name;
+  return spec;
+}
+
+}  // namespace hdnn

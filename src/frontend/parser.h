@@ -1,0 +1,39 @@
+// Model description parser (paper Fig. 1 Step 1): a small text format for
+// pretrained-model structure, sufficient for the accelerator's layer types.
+//
+//   model vgg16
+//   input 3 224 224
+//   conv name=conv1_1 out=64 k=3 s=1 p=1 relu=1
+//   conv name=conv1_2 out=64 k=3 s=1 p=1 relu=1 pool=2
+//   fc name=fc6 out=4096 relu=1
+//
+// '#' starts a comment. `k`/`s`/`p` may be omitted (default 3/1/same).
+// ParseModelText(WriteModelText(m)) reproduces m (round-trip tested).
+#ifndef HDNN_FRONTEND_PARSER_H_
+#define HDNN_FRONTEND_PARSER_H_
+
+#include <string>
+
+#include "nn/model.h"
+#include "platform/fpga_spec.h"
+
+namespace hdnn {
+
+Model ParseModelText(const std::string& text);
+std::string WriteModelText(const Model& model);
+
+/// Parses an FPGA spec description:
+///   fpga myboard
+///   luts 53200
+///   dsps 220
+///   bram18 280
+///   dies 1
+///   bandwidth_gbps 2.4
+///   freq_mhz 100
+///   dsp_pack 2
+///   static_watts 1.25
+FpgaSpec ParseFpgaSpecText(const std::string& text);
+
+}  // namespace hdnn
+
+#endif  // HDNN_FRONTEND_PARSER_H_

@@ -1,0 +1,27 @@
+// HLS template configuration generator (paper Fig. 1 Step 3: "the HLS
+// template configurations are finalized and transformed into synthesizable
+// C-level descriptions"). Emits the configuration header that parameterises
+// the pre-defined HLS accelerator template for a chosen design point —
+// parallel factors, buffer geometry, Table 1 partition pragmas and the
+// instruction-field layout.
+#ifndef HDNN_HLSGEN_HLS_CONFIG_GEN_H_
+#define HDNN_HLSGEN_HLS_CONFIG_GEN_H_
+
+#include <string>
+
+#include "common/types.h"
+#include "platform/fpga_spec.h"
+
+namespace hdnn {
+
+/// Generates the `hybriddnn_config.h` contents for one accelerator instance.
+std::string GenerateHlsConfigHeader(const AccelConfig& cfg,
+                                    const FpgaSpec& spec);
+
+/// Generates a human-readable build summary (instances, per-die placement,
+/// estimated resources) — the report Step 3 hands to RTL implementation.
+std::string GenerateBuildSummary(const AccelConfig& cfg, const FpgaSpec& spec);
+
+}  // namespace hdnn
+
+#endif  // HDNN_HLSGEN_HLS_CONFIG_GEN_H_

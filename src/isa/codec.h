@@ -1,0 +1,29 @@
+// Encoder/decoder between typed instruction fields and 128-bit words.
+// Encoding is total and validated: every field is range-checked against its
+// bit width; Decode(Encode(x)) == x for all valid x (property-tested).
+#ifndef HDNN_ISA_CODEC_H_
+#define HDNN_ISA_CODEC_H_
+
+#include <vector>
+
+#include "common/bits.h"
+#include "isa/fields.h"
+
+namespace hdnn {
+
+/// One encoded instruction.
+using Instruction = Word128;
+
+Instruction Encode(const InstrFields& fields);
+InstrFields Decode(const Instruction& instr);
+
+/// Raw opcode of an encoded instruction (cheap peek without full decode).
+Opcode PeekOpcode(const Instruction& instr);
+
+/// Structural validation of a whole program: END-terminated, no trailing
+/// instructions, opcodes decodable. Throws on violation.
+void ValidateProgram(const std::vector<Instruction>& program);
+
+}  // namespace hdnn
+
+#endif  // HDNN_ISA_CODEC_H_

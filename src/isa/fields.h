@@ -1,0 +1,153 @@
+// The HybridDNN 128-bit custom instruction set (paper Fig. 2).
+//
+// Five architectural instructions — LOAD_INP, LOAD_WGT, LOAD_BIAS, COMP,
+// SAVE — plus NOP and END. Every instruction is 128 bits and carries:
+//   OPCODE    4 bits  [124,128)
+//   DEPT_FLAG 6 bits  [118,124)   handshake-FIFO interactions (Sec. 4.1)
+//   BUFF_ID   2 bits  [116,118)   ping-pong half selectors
+// The remaining 116 bits are per-opcode payload; exact bit positions are
+// defined in codec.cc (the paper's figure names the fields but not their
+// positions — see DESIGN.md "Known divergences").
+//
+// Units: feature-map data is addressed in *vectors* of PI elements (inputs)
+// or PO elements (outputs); weights in vectors of PI*PO elements; DRAM in
+// 16-bit words.
+#ifndef HDNN_ISA_FIELDS_H_
+#define HDNN_ISA_FIELDS_H_
+
+#include <cstdint>
+#include <variant>
+
+namespace hdnn {
+
+enum class Opcode : std::uint8_t {
+  kNop = 0,
+  kLoadInp = 1,
+  kLoadWgt = 2,
+  kLoadBias = 3,
+  kComp = 4,
+  kSave = 5,
+  kEnd = 7,
+};
+
+const char* OpcodeName(Opcode op);
+
+/// DEPT_FLAG bit meanings. The producer/consumer pairs are fixed by the
+/// architecture ("LOAD_INP and COMP", "LOAD_WGT and COMP", "COMP and SAVE");
+/// each bit says whether this instruction interacts with the corresponding
+/// token FIFO (paper Sec. 4.1).
+enum DeptFlagBits : std::uint8_t {
+  kWaitData0 = 1 << 0,   ///< COMP: pop input-data token; SAVE: pop COMP token
+  kWaitData1 = 1 << 1,   ///< COMP: pop weight-data token
+  kWaitCredit = 1 << 2,  ///< LOADs: wait buffer credit; COMP: wait output credit
+  kEmitData = 1 << 3,    ///< LOADs: push data token; COMP: push token to SAVE
+  kEmitCredit0 = 1 << 4, ///< COMP: release input half; SAVE: release output half
+  kEmitCredit1 = 1 << 5, ///< COMP: release weight half
+};
+
+/// Payload of LOAD_INP / LOAD_WGT / LOAD_BIAS.
+///
+/// LOAD_INP moves a `rows` x `cols` x `chan_vecs`-vector rectangle of the
+/// input fmap from DRAM into an input-buffer slab, materialising the zero
+/// padding described by pad_*. `aux` carries the total fmap height H and
+/// `pitch` the total fmap width W (DRAM strides; the rectangle may be a
+/// column tile of a wider row — see compiler/tiler).
+///
+/// LOAD_WGT moves one weight group: rows/cols are the kernel dims of the
+/// block (PT x PT for a transformed Winograd slice, R x S for Spatial),
+/// chan_vecs = C-block/PI vectors, aux = K-group/PO vectors. The block is
+/// contiguous in DRAM (packed by the compiler in load order).
+///
+/// LOAD_BIAS moves `aux` bias vectors (PO int32 biases each).
+struct LoadFields {
+  Opcode op = Opcode::kLoadInp;
+  std::uint8_t dept = 0;
+  std::uint8_t buff_id = 0;       ///< destination ping-pong half
+  std::uint32_t buff_base = 0;    ///< destination vector offset in the half
+  std::uint32_t dram_base = 0;    ///< source word address (28 bits)
+  std::uint16_t rows = 1;
+  std::uint16_t cols = 1;
+  std::uint16_t chan_vecs = 1;
+  std::uint16_t aux = 0;
+  std::uint16_t pitch = 0;        ///< total fmap width W (row stride)
+  std::uint8_t pad_t = 0, pad_b = 0, pad_l = 0, pad_r = 0;
+  bool wino = false;
+  std::uint8_t wino_offset = 0;   ///< informational slice index (3 bits)
+
+  friend bool operator==(const LoadFields&, const LoadFields&) = default;
+};
+
+/// Payload of COMP: runs one (input group x weight group x kernel slice)
+/// computation on the PE (paper Fig. 4 pseudo-code).
+struct CompFields {
+  std::uint8_t dept = 0;
+  std::uint8_t inp_buff_id = 0;
+  std::uint8_t wgt_buff_id = 0;
+  std::uint8_t out_buff_id = 0;
+  std::uint16_t inp_buff_base = 0;
+  std::uint16_t out_buff_base = 0;
+  std::uint16_t wgt_buff_base = 0;
+  std::uint16_t iw_num = 1;    ///< input slab row pitch, vectors
+  std::uint16_t ow_num = 1;    ///< output cols (spat) or tiles per row (wino)
+  std::uint8_t oh_num = 1;     ///< output rows (spat) or tile rows (wino)
+  std::uint16_t ic_vecs = 1;   ///< input-channel vectors (C/PI)
+  std::uint16_t oc_vecs = 1;   ///< output-channel vectors (K/PO)
+  std::uint8_t stride = 1;
+  bool relu = false;
+  std::uint8_t quan = 0;       ///< requantisation shift
+  bool wino = false;
+  std::uint8_t wino_offset = 0;
+  std::uint8_t kh = 3, kw = 3; ///< kernel dims processed by this instruction
+  std::uint8_t base_row = 0;   ///< window origin inside the input slab
+  std::uint8_t base_col = 0;
+  bool accum_clear = false;    ///< zero the accumulation buffer first
+  bool accum_emit = false;     ///< requantise accum -> output buffer after
+
+  friend bool operator==(const CompFields&, const CompFields&) = default;
+};
+
+/// Payload of SAVE: moves one output group to DRAM, applying the layout
+/// transform the *next* layer's CONV mode requires (paper Fig. 5) and the
+/// optional fused max-pool (POOL_SIZE).
+enum class SaveLayout : std::uint8_t {
+  kSpatToSpat = 0,
+  kSpatToWino = 1,
+  kWinoToSpat = 2,
+  kWinoToWino = 3,
+};
+
+const char* SaveLayoutName(SaveLayout layout);
+
+struct SaveFields {
+  std::uint8_t dept = 0;
+  std::uint8_t buff_id = 0;      ///< source output-buffer half
+  std::uint16_t buff_base = 0;
+  std::uint32_t dram_base = 0;   ///< destination word address (k0 folded in)
+  std::uint8_t rows = 1;         ///< group rows before pooling
+  std::uint16_t cols = 1;        ///< output width before pooling
+  std::uint16_t oc_vecs = 1;     ///< output-channel vectors in this group
+  SaveLayout layout = SaveLayout::kSpatToSpat;
+  std::uint8_t pool = 1;         ///< max-pool window (1 = none)
+  std::uint16_t out_h = 1;       ///< total output height after pooling
+  std::uint16_t out_w = 1;       ///< total output width after pooling
+  std::uint16_t oc_pitch = 1;    ///< total output channels, padded (13 bits)
+
+  friend bool operator==(const SaveFields&, const SaveFields&) = default;
+};
+
+/// Control instructions (NOP / END) carry no payload.
+struct CtrlFields {
+  Opcode op = Opcode::kNop;
+  std::uint8_t dept = 0;
+
+  friend bool operator==(const CtrlFields&, const CtrlFields&) = default;
+};
+
+using InstrFields = std::variant<LoadFields, CompFields, SaveFields, CtrlFields>;
+
+/// Opcode of a decoded instruction.
+Opcode OpcodeOf(const InstrFields& fields);
+
+}  // namespace hdnn
+
+#endif  // HDNN_ISA_FIELDS_H_

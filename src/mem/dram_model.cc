@@ -1,0 +1,72 @@
+#include "mem/dram_model.h"
+
+#include "common/check.h"
+
+namespace hdnn {
+
+DramModel::DramModel(std::int64_t words)
+    : words_(static_cast<std::size_t>(words), 0) {
+  HDNN_CHECK(words > 0) << "DRAM size must be positive";
+}
+
+std::int16_t DramModel::Read(std::int64_t addr) const {
+  HDNN_CHECK(addr >= 0 && addr < size_words())
+      << "DRAM read out of range: " << addr << " / " << size_words();
+  ++words_read_;
+  return words_[static_cast<std::size_t>(addr)];
+}
+
+void DramModel::Write(std::int64_t addr, std::int16_t value) {
+  HDNN_CHECK(addr >= 0 && addr < size_words())
+      << "DRAM write out of range: " << addr << " / " << size_words();
+  ++words_written_;
+  words_[static_cast<std::size_t>(addr)] = value;
+}
+
+void DramModel::ReadBlock(std::int64_t addr, std::span<std::int16_t> out) const {
+  HDNN_CHECK(addr >= 0 &&
+             addr + static_cast<std::int64_t>(out.size()) <= size_words())
+      << "DRAM block read out of range";
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = words_[static_cast<std::size_t>(addr) + i];
+  }
+  words_read_ += static_cast<std::int64_t>(out.size());
+}
+
+void DramModel::WriteBlock(std::int64_t addr,
+                           std::span<const std::int16_t> data) {
+  HDNN_CHECK(addr >= 0 &&
+             addr + static_cast<std::int64_t>(data.size()) <= size_words())
+      << "DRAM block write out of range";
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    words_[static_cast<std::size_t>(addr) + i] = data[i];
+  }
+  words_written_ += static_cast<std::int64_t>(data.size());
+}
+
+std::int32_t DramModel::Read32(std::int64_t addr) const {
+  const std::uint16_t lo = static_cast<std::uint16_t>(Read(addr));
+  const std::uint16_t hi = static_cast<std::uint16_t>(Read(addr + 1));
+  return static_cast<std::int32_t>(
+      (static_cast<std::uint32_t>(hi) << 16) | lo);
+}
+
+void DramModel::Write32(std::int64_t addr, std::int32_t value) {
+  const std::uint32_t u = static_cast<std::uint32_t>(value);
+  Write(addr, static_cast<std::int16_t>(u & 0xffff));
+  Write(addr + 1, static_cast<std::int16_t>(u >> 16));
+}
+
+std::int64_t DramModel::Allocate(std::int64_t words) {
+  HDNN_CHECK(words >= 0) << "negative allocation";
+  if (next_free_ + words > size_words()) {
+    throw CapacityError("DRAM exhausted: need " + std::to_string(words) +
+                        " words at offset " + std::to_string(next_free_) +
+                        ", capacity " + std::to_string(size_words()));
+  }
+  const std::int64_t base = next_free_;
+  next_free_ += words;
+  return base;
+}
+
+}  // namespace hdnn

@@ -1,0 +1,55 @@
+// External-memory model: word-addressable storage with access statistics.
+//
+// All DRAM traffic is in 16-bit words (features are 12-bit stored in 16;
+// weights are 8-bit raw but 12/16-bit after the offline Winograd transform,
+// so the uniform 16-bit word keeps the port math of paper Eqs. 8-11 simple —
+// bandwidth is counted in elements, as the paper does).
+#ifndef HDNN_MEM_DRAM_MODEL_H_
+#define HDNN_MEM_DRAM_MODEL_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hdnn {
+
+class DramModel {
+ public:
+  explicit DramModel(std::int64_t words);
+
+  std::int64_t size_words() const {
+    return static_cast<std::int64_t>(words_.size());
+  }
+
+  std::int16_t Read(std::int64_t addr) const;
+  void Write(std::int64_t addr, std::int16_t value);
+
+  /// Reads/writes `out.size()` consecutive words starting at addr.
+  void ReadBlock(std::int64_t addr, std::span<std::int16_t> out) const;
+  void WriteBlock(std::int64_t addr, std::span<const std::int16_t> data);
+
+  /// 32-bit accessors for bias words (little-endian pair of 16-bit words).
+  std::int32_t Read32(std::int64_t addr) const;
+  void Write32(std::int64_t addr, std::int32_t value);
+
+  /// Simple bump allocation of a region; returns the base word address.
+  std::int64_t Allocate(std::int64_t words);
+  std::int64_t allocated_words() const { return next_free_; }
+  void ResetAllocator() { next_free_ = 0; }
+
+  // Statistics (functional accesses; the timing model accounts bandwidth
+  // separately at transaction granularity).
+  std::int64_t words_read() const { return words_read_; }
+  std::int64_t words_written() const { return words_written_; }
+  void ResetStats() { words_read_ = words_written_ = 0; }
+
+ private:
+  std::vector<std::int16_t> words_;
+  std::int64_t next_free_ = 0;
+  mutable std::int64_t words_read_ = 0;
+  std::int64_t words_written_ = 0;
+};
+
+}  // namespace hdnn
+
+#endif  // HDNN_MEM_DRAM_MODEL_H_

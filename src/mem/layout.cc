@@ -1,0 +1,55 @@
+#include "mem/layout.h"
+
+#include "common/check.h"
+
+namespace hdnn {
+
+std::int64_t FmapAddr(ConvMode layout, std::int64_t c, std::int64_t h,
+                      std::int64_t w, std::int64_t channels,
+                      std::int64_t height, std::int64_t width) {
+  HDNN_CHECK(c >= 0 && c < channels && h >= 0 && h < height && w >= 0 &&
+             w < width)
+      << "fmap coordinate (" << c << "," << h << "," << w
+      << ") out of bounds for " << channels << "x" << height << "x" << width;
+  if (layout == ConvMode::kSpatial) {
+    return (h * width + w) * channels + c;
+  }
+  return (c * height + h) * width + w;
+}
+
+std::int64_t FmapWords(std::int64_t channels, std::int64_t height,
+                       std::int64_t width) {
+  return channels * height * width;
+}
+
+void StoreFmap(DramModel& dram, std::int64_t base, ConvMode layout,
+               const Tensor<std::int16_t>& fmap) {
+  HDNN_CHECK(fmap.shape().rank() == 3) << "fmap must be CHW";
+  const std::int64_t C = fmap.shape().dim(0);
+  const std::int64_t H = fmap.shape().dim(1);
+  const std::int64_t W = fmap.shape().dim(2);
+  for (std::int64_t c = 0; c < C; ++c) {
+    for (std::int64_t h = 0; h < H; ++h) {
+      for (std::int64_t w = 0; w < W; ++w) {
+        dram.Write(base + FmapAddr(layout, c, h, w, C, H, W), fmap.at(c, h, w));
+      }
+    }
+  }
+}
+
+Tensor<std::int16_t> LoadFmap(const DramModel& dram, std::int64_t base,
+                              ConvMode layout, std::int64_t channels,
+                              std::int64_t height, std::int64_t width) {
+  Tensor<std::int16_t> fmap(Shape{channels, height, width});
+  for (std::int64_t c = 0; c < channels; ++c) {
+    for (std::int64_t h = 0; h < height; ++h) {
+      for (std::int64_t w = 0; w < width; ++w) {
+        fmap.at(c, h, w) =
+            dram.Read(base + FmapAddr(layout, c, h, w, channels, height, width));
+      }
+    }
+  }
+  return fmap;
+}
+
+}  // namespace hdnn

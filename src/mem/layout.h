@@ -1,0 +1,46 @@
+// Feature-map data layouts in external memory (paper Fig. 5).
+//
+// The two DDR layouts differ in which index is innermost:
+//   SPAT: addr(c,h,w) = (h*W + w)*C + c      (channel innermost — the PE's
+//         Spatial broadcast array streams channel vectors per position)
+//   WINO: addr(c,h,w) = (c*H + h)*W + w      (channel outermost — Winograd
+//         tiles gather PT consecutive columns per channel)
+//
+// The SAVE module supports all four transforms (WINO/SPAT -> WINO/SPAT) by
+// simply *writing in the target layout*; the LOAD module then always reads
+// its own mode's layout (the two LOAD transforms of Fig. 5). The
+// reordering work is thereby offloaded to SAVE, exactly as Sec. 4.3
+// describes.
+#ifndef HDNN_MEM_LAYOUT_H_
+#define HDNN_MEM_LAYOUT_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "mem/dram_model.h"
+#include "tensor/tensor.h"
+
+namespace hdnn {
+
+/// Word address (relative to the fmap region base) of element (c, h, w) in a
+/// C x H x W feature map stored in `layout` mode.
+std::int64_t FmapAddr(ConvMode layout, std::int64_t c, std::int64_t h,
+                      std::int64_t w, std::int64_t channels, std::int64_t height,
+                      std::int64_t width);
+
+/// Words needed for a C x H x W feature map (layout-independent).
+std::int64_t FmapWords(std::int64_t channels, std::int64_t height,
+                       std::int64_t width);
+
+/// Writes an entire CHW tensor into DRAM at `base` in the given layout.
+void StoreFmap(DramModel& dram, std::int64_t base, ConvMode layout,
+               const Tensor<std::int16_t>& fmap);
+
+/// Reads an entire CHW tensor back from DRAM.
+Tensor<std::int16_t> LoadFmap(const DramModel& dram, std::int64_t base,
+                              ConvMode layout, std::int64_t channels,
+                              std::int64_t height, std::int64_t width);
+
+}  // namespace hdnn
+
+#endif  // HDNN_MEM_LAYOUT_H_

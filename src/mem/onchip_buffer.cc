@@ -1,0 +1,85 @@
+#include "mem/onchip_buffer.h"
+
+#include "common/check.h"
+
+namespace hdnn {
+
+PingPongBuffer::PingPongBuffer(std::string name, std::int64_t capacity_per_half)
+    : name_(std::move(name)),
+      capacity_(capacity_per_half),
+      data_(static_cast<std::size_t>(2 * capacity_per_half), 0) {
+  HDNN_CHECK(capacity_per_half > 0)
+      << name_ << ": capacity must be positive";
+}
+
+std::int64_t PingPongBuffer::Slot(int half, std::int64_t index) const {
+  HDNN_CHECK(half == 0 || half == 1) << name_ << ": half must be 0/1";
+  HDNN_CHECK(index >= 0 && index < capacity_)
+      << name_ << ": index " << index << " exceeds half capacity "
+      << capacity_;
+  return static_cast<std::int64_t>(half) * capacity_ + index;
+}
+
+std::int32_t PingPongBuffer::Read(int half, std::int64_t index) const {
+  return data_[static_cast<std::size_t>(Slot(half, index))];
+}
+
+void PingPongBuffer::Write(int half, std::int64_t index, std::int32_t value) {
+  data_[static_cast<std::size_t>(Slot(half, index))] = value;
+}
+
+void PingPongBuffer::FillHalf(int half, std::int32_t value) {
+  for (std::int64_t i = 0; i < capacity_; ++i) {
+    data_[static_cast<std::size_t>(Slot(half, i))] = value;
+  }
+}
+
+PartitionFactors InBufferPartition(ConvMode mode, const AccelConfig& cfg) {
+  PartitionFactors f;
+  if (mode == ConvMode::kWinograd) {
+    f.in_channel = cfg.pi;
+    f.fmap_row = cfg.pt;
+    f.fmap_col = cfg.pt;
+  } else {
+    f.in_channel = cfg.pi * cfg.pt;
+  }
+  return f;
+}
+
+PartitionFactors WgtBufferPartition(ConvMode mode, const AccelConfig& cfg) {
+  PartitionFactors f;
+  if (mode == ConvMode::kWinograd) {
+    f.in_channel = cfg.pi;
+    f.out_channel = cfg.po;
+    f.wgt_row = cfg.pt;
+    f.wgt_col = cfg.pt;
+  } else {
+    f.in_channel = cfg.pi * cfg.pt;
+    f.out_channel = cfg.po * cfg.pt;
+  }
+  return f;
+}
+
+PartitionFactors OutBufferPartition(ConvMode mode, const AccelConfig& cfg) {
+  PartitionFactors f;
+  if (mode == ConvMode::kWinograd) {
+    f.out_channel = cfg.po;
+    f.fmap_row = cfg.wino_m();
+    f.fmap_col = cfg.wino_m();
+  } else {
+    f.out_channel = cfg.po * cfg.pt;
+  }
+  return f;
+}
+
+int InBufferBank(ConvMode mode, const AccelConfig& cfg, std::int64_t c,
+                 std::int64_t row, std::int64_t col) {
+  HDNN_CHECK(c >= 0 && row >= 0 && col >= 0) << "negative coordinate";
+  const PartitionFactors f = InBufferPartition(mode, cfg);
+  const int cb = static_cast<int>(c % f.in_channel);
+  const int rb = static_cast<int>(row % f.fmap_row);
+  const int wb = static_cast<int>(col % f.fmap_col);
+  return (cb * f.fmap_row + rb) * f.fmap_col + wb;
+}
+
+}  // namespace hdnn

@@ -1,0 +1,106 @@
+#include "nn/builders.h"
+
+namespace hdnn {
+namespace {
+
+ConvLayer Conv3x3(const std::string& name, int in_c, int out_c,
+                  bool pool_after) {
+  ConvLayer l;
+  l.name = name;
+  l.in_channels = in_c;
+  l.out_channels = out_c;
+  l.kernel_h = 3;
+  l.kernel_w = 3;
+  l.stride = 1;
+  l.pad = 1;
+  l.relu = true;
+  l.pool = pool_after ? 2 : 1;
+  return l;
+}
+
+}  // namespace
+
+Model BuildVgg16() {
+  Model m = BuildVgg16ConvOnly();
+  m.AppendFullyConnected("fc6", 4096, /*relu=*/true);
+  m.AppendFullyConnected("fc7", 4096, /*relu=*/true);
+  m.AppendFullyConnected("fc8", 1000, /*relu=*/false);
+  return m;
+}
+
+Model BuildVgg16ConvOnly() {
+  Model m("vgg16", FmapShape{3, 224, 224});
+  m.Append(Conv3x3("conv1_1", 3, 64, false));
+  m.Append(Conv3x3("conv1_2", 64, 64, true));
+  m.Append(Conv3x3("conv2_1", 64, 128, false));
+  m.Append(Conv3x3("conv2_2", 128, 128, true));
+  m.Append(Conv3x3("conv3_1", 128, 256, false));
+  m.Append(Conv3x3("conv3_2", 256, 256, false));
+  m.Append(Conv3x3("conv3_3", 256, 256, true));
+  m.Append(Conv3x3("conv4_1", 256, 512, false));
+  m.Append(Conv3x3("conv4_2", 512, 512, false));
+  m.Append(Conv3x3("conv4_3", 512, 512, true));
+  m.Append(Conv3x3("conv5_1", 512, 512, false));
+  m.Append(Conv3x3("conv5_2", 512, 512, false));
+  m.Append(Conv3x3("conv5_3", 512, 512, true));
+  return m;
+}
+
+Model BuildAlexNetStyle() {
+  Model m("alexnet_style", FmapShape{3, 227, 227});
+  ConvLayer c1;
+  c1.name = "conv1";
+  c1.in_channels = 3;
+  c1.out_channels = 96;
+  c1.kernel_h = c1.kernel_w = 11;
+  c1.stride = 4;
+  c1.pad = 2;  // (227 + 4 - 11)/4 + 1 = 56
+  c1.relu = true;
+  c1.pool = 2;  // -> 28
+  m.Append(c1);
+
+  ConvLayer c2;
+  c2.name = "conv2";
+  c2.in_channels = 96;
+  c2.out_channels = 256;
+  c2.kernel_h = c2.kernel_w = 5;
+  c2.stride = 1;
+  c2.pad = 2;
+  c2.relu = true;
+  c2.pool = 2;  // -> 14
+  m.Append(c2);
+
+  m.Append(Conv3x3("conv3", 256, 384, false));
+  m.Append(Conv3x3("conv4", 384, 384, false));
+  m.Append(Conv3x3("conv5", 384, 256, true));  // -> 7
+  m.AppendFullyConnected("fc6", 1024, true);
+  m.AppendFullyConnected("fc7", 256, false);
+  return m;
+}
+
+Model BuildTinyCnn() {
+  Model m("tiny_cnn", FmapShape{3, 32, 32});
+  m.Append(Conv3x3("conv1", 3, 16, true));
+  m.Append(Conv3x3("conv2", 16, 32, true));
+  m.Append(Conv3x3("conv3", 32, 64, true));
+  m.AppendFullyConnected("fc", 10, false);
+  return m;
+}
+
+Model BuildSingleConv(int channels_in, int channels_out, int height, int width,
+                      int kernel, int stride, int pad, bool relu) {
+  if (pad < 0) pad = (kernel % 2 == 1) ? (kernel - 1) / 2 : 0;
+  Model m("single_conv", FmapShape{channels_in, height, width});
+  ConvLayer l;
+  l.name = "conv";
+  l.in_channels = channels_in;
+  l.out_channels = channels_out;
+  l.kernel_h = l.kernel_w = kernel;
+  l.stride = stride;
+  l.pad = pad;
+  l.relu = relu;
+  m.Append(l);
+  return m;
+}
+
+}  // namespace hdnn

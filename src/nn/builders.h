@@ -1,0 +1,34 @@
+// Ready-made model builders used by examples, tests and benchmarks.
+#ifndef HDNN_NN_BUILDERS_H_
+#define HDNN_NN_BUILDERS_H_
+
+#include "nn/model.h"
+
+namespace hdnn {
+
+/// VGG16 with 224x224x3 input: 13 CONV layers (all 3x3/s1/p1, ReLU, pools
+/// after blocks) + 3 FC layers. ~30.9 GOP per inference — the paper's main
+/// evaluation workload (Sec. 6.1).
+Model BuildVgg16();
+
+/// VGG16 convolutional body only (no FC layers); useful for CONV-focused
+/// sweeps.
+Model BuildVgg16ConvOnly();
+
+/// AlexNet-style network (large kernels 11x11/5x5 exercise the Winograd
+/// kernel-decomposition path of Sec. 4.2.5).
+Model BuildAlexNetStyle();
+
+/// A small CIFAR-scale CNN (32x32 input) for fast tests and the quickstart
+/// example.
+Model BuildTinyCnn();
+
+/// A single-conv model with the given geometry; `pad` defaults to "same" for
+/// odd kernels when pad < 0.
+Model BuildSingleConv(int channels_in, int channels_out, int height, int width,
+                      int kernel, int stride = 1, int pad = -1,
+                      bool relu = false);
+
+}  // namespace hdnn
+
+#endif  // HDNN_NN_BUILDERS_H_

@@ -1,0 +1,94 @@
+#include "nn/model.h"
+
+#include <sstream>
+
+namespace hdnn {
+
+void Model::Append(ConvLayer layer) {
+  layer.Validate();
+  const FmapShape in = layers_.empty() ? input_ : OutputOf(num_layers() - 1);
+  HDNN_CHECK(in.channels == layer.in_channels)
+      << layer.name << ": expects " << layer.in_channels
+      << " input channels but previous layer produces " << in.channels;
+  layer.Output(in);  // validates geometry
+  layers_.push_back(std::move(layer));
+}
+
+void Model::AppendFullyConnected(const std::string& name, int out_features,
+                                 bool relu) {
+  const FmapShape in =
+      layers_.empty() ? input_ : OutputOf(num_layers() - 1);
+  ConvLayer fc;
+  fc.name = name;
+  fc.in_channels = static_cast<int>(in.elements());
+  fc.out_channels = out_features;
+  fc.kernel_h = 1;
+  fc.kernel_w = 1;
+  fc.stride = 1;
+  fc.pad = 0;
+  fc.relu = relu;
+  fc.is_fc = true;
+  fc.Validate();
+  // Flattening is implicit: the compiler lays out the previous activation as
+  // a C*H*W x 1 x 1 feature map; record the canonical geometry here.
+  ConvLayer& self = fc;
+  if (in.height != 1 || in.width != 1) {
+    // Insert an implicit flatten by treating the FC input as channels.
+    self.in_channels = static_cast<int>(in.elements());
+  }
+  // Model::Append would reject the channel mismatch, so push directly after
+  // performing the same validation on the flattened geometry.
+  const FmapShape flat{self.in_channels, 1, 1};
+  self.Output(flat);
+  layers_.push_back(std::move(fc));
+}
+
+FmapShape Model::InputOf(int i) const {
+  HDNN_CHECK(i >= 0 && i < num_layers()) << "layer index " << i;
+  FmapShape shape = input_;
+  for (int l = 0; l < i; ++l) {
+    shape = layers_[static_cast<std::size_t>(l)].Output(
+        Canonical(shape, layers_[static_cast<std::size_t>(l)]));
+  }
+  return Canonical(shape, layers_[static_cast<std::size_t>(i)]);
+}
+
+FmapShape Model::OutputShape() const {
+  HDNN_CHECK(num_layers() > 0) << "empty model";
+  return OutputOf(num_layers() - 1);
+}
+
+std::int64_t Model::TotalMacs() const {
+  std::int64_t total = 0;
+  for (int i = 0; i < num_layers(); ++i) total += layer(i).Macs(InputOf(i));
+  return total;
+}
+
+std::string Model::Summary() const {
+  std::ostringstream out;
+  out << "model " << name_ << "  input " << input_.channels << "x"
+      << input_.height << "x" << input_.width << "\n";
+  for (int i = 0; i < num_layers(); ++i) {
+    const ConvLayer& l = layer(i);
+    const FmapShape in = InputOf(i);
+    const FmapShape o = OutputOf(i);
+    out << "  [" << i << "] " << l.name << (l.is_fc ? " (fc)" : "") << "  "
+        << in.channels << "x" << in.height << "x" << in.width << " -> "
+        << o.channels << "x" << o.height << "x" << o.width << "  k="
+        << l.kernel_h << "x" << l.kernel_w << " s=" << l.stride
+        << " p=" << l.pad << (l.relu ? " relu" : "")
+        << (l.pool > 1 ? " pool" + std::to_string(l.pool) : "") << "  "
+        << l.Macs(in) << " MACs\n";
+  }
+  out << "  total: " << TotalMacs() << " MACs (" << TotalOps() << " ops)\n";
+  return out.str();
+}
+
+FmapShape Model::Canonical(const FmapShape& shape, const ConvLayer& next) {
+  if (next.is_fc) {
+    return FmapShape{static_cast<int>(shape.elements()), 1, 1};
+  }
+  return shape;
+}
+
+}  // namespace hdnn

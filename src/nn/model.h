@@ -1,0 +1,143 @@
+// DNN intermediate representation.
+//
+// HybridDNN's accelerator executes "CONV or FC layers" (paper Table 2), with
+// ReLU and max-pooling fused into the COMP and SAVE stages. The IR therefore
+// is a linear sequence of convolution stages, each optionally followed by a
+// fused ReLU and a fused max-pool. Fully-connected layers are canonicalised
+// to 1x1 convolutions on 1x1 feature maps.
+#ifndef HDNN_NN_MODEL_H_
+#define HDNN_NN_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace hdnn {
+
+/// Spatial geometry of one convolution layer's input.
+struct FmapShape {
+  int channels = 0;
+  int height = 0;
+  int width = 0;
+
+  std::int64_t elements() const {
+    return static_cast<std::int64_t>(channels) * height * width;
+  }
+  friend bool operator==(const FmapShape&, const FmapShape&) = default;
+};
+
+/// One accelerator-executable stage: CONV (+ ReLU) (+ max-pool).
+struct ConvLayer {
+  std::string name;
+  int in_channels = 0;
+  int out_channels = 0;
+  int kernel_h = 3;
+  int kernel_w = 3;
+  int stride = 1;
+  int pad = 1;           ///< symmetric zero padding
+  bool relu = false;     ///< fused ReLU after requantisation
+  int pool = 1;          ///< fused max-pool window (1 = none); stride == window
+  bool is_fc = false;    ///< true if canonicalised from a fully-connected layer
+
+  void Validate() const {
+    HDNN_CHECK(in_channels > 0 && out_channels > 0)
+        << name << ": channels must be positive";
+    HDNN_CHECK(kernel_h > 0 && kernel_w > 0) << name << ": bad kernel";
+    HDNN_CHECK(stride >= 1) << name << ": bad stride";
+    HDNN_CHECK(pad >= 0) << name << ": bad pad";
+    HDNN_CHECK(pool == 1 || pool == 2 || pool == 3 || pool == 4)
+        << name << ": unsupported pool window " << pool;
+  }
+
+  /// Output geometry of the convolution itself (before pooling).
+  FmapShape ConvOutput(const FmapShape& in) const {
+    HDNN_CHECK(in.channels == in_channels)
+        << name << ": input channels " << in.channels << " != layer "
+        << in_channels;
+    const int oh = (in.height + 2 * pad - kernel_h) / stride + 1;
+    const int ow = (in.width + 2 * pad - kernel_w) / stride + 1;
+    HDNN_CHECK(oh > 0 && ow > 0) << name << ": empty output";
+    return FmapShape{out_channels, oh, ow};
+  }
+
+  /// Output geometry after the optional fused max-pool.
+  FmapShape Output(const FmapShape& in) const {
+    FmapShape out = ConvOutput(in);
+    if (pool > 1) {
+      HDNN_CHECK(out.height % pool == 0 && out.width % pool == 0)
+          << name << ": pool window " << pool << " does not tile "
+          << out.height << "x" << out.width;
+      out.height /= pool;
+      out.width /= pool;
+    }
+    return out;
+  }
+
+  /// Multiply-accumulate count of this convolution (no pooling ops).
+  std::int64_t Macs(const FmapShape& in) const {
+    const FmapShape out = ConvOutput(in);
+    return static_cast<std::int64_t>(out_channels) * in_channels * kernel_h *
+           kernel_w * out.height * out.width;
+  }
+
+  /// Operation count as the paper reports GOPS: 2 ops per MAC.
+  std::int64_t Ops(const FmapShape& in) const { return 2 * Macs(in); }
+
+  friend bool operator==(const ConvLayer&, const ConvLayer&) = default;
+};
+
+/// A linear DNN: input geometry plus a sequence of ConvLayers.
+class Model {
+ public:
+  Model() = default;
+  Model(std::string name, FmapShape input)
+      : name_(std::move(name)), input_(input) {}
+
+  const std::string& name() const { return name_; }
+  const FmapShape& input() const { return input_; }
+  const std::vector<ConvLayer>& layers() const { return layers_; }
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+  const ConvLayer& layer(int i) const {
+    HDNN_CHECK(i >= 0 && i < num_layers()) << "layer index " << i;
+    return layers_[static_cast<std::size_t>(i)];
+  }
+
+  /// Appends a layer; validates it against the running output shape.
+  void Append(ConvLayer layer);
+
+  /// Appends a fully-connected layer as a 1x1 conv. Requires the running
+  /// output to be flattenable (the compiler treats C*H*W as channels).
+  void AppendFullyConnected(const std::string& name, int out_features,
+                            bool relu);
+
+  /// Input shape of layer i (output of layer i-1).
+  FmapShape InputOf(int i) const;
+
+  /// Output shape of layer i.
+  FmapShape OutputOf(int i) const { return layer(i).Output(InputOf(i)); }
+
+  /// Final output shape.
+  FmapShape OutputShape() const;
+
+  /// Total MAC / op counts over all layers.
+  std::int64_t TotalMacs() const;
+  std::int64_t TotalOps() const { return 2 * TotalMacs(); }
+
+  /// Human-readable per-layer summary.
+  std::string Summary() const;
+
+ private:
+  /// Shape as seen by `next`: FC layers view their input flattened to
+  /// channels (C*H*W) x 1 x 1.
+  static FmapShape Canonical(const FmapShape& shape, const ConvLayer& next);
+
+  std::string name_;
+  FmapShape input_{};
+  std::vector<ConvLayer> layers_;
+};
+
+}  // namespace hdnn
+
+#endif  // HDNN_NN_MODEL_H_

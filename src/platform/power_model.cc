@@ -1,0 +1,25 @@
+#include "platform/power_model.h"
+
+#include "common/check.h"
+#include "platform/profile_constants.h"
+
+namespace hdnn {
+
+const ProfileConstants& DefaultProfile() {
+  static const ProfileConstants profile{};
+  return profile;
+}
+
+double PowerModel::TotalWatts(const FpgaSpec& spec, const ResourceUsage& usage,
+                              double activity) const {
+  HDNN_CHECK(activity > 0 && activity <= 1.0)
+      << "activity must be in (0,1], got " << activity;
+  const double dynamic =
+      spec.freq_mhz *
+      (e_dsp_w_per_mhz * usage.dsps + e_bram_w_per_mhz * usage.bram18 +
+       e_lut_w_per_mhz * usage.luts) *
+      activity;
+  return spec.static_watts + dynamic;
+}
+
+}  // namespace hdnn

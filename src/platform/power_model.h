@@ -1,0 +1,37 @@
+// Analytical power model (measurement substitute for the paper's on-board
+// power numbers in Table 4; see DESIGN.md Sec. 1).
+//
+//   P = P_static(device) + f_MHz * (e_dsp*N_dsp + e_bram*N_bram +
+//                                   e_lut*N_lut) * activity
+//
+// The per-resource dynamic energy coefficients are calibrated so the two
+// published design points land on the paper's measurements (45.9 W on VU9P,
+// 2.6 W on PYNQ-Z1).
+#ifndef HDNN_PLATFORM_POWER_MODEL_H_
+#define HDNN_PLATFORM_POWER_MODEL_H_
+
+#include "platform/fpga_spec.h"
+
+namespace hdnn {
+
+struct ResourceUsage {
+  double luts = 0;
+  double dsps = 0;
+  double bram18 = 0;
+};
+
+struct PowerModel {
+  double e_dsp_w_per_mhz = 2.5e-6;
+  double e_bram_w_per_mhz = 3.0e-6;
+  double e_lut_w_per_mhz = 0.33e-6;
+
+  /// Total on-board power for a design using `usage` resources at the
+  /// spec's frequency. `activity` in (0, 1] scales dynamic power with
+  /// datapath utilisation.
+  double TotalWatts(const FpgaSpec& spec, const ResourceUsage& usage,
+                    double activity = 1.0) const;
+};
+
+}  // namespace hdnn
+
+#endif  // HDNN_PLATFORM_POWER_MODEL_H_

@@ -1,0 +1,48 @@
+// Profiled constants of the analytical resource models (paper Sec. 5.1:
+// "alpha, beta, gamma, and delta can be pre-defined through profiling").
+//
+// The values are solved from the paper's two published VGG16 design points
+// (Table 3):
+//   VU9P:    NI=6, PI=4, PO=4, PT=6  -> 706353 LUT, 5163 DSP, 3169 BRAM18
+//   PYNQ-Z1: NI=1, PI=4, PO=4, PT=4  ->  37034 LUT,  220 DSP,  277 BRAM18
+//
+// gamma/delta solve exactly from the two LUT equations; alpha/beta from the
+// DSP equations given each platform's DSP packing factor (see
+// FpgaSpec::dsp_pack).
+#ifndef HDNN_PLATFORM_PROFILE_CONSTANTS_H_
+#define HDNN_PLATFORM_PROFILE_CONSTANTS_H_
+
+namespace hdnn {
+
+struct ProfileConstants {
+  /// Eq. 3/4 correction term related to the quantisation strategy (extra
+  /// multipliers in the output-transform / requantisation path, per PO*m^2).
+  double alpha = 4.0;
+  /// Eq. 3 DSPs consumed by address generation (FPGA-independent constant).
+  double beta = 24.0;
+  /// Eq. 5 LUTs per MAC unit.
+  double gamma = 124.8;
+  /// Eq. 5 correction for the Winograd tile size m (transform adder trees).
+  double delta = 0.0399;
+  /// Fraction of Eq. 5 LUTs attributable to the hybrid-mode additions
+  /// (Winograd transforms + reconfigurable load/save managers). The paper
+  /// measures 26.4% extra LUTs vs a Spatial-only design (Sec. 6.1); in
+  /// Eq. 5's shape this is the delta*m^2 term plus mode-switch muxing.
+  double hybrid_lut_overhead = 0.264;
+  /// BRAM width (bits) of one 18 Kb block on Xilinx parts.
+  int bram_width = 18;
+  /// Usable depth (words) of one 18 Kb block at bram_width.
+  int bram_depth = 1024;
+  /// Arrays with depth below this map to LUTRAM, not BRAM (matches Vivado
+  /// behaviour and is required for the implementation-model BRAM counts).
+  int lutram_depth_threshold = 64;
+  /// LUT cost per bit of LUTRAM storage.
+  double lutram_luts_per_bit = 0.6;
+};
+
+/// Library-wide default constants.
+const ProfileConstants& DefaultProfile();
+
+}  // namespace hdnn
+
+#endif  // HDNN_PLATFORM_PROFILE_CONSTANTS_H_

@@ -1,0 +1,116 @@
+#include "refconv/direct.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/fixed_point.h"
+#include "refconv/pool.h"
+
+namespace hdnn {
+namespace {
+
+void CheckConvShapes(const Shape& in, const Shape& w, std::int64_t bias_k) {
+  HDNN_CHECK(in.rank() == 3) << "input must be CHW, got " << in.ToString();
+  HDNN_CHECK(w.rank() == 4) << "weights must be KCRS, got " << w.ToString();
+  HDNN_CHECK(in.dim(0) == w.dim(1))
+      << "input channels " << in.dim(0) << " != kernel channels " << w.dim(1);
+  HDNN_CHECK(bias_k == 0 || bias_k == w.dim(0))
+      << "bias size " << bias_k << " != output channels " << w.dim(0);
+}
+
+}  // namespace
+
+Tensor<float> Conv2dDirect(const Tensor<float>& input,
+                           const Tensor<float>& weights,
+                           const Tensor<float>& bias, int stride, int pad,
+                           bool relu) {
+  CheckConvShapes(input.shape(), weights.shape(), bias.empty() ? 0 : bias.elements());
+  const std::int64_t C = input.shape().dim(0);
+  const std::int64_t H = input.shape().dim(1);
+  const std::int64_t W = input.shape().dim(2);
+  const std::int64_t K = weights.shape().dim(0);
+  const std::int64_t R = weights.shape().dim(2);
+  const std::int64_t S = weights.shape().dim(3);
+  const std::int64_t OH = (H + 2 * pad - R) / stride + 1;
+  const std::int64_t OW = (W + 2 * pad - S) / stride + 1;
+  HDNN_CHECK(OH > 0 && OW > 0) << "empty convolution output";
+
+  Tensor<float> out(Shape{K, OH, OW});
+  for (std::int64_t k = 0; k < K; ++k) {
+    for (std::int64_t oh = 0; oh < OH; ++oh) {
+      for (std::int64_t ow = 0; ow < OW; ++ow) {
+        double acc = bias.empty() ? 0.0 : bias.flat(k);
+        for (std::int64_t c = 0; c < C; ++c) {
+          for (std::int64_t r = 0; r < R; ++r) {
+            for (std::int64_t s = 0; s < S; ++s) {
+              const std::int64_t ih = oh * stride - pad + r;
+              const std::int64_t iw = ow * stride - pad + s;
+              if (ih < 0 || iw < 0 || ih >= H || iw >= W) continue;
+              acc += static_cast<double>(input.at(c, ih, iw)) *
+                     static_cast<double>(weights.at(k, c, r, s));
+            }
+          }
+        }
+        if (relu && acc < 0) acc = 0;
+        out.at(k, oh, ow) = static_cast<float>(acc);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor<std::int16_t> Conv2dDirectQ(const Tensor<std::int16_t>& input,
+                                   const Tensor<std::int8_t>& weights,
+                                   const Tensor<std::int32_t>& bias,
+                                   int stride, int pad, int shift,
+                                   int feature_bits, bool relu) {
+  CheckConvShapes(input.shape(), weights.shape(), bias.empty() ? 0 : bias.elements());
+  const std::int64_t C = input.shape().dim(0);
+  const std::int64_t H = input.shape().dim(1);
+  const std::int64_t W = input.shape().dim(2);
+  const std::int64_t K = weights.shape().dim(0);
+  const std::int64_t R = weights.shape().dim(2);
+  const std::int64_t S = weights.shape().dim(3);
+  const std::int64_t OH = (H + 2 * pad - R) / stride + 1;
+  const std::int64_t OW = (W + 2 * pad - S) / stride + 1;
+  HDNN_CHECK(OH > 0 && OW > 0) << "empty convolution output";
+
+  Tensor<std::int16_t> out(Shape{K, OH, OW});
+  for (std::int64_t k = 0; k < K; ++k) {
+    const std::int64_t b = bias.empty() ? 0 : bias.flat(k);
+    for (std::int64_t oh = 0; oh < OH; ++oh) {
+      for (std::int64_t ow = 0; ow < OW; ++ow) {
+        std::int64_t acc = b;
+        for (std::int64_t c = 0; c < C; ++c) {
+          for (std::int64_t r = 0; r < R; ++r) {
+            for (std::int64_t s = 0; s < S; ++s) {
+              const std::int64_t ih = oh * stride - pad + r;
+              const std::int64_t iw = ow * stride - pad + s;
+              if (ih < 0 || iw < 0 || ih >= H || iw >= W) continue;
+              acc += static_cast<std::int64_t>(input.at(c, ih, iw)) *
+                     static_cast<std::int64_t>(weights.at(k, c, r, s));
+            }
+          }
+        }
+        std::int64_t q = Requantize(acc, shift, feature_bits);
+        if (relu && q < 0) q = 0;
+        out.at(k, oh, ow) = static_cast<std::int16_t>(q);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor<std::int16_t> RunLayerQ(const ConvLayer& layer,
+                               const Tensor<std::int16_t>& input,
+                               const Tensor<std::int8_t>& weights,
+                               const Tensor<std::int32_t>& bias, int shift,
+                               int feature_bits) {
+  Tensor<std::int16_t> conv =
+      Conv2dDirectQ(input, weights, bias, layer.stride, layer.pad, shift,
+                    feature_bits, layer.relu);
+  if (layer.pool > 1) conv = MaxPool2dQ(conv, layer.pool);
+  return conv;
+}
+
+}  // namespace hdnn

@@ -1,0 +1,44 @@
+// Golden direct ("Spatial") convolution references.
+//
+// These are the ground truth the simulator, the Winograd library and the
+// compiler pipeline are all validated against. The integer path reproduces
+// the accelerator's arithmetic bit-for-bit: int16 (12-bit range) features,
+// int8 weights, int64 accumulation, round-half-away requantisation with a
+// per-layer shift, saturation to the feature width, then optional ReLU.
+#ifndef HDNN_REFCONV_DIRECT_H_
+#define HDNN_REFCONV_DIRECT_H_
+
+#include <cstdint>
+
+#include "nn/model.h"
+#include "tensor/tensor.h"
+
+namespace hdnn {
+
+/// Float direct convolution. input: CHW, weights: KCRS, bias: K (may be
+/// empty). Returns K x OH x OW.
+Tensor<float> Conv2dDirect(const Tensor<float>& input,
+                           const Tensor<float>& weights,
+                           const Tensor<float>& bias, int stride, int pad,
+                           bool relu);
+
+/// Bit-exact integer direct convolution matching the accelerator:
+/// out = sat_{feature_bits}( round((sum d*g + (bias << bias_shift)) >> shift) ),
+/// then ReLU if requested. `bias` may be empty.
+Tensor<std::int16_t> Conv2dDirectQ(const Tensor<std::int16_t>& input,
+                                   const Tensor<std::int8_t>& weights,
+                                   const Tensor<std::int32_t>& bias,
+                                   int stride, int pad, int shift,
+                                   int feature_bits, bool relu);
+
+/// Runs a whole layer (conv + optional relu + optional fused max-pool) in the
+/// integer domain; the one-stop golden model for end-to-end tests.
+Tensor<std::int16_t> RunLayerQ(const ConvLayer& layer,
+                               const Tensor<std::int16_t>& input,
+                               const Tensor<std::int8_t>& weights,
+                               const Tensor<std::int32_t>& bias, int shift,
+                               int feature_bits);
+
+}  // namespace hdnn
+
+#endif  // HDNN_REFCONV_DIRECT_H_

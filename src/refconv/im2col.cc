@@ -1,0 +1,89 @@
+#include "refconv/im2col.h"
+
+#include "common/check.h"
+
+namespace hdnn {
+
+Tensor<float> Im2Col(const Tensor<float>& input, int kernel_h, int kernel_w,
+                     int stride, int pad) {
+  HDNN_CHECK(input.shape().rank() == 3) << "im2col expects CHW";
+  const std::int64_t C = input.shape().dim(0);
+  const std::int64_t H = input.shape().dim(1);
+  const std::int64_t W = input.shape().dim(2);
+  const std::int64_t OH = (H + 2 * pad - kernel_h) / stride + 1;
+  const std::int64_t OW = (W + 2 * pad - kernel_w) / stride + 1;
+  HDNN_CHECK(OH > 0 && OW > 0) << "empty im2col output";
+
+  Tensor<float> cols(Shape{C * kernel_h * kernel_w, OH * OW});
+  for (std::int64_t c = 0; c < C; ++c) {
+    for (int r = 0; r < kernel_h; ++r) {
+      for (int s = 0; s < kernel_w; ++s) {
+        const std::int64_t row = (c * kernel_h + r) * kernel_w + s;
+        for (std::int64_t oh = 0; oh < OH; ++oh) {
+          for (std::int64_t ow = 0; ow < OW; ++ow) {
+            cols.at(row, oh * OW + ow) =
+                input.PaddedAt(c, oh * stride - pad + r, ow * stride - pad + s);
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor<float> MatMul(const Tensor<float>& a, const Tensor<float>& b) {
+  HDNN_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2)
+      << "MatMul expects matrices";
+  HDNN_CHECK(a.shape().dim(1) == b.shape().dim(0))
+      << "inner dims mismatch: " << a.shape().ToString() << " x "
+      << b.shape().ToString();
+  const std::int64_t M = a.shape().dim(0);
+  const std::int64_t K = a.shape().dim(1);
+  const std::int64_t N = b.shape().dim(1);
+  Tensor<float> out(Shape{M, N});
+  for (std::int64_t m = 0; m < M; ++m) {
+    for (std::int64_t k = 0; k < K; ++k) {
+      const float av = a.at(m, k);
+      if (av == 0.0f) continue;
+      for (std::int64_t n = 0; n < N; ++n) {
+        out.at(m, n) += av * b.at(k, n);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor<float> Conv2dIm2Col(const Tensor<float>& input,
+                           const Tensor<float>& weights,
+                           const Tensor<float>& bias, int stride, int pad,
+                           bool relu) {
+  HDNN_CHECK(weights.shape().rank() == 4) << "weights must be KCRS";
+  const std::int64_t K = weights.shape().dim(0);
+  const std::int64_t C = weights.shape().dim(1);
+  const std::int64_t R = weights.shape().dim(2);
+  const std::int64_t S = weights.shape().dim(3);
+  HDNN_CHECK(input.shape().dim(0) == C) << "channel mismatch";
+
+  Tensor<float> cols = Im2Col(input, static_cast<int>(R), static_cast<int>(S),
+                              stride, pad);
+  Tensor<float> wmat(Shape{K, C * R * S},
+                     std::vector<float>(weights.storage()));
+  Tensor<float> prod = MatMul(wmat, cols);
+
+  const std::int64_t H = input.shape().dim(1);
+  const std::int64_t W = input.shape().dim(2);
+  const std::int64_t OH = (H + 2 * pad - R) / stride + 1;
+  const std::int64_t OW = (W + 2 * pad - S) / stride + 1;
+  Tensor<float> out(Shape{K, OH, OW});
+  for (std::int64_t k = 0; k < K; ++k) {
+    const float b = bias.empty() ? 0.0f : bias.flat(k);
+    for (std::int64_t i = 0; i < OH * OW; ++i) {
+      float v = prod.at(k, i) + b;
+      if (relu && v < 0) v = 0;
+      out.flat(k * OH * OW + i) = v;
+    }
+  }
+  return out;
+}
+
+}  // namespace hdnn

@@ -1,0 +1,29 @@
+// im2col + GEMM convolution — an independent second reference used to
+// cross-check the direct implementation, and the GEMM formulation the PE's
+// Spatial mode is built on (paper Sec. 4.2.1: "both Winograd and Spatial
+// CONV can be represented in the form of GEMM").
+#ifndef HDNN_REFCONV_IM2COL_H_
+#define HDNN_REFCONV_IM2COL_H_
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace hdnn {
+
+/// Unfolds CHW input into a (C*R*S) x (OH*OW) matrix.
+Tensor<float> Im2Col(const Tensor<float>& input, int kernel_h, int kernel_w,
+                     int stride, int pad);
+
+/// Plain row-major GEMM: out[M x N] = a[M x K] * b[K x N].
+Tensor<float> MatMul(const Tensor<float>& a, const Tensor<float>& b);
+
+/// Convolution via im2col + GEMM; same contract as Conv2dDirect.
+Tensor<float> Conv2dIm2Col(const Tensor<float>& input,
+                           const Tensor<float>& weights,
+                           const Tensor<float>& bias, int stride, int pad,
+                           bool relu);
+
+}  // namespace hdnn
+
+#endif  // HDNN_REFCONV_IM2COL_H_

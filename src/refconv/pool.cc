@@ -1,0 +1,74 @@
+#include "refconv/pool.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/fixed_point.h"
+
+namespace hdnn {
+namespace {
+
+template <typename T>
+Tensor<T> MaxPoolImpl(const Tensor<T>& input, int window) {
+  HDNN_CHECK(input.shape().rank() == 3) << "max pool expects CHW";
+  HDNN_CHECK(window >= 1) << "bad pool window";
+  const std::int64_t C = input.shape().dim(0);
+  const std::int64_t H = input.shape().dim(1);
+  const std::int64_t W = input.shape().dim(2);
+  HDNN_CHECK(H % window == 0 && W % window == 0)
+      << "pool window " << window << " does not tile " << H << "x" << W;
+  Tensor<T> out(Shape{C, H / window, W / window});
+  for (std::int64_t c = 0; c < C; ++c) {
+    for (std::int64_t oh = 0; oh < H / window; ++oh) {
+      for (std::int64_t ow = 0; ow < W / window; ++ow) {
+        T best = input.at(c, oh * window, ow * window);
+        for (int dy = 0; dy < window; ++dy) {
+          for (int dx = 0; dx < window; ++dx) {
+            best = std::max(best, input.at(c, oh * window + dy,
+                                           ow * window + dx));
+          }
+        }
+        out.at(c, oh, ow) = best;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor<float> MaxPool2d(const Tensor<float>& input, int window) {
+  return MaxPoolImpl(input, window);
+}
+
+Tensor<std::int16_t> MaxPool2dQ(const Tensor<std::int16_t>& input,
+                                int window) {
+  return MaxPoolImpl(input, window);
+}
+
+Tensor<float> AvgPool2d(const Tensor<float>& input, int window) {
+  HDNN_CHECK(input.shape().rank() == 3) << "avg pool expects CHW";
+  const std::int64_t C = input.shape().dim(0);
+  const std::int64_t H = input.shape().dim(1);
+  const std::int64_t W = input.shape().dim(2);
+  HDNN_CHECK(H % window == 0 && W % window == 0)
+      << "pool window " << window << " does not tile " << H << "x" << W;
+  Tensor<float> out(Shape{C, H / window, W / window});
+  const float norm = 1.0f / static_cast<float>(window * window);
+  for (std::int64_t c = 0; c < C; ++c) {
+    for (std::int64_t oh = 0; oh < H / window; ++oh) {
+      for (std::int64_t ow = 0; ow < W / window; ++ow) {
+        float sum = 0;
+        for (int dy = 0; dy < window; ++dy) {
+          for (int dx = 0; dx < window; ++dx) {
+            sum += input.at(c, oh * window + dy, ow * window + dx);
+          }
+        }
+        out.at(c, oh, ow) = sum * norm;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hdnn

@@ -1,0 +1,22 @@
+// Pooling references (the accelerator fuses max-pool into the SAVE module,
+// POOL_SIZE field of the SAVE instruction).
+#ifndef HDNN_REFCONV_POOL_H_
+#define HDNN_REFCONV_POOL_H_
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace hdnn {
+
+/// Non-overlapping max pool with window == stride == `window`. Requires the
+/// spatial dims to be divisible by the window.
+Tensor<float> MaxPool2d(const Tensor<float>& input, int window);
+Tensor<std::int16_t> MaxPool2dQ(const Tensor<std::int16_t>& input, int window);
+
+/// Non-overlapping average pool (integer variant rounds half away from zero).
+Tensor<float> AvgPool2d(const Tensor<float>& input, int window);
+
+}  // namespace hdnn
+
+#endif  // HDNN_REFCONV_POOL_H_

@@ -1,0 +1,43 @@
+#include "runtime/design_flow.h"
+
+#include "common/prng.h"
+#include "frontend/parser.h"
+
+namespace hdnn {
+
+DesignFlowResult DesignFlow::Run(const Model& model, bool functional,
+                                 const DseOptions& dse_options,
+                                 std::uint64_t seed) const {
+  DesignFlowResult result;
+  const DseEngine dse(spec_);
+  result.dse = dse.Explore(model, dse_options);
+
+  const Compiler compiler(result.dse.config, spec_);
+  result.compiled = compiler.Compile(model, result.dse.mapping);
+
+  const ModelWeightsQ weights =
+      functional ? SyntheticWeights(model, seed) : ModelWeightsQ{};
+  Tensor<std::int16_t> input;
+  if (functional) {
+    const FmapShape in = model.InputOf(0);
+    input = Tensor<std::int16_t>(Shape{in.channels, in.height, in.width});
+    Prng prng(seed ^ 0x9e3779b9u);
+    input.FillRandomInt(prng, -128, 127);
+  }
+
+  Runtime runtime(result.dse.config, spec_);
+  ModelWeightsQ empty;
+  result.report = runtime.Execute(model, result.compiled,
+                                  functional ? weights : empty, input,
+                                  functional);
+  return result;
+}
+
+DesignFlowResult DesignFlow::RunFromText(const std::string& model_text,
+                                         bool functional,
+                                         const DseOptions& dse_options,
+                                         std::uint64_t seed) const {
+  return Run(ParseModelText(model_text), functional, dse_options, seed);
+}
+
+}  // namespace hdnn

@@ -1,0 +1,47 @@
+// The complete HybridDNN design flow (paper Fig. 1):
+//   Step 1  parse DNN model + FPGA spec
+//   Step 2  design space exploration
+//   Step 3  compile to instructions + HLS template configuration
+//   Step 4  deploy on the accelerator (simulator) through the runtime
+// One call takes a model from description to measured performance.
+#ifndef HDNN_RUNTIME_DESIGN_FLOW_H_
+#define HDNN_RUNTIME_DESIGN_FLOW_H_
+
+#include <string>
+
+#include "compiler/compiler.h"
+#include "dse/search.h"
+#include "runtime/runtime.h"
+
+namespace hdnn {
+
+struct DesignFlowResult {
+  DseResult dse;
+  CompiledModel compiled;
+  RunReport report;
+};
+
+class DesignFlow {
+ public:
+  explicit DesignFlow(const FpgaSpec& spec) : spec_(spec) {}
+
+  /// Runs steps 2-4 for an already-parsed model with synthetic weights and
+  /// a deterministic synthetic input. `functional` selects bit-accurate
+  /// execution (small models) vs timing-only (large sweeps).
+  DesignFlowResult Run(const Model& model, bool functional = true,
+                       const DseOptions& dse_options = {},
+                       std::uint64_t seed = 1) const;
+
+  /// Step 1 convenience: parse a .hdnn model description, then Run().
+  DesignFlowResult RunFromText(const std::string& model_text,
+                               bool functional = true,
+                               const DseOptions& dse_options = {},
+                               std::uint64_t seed = 1) const;
+
+ private:
+  FpgaSpec spec_;
+};
+
+}  // namespace hdnn
+
+#endif  // HDNN_RUNTIME_DESIGN_FLOW_H_

@@ -1,0 +1,103 @@
+#include "runtime/runtime.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "compiler/stream_check.h"
+#include "mem/layout.h"
+
+namespace hdnn {
+
+Runtime::Runtime(const AccelConfig& cfg, const FpgaSpec& spec)
+    : cfg_(cfg), spec_(spec) {
+  cfg_.Validate();
+}
+
+void StageInputFmap(DramModel& dram, std::int64_t base, ConvMode layout,
+                    const Tensor<std::int16_t>& fmap, int padded_channels) {
+  HDNN_CHECK(fmap.shape().rank() == 3) << "input must be CHW";
+  const std::int64_t C = fmap.shape().dim(0);
+  const std::int64_t H = fmap.shape().dim(1);
+  const std::int64_t W = fmap.shape().dim(2);
+  HDNN_CHECK(padded_channels >= C) << "padding below real channel count";
+  for (std::int64_t c = 0; c < padded_channels; ++c) {
+    for (std::int64_t h = 0; h < H; ++h) {
+      for (std::int64_t w = 0; w < W; ++w) {
+        const std::int16_t v = (c < C) ? fmap.at(c, h, w) : std::int16_t{0};
+        dram.Write(base + FmapAddr(layout, c, h, w, padded_channels, H, W), v);
+      }
+    }
+  }
+}
+
+Tensor<std::int16_t> CollectOutputFmap(const DramModel& dram,
+                                       std::int64_t base, ConvMode layout,
+                                       const FmapShape& shape,
+                                       int padded_channels) {
+  Tensor<std::int16_t> out(
+      Shape{shape.channels, shape.height, shape.width});
+  for (std::int64_t c = 0; c < shape.channels; ++c) {
+    for (std::int64_t h = 0; h < shape.height; ++h) {
+      for (std::int64_t w = 0; w < shape.width; ++w) {
+        out.at(c, h, w) = dram.Read(base + FmapAddr(layout, c, h, w,
+                                                    padded_channels,
+                                                    shape.height, shape.width));
+      }
+    }
+  }
+  return out;
+}
+
+RunReport Runtime::Execute(const Model& model, const CompiledModel& cm,
+                           const ModelWeightsQ& weights,
+                           const Tensor<std::int16_t>& input,
+                           bool functional) {
+  HDNN_CHECK(cm.cfg == cfg_) << "compiled model targets a different config";
+  RequireValidStream(cm);  // compiler QA: handshake/bounds invariants
+  dram_ = std::make_unique<DramModel>(cm.total_dram_words + 1024);
+
+  if (functional) {
+    WriteWeightImages(cm, model, weights, *dram_);
+    const LayerPlan& first = cm.plans.front();
+    HDNN_CHECK(input.shape() == Shape({first.in_shape.channels,
+                                       first.in_shape.height,
+                                       first.in_shape.width}))
+        << "input shape mismatch: " << input.shape().ToString();
+    StageInputFmap(*dram_, cm.input_region(0), first.input_layout, input,
+                   first.cp_in);
+  }
+
+  Accelerator accel(cfg_, spec_, *dram_);
+  accel.set_functional(functional);
+  RunReport report;
+  report.stats = accel.Run(cm.program);
+  report.seconds = report.stats.Seconds(spec_.freq_mhz);
+  const double ops = static_cast<double>(model.TotalOps());
+  report.gops = ops / report.seconds / 1e9;
+  report.effective_gops = report.gops * cfg_.ni;
+
+  // Per-layer latency attribution from instruction completion times.
+  report.layer_cycles.resize(static_cast<std::size_t>(model.num_layers()), 0);
+  double prev_end = 0;
+  for (int li = 0; li < model.num_layers(); ++li) {
+    const LayerPlan& plan = cm.plans[static_cast<std::size_t>(li)];
+    double end = prev_end;
+    for (int i = plan.first_instr; i < plan.first_instr + plan.num_instrs;
+         ++i) {
+      end = std::max(end, report.stats.completion[static_cast<std::size_t>(i)]);
+    }
+    report.layer_cycles[static_cast<std::size_t>(li)] = end - prev_end;
+    prev_end = end;
+  }
+
+  if (functional) {
+    const int last = model.num_layers() - 1;
+    const LayerPlan& plan = cm.plans[static_cast<std::size_t>(last)];
+    report.output =
+        CollectOutputFmap(*dram_, cm.output_region(last), plan.output_layout,
+                          plan.out_shape, plan.cp_out);
+  }
+  return report;
+}
+
+}  // namespace hdnn

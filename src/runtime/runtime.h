@@ -1,0 +1,62 @@
+// Host runtime (paper Fig. 1 Step 4): prepares the DRAM image (weights,
+// biases, input feature map), manages execution of the compiled instruction
+// stream on the accelerator (simulator), and collects outputs and
+// performance counters.
+#ifndef HDNN_RUNTIME_RUNTIME_H_
+#define HDNN_RUNTIME_RUNTIME_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "compiler/compiler.h"
+#include "compiler/weight_pack.h"
+#include "mem/dram_model.h"
+#include "nn/model.h"
+#include "sim/accelerator.h"
+
+namespace hdnn {
+
+/// Execution report for one inference.
+struct RunReport {
+  SimStats stats;
+  double seconds = 0;
+  double gops = 0;            ///< model ops / time, one instance
+  double effective_gops = 0;  ///< x NI instances (throughput, paper Table 4)
+  std::vector<double> layer_cycles;          ///< per-layer latency
+  Tensor<std::int16_t> output;               ///< final fmap (functional runs)
+};
+
+class Runtime {
+ public:
+  Runtime(const AccelConfig& cfg, const FpgaSpec& spec);
+
+  /// Runs one inference. `input` is the (real-channel) CHW input fmap in the
+  /// quantised feature domain. When `functional` is false, data preparation
+  /// and arithmetic are skipped and only timing is produced.
+  RunReport Execute(const Model& model, const CompiledModel& cm,
+                    const ModelWeightsQ& weights,
+                    const Tensor<std::int16_t>& input, bool functional = true);
+
+  DramModel* dram() { return dram_.get(); }
+
+ private:
+  AccelConfig cfg_;
+  FpgaSpec spec_;
+  std::unique_ptr<DramModel> dram_;
+};
+
+/// Stores a CHW fmap into a layer's DRAM region with channel padding, in the
+/// given layout (host-side input staging).
+void StageInputFmap(DramModel& dram, std::int64_t base, ConvMode layout,
+                    const Tensor<std::int16_t>& fmap, int padded_channels);
+
+/// Reads the final output fmap back (cropping channel padding).
+Tensor<std::int16_t> CollectOutputFmap(const DramModel& dram,
+                                       std::int64_t base, ConvMode layout,
+                                       const FmapShape& shape,
+                                       int padded_channels);
+
+}  // namespace hdnn
+
+#endif  // HDNN_RUNTIME_RUNTIME_H_

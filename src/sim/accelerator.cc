@@ -1,0 +1,764 @@
+#include "sim/accelerator.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/fixed_point.h"
+#include "common/math_util.h"
+#include "winograd/matrices.h"
+#include "winograd/transform.h"
+
+namespace hdnn {
+namespace {
+
+// Timing constants shared in spirit with the analytical model; the simulator
+// applies them at instruction granularity.
+constexpr double kBurstOverheadCycles = 24.0;  // per DRAM transaction
+constexpr double kCompFixedCycles = 20.0;      // PE pipeline fill per COMP
+constexpr double kCtrlStartCycles = 4.0;       // 4-stage CTRL pipeline fill
+constexpr double kCtrlIssueII = 1.0;           // CTRL issue rate
+
+enum ModuleId { kModLdi = 0, kModLdw = 1, kModComp = 2, kModSave = 3 };
+
+ModuleId ModuleOf(Opcode op) {
+  switch (op) {
+    case Opcode::kLoadInp:
+      return kModLdi;
+    case Opcode::kLoadWgt:
+    case Opcode::kLoadBias:
+      return kModLdw;
+    case Opcode::kComp:
+      return kModComp;
+    case Opcode::kSave:
+      return kModSave;
+    default:
+      throw InternalError("control opcode has no module");
+  }
+}
+
+}  // namespace
+
+Accelerator::Accelerator(const AccelConfig& cfg, const FpgaSpec& spec,
+                         DramModel& dram)
+    : cfg_(cfg), spec_(spec), dram_(dram) {
+  cfg_.Validate();
+  const double bytes_per_cycle =
+      spec_.bandwidth_per_instance_gbps(cfg_.ni) * 1e9 /
+      (spec_.freq_mhz * 1e6);
+  bw_elems_per_cycle_ = bytes_per_cycle / 2.0;
+  input_buf_.assign(
+      static_cast<std::size_t>(2 * cfg_.input_buffer_vectors * cfg_.pi), 0);
+  weight_buf_.assign(static_cast<std::size_t>(2 * cfg_.weight_buffer_vectors *
+                                              cfg_.pi * cfg_.po),
+                     0);
+  output_buf_.assign(
+      static_cast<std::size_t>(2 * cfg_.output_buffer_vectors * cfg_.po), 0);
+  bias_buf_.assign(static_cast<std::size_t>(2 * kBiasCapacity), 0);
+}
+
+std::int32_t Accelerator::InSlab(int half, std::int64_t vec, int lane) const {
+  const std::int64_t slot =
+      (static_cast<std::int64_t>(half) * cfg_.input_buffer_vectors + vec) *
+          cfg_.pi +
+      lane;
+  HDNN_INTERNAL(vec >= 0 && vec < cfg_.input_buffer_vectors)
+      << "input slab vector " << vec << " out of range";
+  return input_buf_[static_cast<std::size_t>(slot)];
+}
+
+std::int32_t Accelerator::WgtSlab(int half, std::int64_t slot) const {
+  const std::int64_t cap =
+      static_cast<std::int64_t>(cfg_.weight_buffer_vectors) * cfg_.pi * cfg_.po;
+  HDNN_INTERNAL(slot >= 0 && slot < cap)
+      << "weight slab slot " << slot << " out of range";
+  return weight_buf_[static_cast<std::size_t>(half * cap + slot)];
+}
+
+Accelerator::ExecResult Accelerator::ExecLoadInp(const LoadFields& f) {
+  const int cv = f.chan_vecs;
+  const int slab_rows = f.pad_t + f.rows + f.pad_b;
+  const int slab_cols = f.pad_l + f.cols + f.pad_r;
+  const std::int64_t slab_vectors =
+      static_cast<std::int64_t>(slab_rows) * slab_cols * cv;
+  HDNN_CHECK(static_cast<std::int64_t>(f.buff_base) + slab_vectors <=
+             cfg_.input_buffer_vectors)
+      << "LOAD_INP slab overflows input buffer half";
+
+  const std::int64_t cp = static_cast<std::int64_t>(cv) * cfg_.pi;
+  const int half = f.buff_id & 1;
+  const std::int64_t half_base =
+      static_cast<std::int64_t>(half) * cfg_.input_buffer_vectors;
+
+  if (functional_)
+  for (int r = 0; r < slab_rows; ++r) {
+    for (int c = 0; c < slab_cols; ++c) {
+      const bool inside = r >= f.pad_t && r < f.pad_t + f.rows &&
+                          c >= f.pad_l && c < f.pad_l + f.cols;
+      const std::int64_t dr = r - f.pad_t;
+      const std::int64_t dc = c - f.pad_l;
+      for (int v = 0; v < cv; ++v) {
+        const std::int64_t vec =
+            f.buff_base + (static_cast<std::int64_t>(r) * slab_cols + c) * cv +
+            v;
+        for (int lane = 0; lane < cfg_.pi; ++lane) {
+          std::int32_t value = 0;
+          if (inside) {
+            const std::int64_t ch = static_cast<std::int64_t>(v) * cfg_.pi + lane;
+            std::int64_t addr;
+            if (f.wino) {
+              // WINO DDR layout: channel outermost.
+              addr = f.dram_base + ch * f.aux * f.pitch + dr * f.pitch + dc;
+            } else {
+              // SPAT DDR layout: channel innermost.
+              addr = f.dram_base + (dr * f.pitch + dc) * cp + ch;
+            }
+            value = dram_.Read(addr);
+          }
+          input_buf_[static_cast<std::size_t>((half_base + vec) * cfg_.pi +
+                                              lane)] = value;
+        }
+      }
+    }
+  }
+
+  // Line-buffer row reuse: the input buffer's fmap-row partitioning
+  // (Table 1) lets consecutive overlapping windows of the same sweep keep
+  // their shared rows on chip, so only newly advanced rows cross the DRAM
+  // port (this is what makes Eq. 10 halo-free). Reuse applies only when the
+  // new window is the previous one advanced forward within the same
+  // column/channel geometry; sweep restarts (WS weight groups, column
+  // tiles) reload in full.
+  std::int64_t new_rows = f.rows;
+  if (prev_load_.valid && prev_load_.cols == f.cols &&
+      prev_load_.chan_vecs == f.chan_vecs && prev_load_.pitch == f.pitch &&
+      prev_load_.aux == f.aux && prev_load_.wino == f.wino &&
+      f.dram_base >= prev_load_.dram_base) {
+    const std::int64_t row_words =
+        f.wino ? f.pitch : static_cast<std::int64_t>(f.pitch) * cp;
+    const std::int64_t delta = f.dram_base - prev_load_.dram_base;
+    if (row_words > 0 && delta % row_words == 0) {
+      const std::int64_t advance = delta / row_words;
+      const std::int64_t overlap =
+          std::min<std::int64_t>(f.rows,
+                                 std::max<std::int64_t>(
+                                     0, prev_load_.rows - advance));
+      new_rows = f.rows - overlap;
+    }
+  }
+  prev_load_ = PrevLoad{true,   f.dram_base, f.rows, f.cols,
+                        f.chan_vecs, f.pitch, f.aux,  f.wino};
+
+  ExecResult res;
+  res.dram_words = new_rows * f.cols * cp;
+  res.port_cycles = static_cast<double>(res.dram_words) / bw_elems_per_cycle_ +
+                    kBurstOverheadCycles;
+  // Buffer write port absorbs PI*PT elements = PT vectors per cycle; only
+  // newly fetched data flows through it (ring-resident rows stay put, zero
+  // padding is bank-parallel fill).
+  res.busy_cycles = static_cast<double>(res.dram_words) /
+                    (static_cast<double>(cfg_.pi) * cfg_.pt);
+  res.uses_port = true;
+  return res;
+}
+
+Accelerator::ExecResult Accelerator::ExecLoadWgt(const LoadFields& f) {
+  const std::int64_t vectors = static_cast<std::int64_t>(f.rows) * f.cols *
+                               f.chan_vecs * f.aux;
+  const std::int64_t elems = vectors * cfg_.pi * cfg_.po;
+  const std::int64_t cap =
+      static_cast<std::int64_t>(cfg_.weight_buffer_vectors) * cfg_.pi * cfg_.po;
+  const std::int64_t base_elems =
+      static_cast<std::int64_t>(f.buff_base) * cfg_.pi * cfg_.po;
+  HDNN_CHECK(base_elems + elems <= cap)
+      << "LOAD_WGT block overflows weight buffer half: " << elems
+      << " elements";
+
+  const int half = f.buff_id & 1;
+  if (functional_) {
+    for (std::int64_t i = 0; i < elems; ++i) {
+      weight_buf_[static_cast<std::size_t>(half * cap + base_elems + i)] =
+          dram_.Read(f.dram_base + i);
+    }
+  }
+
+  ExecResult res;
+  res.dram_words = elems;
+  res.port_cycles = static_cast<double>(elems) / bw_elems_per_cycle_ +
+                    kBurstOverheadCycles;
+  res.busy_cycles = static_cast<double>(elems) /
+                    (static_cast<double>(cfg_.pi) * cfg_.po * cfg_.pt);
+  res.uses_port = true;
+  return res;
+}
+
+Accelerator::ExecResult Accelerator::ExecLoadBias(const LoadFields& f) {
+  const std::int64_t values = static_cast<std::int64_t>(f.aux) * cfg_.po;
+  HDNN_CHECK(static_cast<std::int64_t>(f.buff_base) + values <= kBiasCapacity)
+      << "LOAD_BIAS overflows bias buffer";
+  const int half = f.buff_id & 1;
+  if (functional_) {
+    for (std::int64_t i = 0; i < values; ++i) {
+      bias_buf_[static_cast<std::size_t>(half * kBiasCapacity + f.buff_base +
+                                         i)] =
+          dram_.Read32(f.dram_base + 2 * i);
+    }
+  }
+  ExecResult res;
+  res.dram_words = 2 * values;
+  res.port_cycles = static_cast<double>(res.dram_words) / bw_elems_per_cycle_ +
+                    kBurstOverheadCycles;
+  res.busy_cycles = res.port_cycles;
+  res.uses_port = true;
+  return res;
+}
+
+void Accelerator::CompWinograd(const CompFields& f) {
+  const int pt = cfg_.pt;
+  const int m = cfg_.wino_m();
+  const int icv = f.ic_vecs, ocv = f.oc_vecs;
+  const int tiles = f.oh_num * f.ow_num;
+  const std::int64_t ee = static_cast<std::int64_t>(pt) * pt;
+  const std::int64_t accum_size =
+      static_cast<std::int64_t>(tiles) * ocv * ee * cfg_.po;
+  if (f.accum_clear || static_cast<std::int64_t>(accum_.size()) < accum_size) {
+    accum_.assign(static_cast<std::size_t>(accum_size), 0);
+  }
+
+  const int in_half = f.inp_buff_id;
+  const int wgt_half = f.wgt_buff_id;
+  const std::int64_t kk = ee;  // weight slab rc dimension for Winograd
+
+  std::vector<std::int32_t> dtile(static_cast<std::size_t>(pt * pt));
+  std::vector<std::vector<std::int32_t>> v(
+      static_cast<std::size_t>(icv * cfg_.pi));
+
+  for (int ty = 0; ty < f.oh_num; ++ty) {
+    for (int tx = 0; tx < f.ow_num; ++tx) {
+      // Input transforms for every channel lane.
+      for (int cvi = 0; cvi < icv; ++cvi) {
+        for (int ci = 0; ci < cfg_.pi; ++ci) {
+          for (int y = 0; y < pt; ++y) {
+            for (int x = 0; x < pt; ++x) {
+              const std::int64_t row = f.base_row + static_cast<std::int64_t>(ty) * m + y;
+              const std::int64_t col = f.base_col + static_cast<std::int64_t>(tx) * m + x;
+              const std::int64_t vec =
+                  f.inp_buff_base + (row * f.iw_num + col) * icv + cvi;
+              dtile[static_cast<std::size_t>(y * pt + x)] =
+                  InSlab(in_half, vec, ci);
+            }
+          }
+          v[static_cast<std::size_t>(cvi * cfg_.pi + ci)] =
+              TransformInputTile(dtile, pt);
+        }
+      }
+      // EWMM accumulation: each GEMM core (element e) handles PI x PO.
+      const std::int64_t tile_idx = static_cast<std::int64_t>(ty) * f.ow_num + tx;
+      for (int kv = 0; kv < ocv; ++kv) {
+        for (int cvi = 0; cvi < icv; ++cvi) {
+          for (std::int64_t e = 0; e < ee; ++e) {
+            for (int co = 0; co < cfg_.po; ++co) {
+              const std::int64_t wslot =
+                  f.wgt_buff_base * cfg_.pi * cfg_.po +
+                  (((static_cast<std::int64_t>(kv) * icv + cvi) * kk + e) *
+                       cfg_.po +
+                   co) *
+                      cfg_.pi;
+              std::int64_t acc = 0;
+              for (int ci = 0; ci < cfg_.pi; ++ci) {
+                acc += static_cast<std::int64_t>(WgtSlab(wgt_half, wslot + ci)) *
+                       v[static_cast<std::size_t>(cvi * cfg_.pi + ci)]
+                        [static_cast<std::size_t>(e)];
+              }
+              accum_[static_cast<std::size_t>(
+                  ((tile_idx * ocv + kv) * ee + e) * cfg_.po + co)] += acc;
+            }
+          }
+        }
+      }
+    }
+  }
+  macs_executed_ += static_cast<std::int64_t>(tiles) * icv * ocv * ee *
+                    cfg_.pi * cfg_.po;
+}
+
+void Accelerator::EmitWinograd(const CompFields& f) {
+  const int pt = cfg_.pt;
+  const int m = cfg_.wino_m();
+  const int ocv = f.oc_vecs;
+  const std::int64_t ee = static_cast<std::int64_t>(pt) * pt;
+  const int slab_cols = f.ow_num * m;
+  const int out_half = f.out_buff_id;
+  const std::int64_t half_base =
+      static_cast<std::int64_t>(out_half) * cfg_.output_buffer_vectors;
+
+  std::vector<std::int64_t> m_tile(static_cast<std::size_t>(ee));
+  for (int ty = 0; ty < f.oh_num; ++ty) {
+    for (int tx = 0; tx < f.ow_num; ++tx) {
+      const std::int64_t tile_idx = static_cast<std::int64_t>(ty) * f.ow_num + tx;
+      for (int kv = 0; kv < ocv; ++kv) {
+        for (int co = 0; co < cfg_.po; ++co) {
+          for (std::int64_t e = 0; e < ee; ++e) {
+            m_tile[static_cast<std::size_t>(e)] = accum_[static_cast<std::size_t>(
+                ((tile_idx * ocv + kv) * ee + e) * cfg_.po + co)];
+          }
+          const auto y = TransformOutputTile(m_tile, pt);
+          const std::int64_t bias =
+              bias_buf_[static_cast<std::size_t>(f.wgt_buff_id * kBiasCapacity +
+                                                 kv * cfg_.po + co)];
+          for (int dy = 0; dy < m; ++dy) {
+            for (int dx = 0; dx < m; ++dx) {
+              std::int64_t q = Requantize(
+                  y[static_cast<std::size_t>(dy * m + dx)] + bias, f.quan,
+                  cfg_.data_width);
+              if (f.relu && q < 0) q = 0;
+              const std::int64_t row = static_cast<std::int64_t>(ty) * m + dy;
+              const std::int64_t col = static_cast<std::int64_t>(tx) * m + dx;
+              const std::int64_t vec =
+                  f.out_buff_base + (row * slab_cols + col) * ocv + kv;
+              HDNN_CHECK(vec < cfg_.output_buffer_vectors)
+                  << "COMP output slab overflows output buffer half";
+              output_buf_[static_cast<std::size_t>((half_base + vec) * cfg_.po +
+                                                   co)] =
+                  static_cast<std::int32_t>(q);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void Accelerator::CompSpatial(const CompFields& f) {
+  const int icv = f.ic_vecs, ocv = f.oc_vecs;
+  const std::int64_t positions =
+      static_cast<std::int64_t>(f.oh_num) * f.ow_num;
+  const std::int64_t accum_size = positions * ocv * cfg_.po;
+  if (f.accum_clear || static_cast<std::int64_t>(accum_.size()) < accum_size) {
+    accum_.assign(static_cast<std::size_t>(accum_size), 0);
+  }
+  const int in_half = f.inp_buff_id;
+  const int wgt_half = f.wgt_buff_id;
+  const std::int64_t kk = static_cast<std::int64_t>(f.kh) * f.kw;
+
+  for (int ro = 0; ro < f.oh_num; ++ro) {
+    for (int co_pos = 0; co_pos < f.ow_num; ++co_pos) {
+      const std::int64_t pos = static_cast<std::int64_t>(ro) * f.ow_num + co_pos;
+      for (int r = 0; r < f.kh; ++r) {
+        for (int s = 0; s < f.kw; ++s) {
+          const std::int64_t row =
+              f.base_row + static_cast<std::int64_t>(ro) * f.stride + r;
+          const std::int64_t col =
+              f.base_col + static_cast<std::int64_t>(co_pos) * f.stride + s;
+          const std::int64_t rc = static_cast<std::int64_t>(r) * f.kw + s;
+          for (int cvi = 0; cvi < icv; ++cvi) {
+            const std::int64_t vec =
+                f.inp_buff_base + (row * f.iw_num + col) * icv + cvi;
+            for (int ci = 0; ci < cfg_.pi; ++ci) {
+              const std::int64_t din = InSlab(in_half, vec, ci);
+              if (din == 0) continue;
+              for (int kv = 0; kv < ocv; ++kv) {
+                const std::int64_t wslot =
+                    f.wgt_buff_base * cfg_.pi * cfg_.po +
+                    (((static_cast<std::int64_t>(kv) * icv + cvi) * kk + rc) *
+                         cfg_.po) *
+                        cfg_.pi +
+                    ci;
+                for (int po = 0; po < cfg_.po; ++po) {
+                  accum_[static_cast<std::size_t>((pos * ocv + kv) * cfg_.po +
+                                                  po)] +=
+                      din * static_cast<std::int64_t>(
+                                WgtSlab(wgt_half, wslot + po * cfg_.pi));
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  macs_executed_ += positions * kk * icv * ocv * cfg_.pi * cfg_.po;
+}
+
+void Accelerator::EmitSpatial(const CompFields& f) {
+  const int ocv = f.oc_vecs;
+  const int out_half = f.out_buff_id;
+  const std::int64_t half_base =
+      static_cast<std::int64_t>(out_half) * cfg_.output_buffer_vectors;
+  for (int ro = 0; ro < f.oh_num; ++ro) {
+    for (int cp = 0; cp < f.ow_num; ++cp) {
+      const std::int64_t pos = static_cast<std::int64_t>(ro) * f.ow_num + cp;
+      for (int kv = 0; kv < ocv; ++kv) {
+        for (int po = 0; po < cfg_.po; ++po) {
+          const std::int64_t bias =
+              bias_buf_[static_cast<std::size_t>(f.wgt_buff_id * kBiasCapacity +
+                                                 kv * cfg_.po + po)];
+          std::int64_t q = Requantize(
+              accum_[static_cast<std::size_t>((pos * ocv + kv) * cfg_.po + po)] +
+                  bias,
+              f.quan, cfg_.data_width);
+          if (f.relu && q < 0) q = 0;
+          const std::int64_t vec =
+              f.out_buff_base +
+              (static_cast<std::int64_t>(ro) * f.ow_num + cp) * ocv + kv;
+          HDNN_CHECK(vec < cfg_.output_buffer_vectors)
+              << "COMP output slab overflows output buffer half";
+          output_buf_[static_cast<std::size_t>((half_base + vec) * cfg_.po +
+                                               po)] =
+              static_cast<std::int32_t>(q);
+        }
+      }
+    }
+  }
+}
+
+Accelerator::ExecResult Accelerator::ExecComp(const CompFields& f) {
+  if (functional_) {
+    if (f.wino) {
+      CompWinograd(f);
+      if (f.accum_emit) EmitWinograd(f);
+    } else {
+      CompSpatial(f);
+      if (f.accum_emit) EmitSpatial(f);
+    }
+  } else {
+    const std::int64_t per_pair =
+        f.wino ? static_cast<std::int64_t>(cfg_.pt) * cfg_.pt
+               : static_cast<std::int64_t>(f.kh) * f.kw;
+    macs_executed_ += static_cast<std::int64_t>(f.oh_num) * f.ow_num *
+                      f.ic_vecs * f.oc_vecs * per_pair * cfg_.pi * cfg_.po;
+  }
+
+  // Timing: one GEMV step per cycle (paper Sec. 4.2.2). Winograd consumes
+  // (icv x ocv) vector pairs per tile; Spatial consumes PT-vector channel
+  // blocks per tap per position.
+  ExecResult res;
+  double cycles;
+  if (f.wino) {
+    cycles = static_cast<double>(f.oh_num) * f.ow_num * f.ic_vecs * f.oc_vecs;
+    if (f.accum_emit) {
+      cycles += static_cast<double>(f.oh_num) * f.ow_num * f.oc_vecs;
+    }
+  } else {
+    cycles = static_cast<double>(f.oh_num) * f.ow_num * f.kh * f.kw *
+             CeilDiv<int>(f.ic_vecs, cfg_.pt) * CeilDiv<int>(f.oc_vecs, cfg_.pt);
+    if (f.accum_emit) {
+      cycles += static_cast<double>(f.oh_num) * f.ow_num *
+                CeilDiv<int>(f.oc_vecs, cfg_.pt);
+    }
+  }
+  res.busy_cycles = cycles + kCompFixedCycles;
+  return res;
+}
+
+Accelerator::ExecResult Accelerator::ExecSave(const SaveFields& f) {
+  const bool src_wino = f.layout == SaveLayout::kWinoToSpat ||
+                        f.layout == SaveLayout::kWinoToWino;
+  const bool dst_wino = f.layout == SaveLayout::kSpatToWino ||
+                        f.layout == SaveLayout::kWinoToWino;
+  const int m = cfg_.wino_m();
+  const int slab_cols =
+      src_wino ? static_cast<int>(RoundUp<std::int64_t>(f.cols, m)) : f.cols;
+  const int pool = std::max<int>(1, f.pool);
+  HDNN_CHECK(f.rows % pool == 0 && f.cols % pool == 0)
+      << "SAVE pool window " << pool << " does not tile " << int{f.rows} << "x"
+      << f.cols;
+  const int prows = f.rows / pool;
+  const int pcols = f.cols / pool;
+  const int half = f.buff_id & 1;
+  const std::int64_t half_base =
+      static_cast<std::int64_t>(half) * cfg_.output_buffer_vectors;
+
+  if (functional_)
+  for (int kv = 0; kv < f.oc_vecs; ++kv) {
+    for (int lane = 0; lane < cfg_.po; ++lane) {
+      const std::int64_t ch = static_cast<std::int64_t>(kv) * cfg_.po + lane;
+      for (int pr = 0; pr < prows; ++pr) {
+        for (int pc = 0; pc < pcols; ++pc) {
+          std::int32_t best = INT32_MIN;
+          for (int dy = 0; dy < pool; ++dy) {
+            for (int dx = 0; dx < pool; ++dx) {
+              const std::int64_t row = static_cast<std::int64_t>(pr) * pool + dy;
+              const std::int64_t col = static_cast<std::int64_t>(pc) * pool + dx;
+              const std::int64_t vec =
+                  f.buff_base + (row * slab_cols + col) * f.oc_vecs + kv;
+              best = std::max(
+                  best, output_buf_[static_cast<std::size_t>(
+                            (half_base + vec) * cfg_.po + lane)]);
+            }
+          }
+          std::int64_t addr;
+          if (dst_wino) {
+            addr = f.dram_base +
+                   ch * static_cast<std::int64_t>(f.out_h) * f.out_w +
+                   static_cast<std::int64_t>(pr) * f.out_w + pc;
+          } else {
+            addr = f.dram_base +
+                   (static_cast<std::int64_t>(pr) * f.out_w + pc) * f.oc_pitch +
+                   ch;
+          }
+          dram_.Write(addr, static_cast<std::int16_t>(best));
+        }
+      }
+    }
+  }
+
+  ExecResult res;
+  res.dram_words =
+      static_cast<std::int64_t>(prows) * pcols * f.oc_vecs * cfg_.po;
+  res.port_cycles = static_cast<double>(res.dram_words) / bw_elems_per_cycle_ +
+                    kBurstOverheadCycles;
+  res.busy_cycles =
+      static_cast<double>(f.rows) * slab_cols * f.oc_vecs / cfg_.pt;
+  res.uses_port = true;
+  return res;
+}
+
+SimStats Accelerator::Run(const std::vector<Instruction>& program) {
+  ValidateProgram(program);
+  macs_executed_ = 0;
+
+  // Decode everything up front and split into per-module queues.
+  std::vector<InstrFields> decoded(program.size());
+  std::array<std::vector<std::size_t>, 4> queues;
+  std::vector<double> dispatch(program.size(), 0.0);
+  for (std::size_t i = 0; i < program.size(); ++i) {
+    decoded[i] = Decode(program[i]);
+    dispatch[i] = kCtrlStartCycles + kCtrlIssueII * static_cast<double>(i);
+    const Opcode op = OpcodeOf(decoded[i]);
+    if (op == Opcode::kNop || op == Opcode::kEnd) continue;
+    queues[ModuleOf(op)].push_back(i);
+  }
+
+  // Handshake FIFOs (ping-pong depth 2 credits) + the SAVE -> LOAD_INP
+  // layer-barrier channel (see compiler.cc EmitLayer).
+  TokenFifo tok_inp("tok_inp", 0), cred_inp("cred_inp", 2);
+  TokenFifo tok_wgt("tok_wgt", 0), cred_wgt("cred_wgt", 2);
+  TokenFifo tok_out("tok_out", 0), cred_out("cred_out", 2);
+  TokenFifo tok_layer("tok_layer", 0);
+
+  std::array<std::size_t, 4> next{0, 0, 0, 0};
+  std::array<double, 4> module_time{0, 0, 0, 0};
+  // Two independent memory ports per instance (fmap traffic and weight
+  // traffic map to different DDR channels on multi-channel boards, which is
+  // what makes the paper's Eq. 12-15 max() semantics physical).
+  double fmap_port_free = 0;
+  double wgt_port_free = 0;
+
+  SimStats stats;
+  stats.completion.assign(program.size(), 0.0);
+  stats.instructions = static_cast<std::int64_t>(program.size());
+  words_moved_read_ = 0;
+  words_moved_written_ = 0;
+
+  // Earliest-start-first global scheduling: among the four module heads
+  // whose tokens are all available, execute the one with the smallest
+  // possible start time. This models FCFS arbitration of the shared DRAM
+  // port (a request issued earlier wins the port) and is deterministic.
+  auto dept_of = [](const InstrFields& f) {
+    return std::visit([](const auto& x) -> std::uint8_t { return x.dept; }, f);
+  };
+
+  // Returns true and the tentative start time if the module-head
+  // instruction's tokens are available.
+  auto peek_start = [&](int mod, double* start_out) {
+    if (next[static_cast<std::size_t>(mod)] >=
+        queues[static_cast<std::size_t>(mod)].size()) {
+      return false;
+    }
+    const std::size_t i =
+        queues[static_cast<std::size_t>(mod)][next[static_cast<std::size_t>(mod)]];
+    const InstrFields& f = decoded[i];
+    const Opcode op = OpcodeOf(f);
+    const std::uint8_t dept = dept_of(f);
+    double start =
+        std::max(module_time[static_cast<std::size_t>(mod)], dispatch[i]);
+    switch (op) {
+      case Opcode::kLoadInp:
+        if (dept & kWaitCredit) {
+          if (cred_inp.Empty()) return false;
+          start = std::max(start, cred_inp.FrontTime());
+        }
+        if (dept & kWaitData0) {
+          if (tok_layer.Empty()) return false;
+          start = std::max(start, tok_layer.FrontTime());
+        }
+        break;
+      case Opcode::kLoadWgt:
+      case Opcode::kLoadBias:
+        if (dept & kWaitCredit) {
+          if (cred_wgt.Empty()) return false;
+          start = std::max(start, cred_wgt.FrontTime());
+        }
+        break;
+      case Opcode::kComp:
+        if (dept & kWaitData0) {
+          if (tok_inp.Empty()) return false;
+          start = std::max(start, tok_inp.FrontTime());
+        }
+        if (dept & kWaitData1) {
+          if (tok_wgt.Empty()) return false;
+          start = std::max(start, tok_wgt.FrontTime());
+        }
+        if (dept & kWaitCredit) {
+          if (cred_out.Empty()) return false;
+          start = std::max(start, cred_out.FrontTime());
+        }
+        break;
+      case Opcode::kSave:
+        if (dept & kWaitData0) {
+          if (tok_out.Empty()) return false;
+          start = std::max(start, tok_out.FrontTime());
+        }
+        break;
+      default:
+        break;
+    }
+    *start_out = start;
+    return true;
+  };
+
+  while (true) {
+    int best_mod = -1;
+    double best_start = 0;
+    for (int mod = 0; mod < 4; ++mod) {
+      double start = 0;
+      if (!peek_start(mod, &start)) continue;
+      if (best_mod < 0 || start < best_start) {
+        best_mod = mod;
+        best_start = start;
+      }
+    }
+    if (best_mod < 0) break;
+
+    const int mod = best_mod;
+    const std::size_t i =
+        queues[static_cast<std::size_t>(mod)][next[static_cast<std::size_t>(mod)]];
+    const InstrFields& f = decoded[i];
+    const Opcode op = OpcodeOf(f);
+    const std::uint8_t dept = dept_of(f);
+
+    double start =
+        std::max(module_time[static_cast<std::size_t>(mod)], dispatch[i]);
+    switch (op) {
+      case Opcode::kLoadInp:
+        if (dept & kWaitCredit) start = cred_inp.PopAfter(start);
+        if (dept & kWaitData0) start = tok_layer.PopAfter(start);
+        break;
+      case Opcode::kLoadWgt:
+      case Opcode::kLoadBias:
+        if (dept & kWaitCredit) start = cred_wgt.PopAfter(start);
+        break;
+      case Opcode::kComp:
+        if (dept & kWaitData0) start = tok_inp.PopAfter(start);
+        if (dept & kWaitData1) start = tok_wgt.PopAfter(start);
+        if (dept & kWaitCredit) start = cred_out.PopAfter(start);
+        break;
+      case Opcode::kSave:
+        if (dept & kWaitData0) start = tok_out.PopAfter(start);
+        break;
+      default:
+        break;
+    }
+
+    // Execute functionally and compute duration.
+    ExecResult res;
+    switch (op) {
+      case Opcode::kLoadInp:
+        res = ExecLoadInp(std::get<LoadFields>(f));
+        break;
+      case Opcode::kLoadWgt:
+        res = ExecLoadWgt(std::get<LoadFields>(f));
+        break;
+      case Opcode::kLoadBias:
+        res = ExecLoadBias(std::get<LoadFields>(f));
+        break;
+      case Opcode::kComp:
+        res = ExecComp(std::get<CompFields>(f));
+        break;
+      case Opcode::kSave:
+        res = ExecSave(std::get<SaveFields>(f));
+        break;
+      default:
+        break;
+    }
+
+    double end;
+    if (res.uses_port) {
+      double& port_free =
+          (op == Opcode::kLoadWgt || op == Opcode::kLoadBias) ? wgt_port_free
+                                                              : fmap_port_free;
+      const double port_start = std::max(start, port_free);
+      const double done_port = port_start + res.port_cycles;
+      end = port_start + std::max(res.busy_cycles, res.port_cycles);
+      port_free = done_port;
+      stats.port_busy += res.port_cycles;
+      if (op == Opcode::kSave) {
+        words_moved_written_ += res.dram_words;
+      } else {
+        words_moved_read_ += res.dram_words;
+      }
+    } else {
+      end = start + res.busy_cycles;
+    }
+    module_time[static_cast<std::size_t>(mod)] = end;
+    stats.completion[i] = end;
+
+    switch (mod) {
+      case kModLdi:
+        stats.ldi_busy += res.busy_cycles;
+        break;
+      case kModLdw:
+        stats.ldw_busy += res.busy_cycles;
+        break;
+      case kModComp:
+        stats.comp_busy += res.busy_cycles;
+        break;
+      case kModSave:
+        stats.save_busy += res.busy_cycles;
+        break;
+    }
+
+    switch (op) {
+      case Opcode::kLoadInp:
+        if (dept & kEmitData) tok_inp.Push(end);
+        break;
+      case Opcode::kLoadWgt:
+      case Opcode::kLoadBias:
+        if (dept & kEmitData) tok_wgt.Push(end);
+        break;
+      case Opcode::kComp:
+        if (dept & kEmitCredit0) cred_inp.Push(end);
+        if (dept & kEmitCredit1) cred_wgt.Push(end);
+        if (dept & kEmitData) tok_out.Push(end);
+        break;
+      case Opcode::kSave:
+        if (dept & kEmitCredit0) cred_out.Push(end);
+        if (dept & kEmitData) tok_layer.Push(end);
+        break;
+      default:
+        break;
+    }
+    ++next[static_cast<std::size_t>(mod)];
+  }
+
+  for (int mod = 0; mod < 4; ++mod) {
+    if (next[static_cast<std::size_t>(mod)] <
+        queues[static_cast<std::size_t>(mod)].size()) {
+      throw InternalError(
+          "handshake deadlock: module " + std::to_string(mod) +
+          " stalled at queue position " +
+          std::to_string(next[static_cast<std::size_t>(mod)]));
+    }
+  }
+
+  stats.total_cycles =
+      *std::max_element(module_time.begin(), module_time.end());
+  stats.dram_words_read = words_moved_read_;
+  stats.dram_words_written = words_moved_written_;
+  stats.macs_executed = macs_executed_;
+  return stats;
+}
+
+}  // namespace hdnn

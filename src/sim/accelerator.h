@@ -1,0 +1,138 @@
+// Functional + cycle-approximate simulator of one HybridDNN accelerator
+// instance (paper Fig. 3): LOAD_INP, LOAD_WGT (incl. LOAD_BIAS), COMP and
+// SAVE modules around a hybrid Spatial/Winograd PE, connected by handshake
+// FIFOs and ping-pong buffers, sharing one DRAM port.
+//
+// Functional semantics are bit-accurate (validated against refconv/winograd
+// golden models); timing is instruction-granular: each module owns a
+// timeline, instructions execute in program order per module, handshake
+// tokens impose cross-module ordering, and all DRAM transactions serialise
+// on a shared port timeline — which is what produces the memory-bound
+// Winograd behaviour of the paper's Fig. 6.
+//
+// === Buffer slab contracts (shared with the compiler) ===
+//
+// INPUT slab (written by LOAD_INP at buff_base, read by COMP):
+//   slab_rows = pad_t + rows + pad_b, slab_cols = pad_l + cols + pad_r
+//   vector index  v = (r * slab_cols + c) * chan_vecs + cv
+//   element slot  = v * PI + lane                       (int12 features)
+// DRAM source (SPAT layout): dram_base + ((r*pitch)+c)*Cp + ch
+// DRAM source (WINO layout): dram_base + ch*aux*pitch + r*pitch + c
+//   with Cp = chan_vecs*PI (channel count padded by the compiler).
+//
+// WEIGHT slab (LOAD_WGT, contiguous DRAM block in identical order):
+//   element slot = (((kv*chan_vecs + cv)*(rows*cols) + rc)*PO + co)*PI + ci
+//   rc indexes the PT*PT transformed tile (Winograd) or R*S taps (Spatial).
+//
+// BIAS buffer (LOAD_BIAS): int32 slot = buff_base + kv*PO + lane; DRAM holds
+// little-endian word pairs. Winograd-layer biases are pre-shifted by the
+// compiler (<< u_shift) so COMP's single QUAN_PARAM shift applies to both
+// modes.
+//
+// OUTPUT slab (COMP accum_emit writes, SAVE reads):
+//   slab_cols = ow_num (Spatial) or ow_num*m (Winograd, right-padded)
+//   vector index v = (r * slab_cols + c) * oc_vecs + kv
+//   element slot = v * PO + lane
+#ifndef HDNN_SIM_ACCELERATOR_H_
+#define HDNN_SIM_ACCELERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/codec.h"
+#include "mem/dram_model.h"
+#include "platform/fpga_spec.h"
+#include "sim/handshake.h"
+
+namespace hdnn {
+
+struct SimStats {
+  double total_cycles = 0;
+  std::vector<double> completion;  ///< per-instruction completion time
+  double ldi_busy = 0, ldw_busy = 0, comp_busy = 0, save_busy = 0;
+  double port_busy = 0;
+  std::int64_t instructions = 0;
+  std::int64_t dram_words_read = 0, dram_words_written = 0;
+  std::int64_t macs_executed = 0;
+
+  double Seconds(double freq_mhz) const {
+    return total_cycles / (freq_mhz * 1e6);
+  }
+};
+
+class Accelerator {
+ public:
+  /// The accelerator reads/writes `dram`; bandwidth is the per-instance
+  /// share (spec.bandwidth_per_instance_gbps(cfg.ni)).
+  Accelerator(const AccelConfig& cfg, const FpgaSpec& spec, DramModel& dram);
+
+  /// Executes an END-terminated program; returns timing statistics.
+  /// Functional effects (DRAM writes) persist in `dram`.
+  SimStats Run(const std::vector<Instruction>& program);
+
+  /// When disabled, the simulator computes timing only: no data is moved and
+  /// no arithmetic executed. Used for large sweeps (the timing model does
+  /// not depend on data values). Default: enabled.
+  void set_functional(bool functional) { functional_ = functional; }
+  bool functional() const { return functional_; }
+
+  const AccelConfig& config() const { return cfg_; }
+
+ private:
+  struct ModuleState;
+
+  // Functional executors; each returns the instruction's busy cycles and
+  // the DRAM words moved (0 for COMP).
+  struct ExecResult {
+    double busy_cycles = 0;  ///< module occupancy (datapath width limited)
+    double port_cycles = 0;  ///< DRAM port occupancy (bandwidth + burst)
+    std::int64_t dram_words = 0;
+    bool uses_port = false;
+  };
+  ExecResult ExecLoadInp(const LoadFields& f);
+  ExecResult ExecLoadWgt(const LoadFields& f);
+  ExecResult ExecLoadBias(const LoadFields& f);
+  ExecResult ExecComp(const CompFields& f);
+  ExecResult ExecSave(const SaveFields& f);
+
+  void CompWinograd(const CompFields& f);
+  void CompSpatial(const CompFields& f);
+  void EmitWinograd(const CompFields& f);
+  void EmitSpatial(const CompFields& f);
+
+  std::int32_t InSlab(int half, std::int64_t vec, int lane) const;
+  std::int32_t WgtSlab(int half, std::int64_t slot) const;
+
+  AccelConfig cfg_;
+  FpgaSpec spec_;
+  DramModel& dram_;
+  double bw_elems_per_cycle_;
+  bool functional_ = true;
+  std::int64_t words_moved_read_ = 0;
+  std::int64_t words_moved_written_ = 0;
+
+  /// Line-buffer row reuse (see ExecLoadInp): geometry of the previous
+  /// LOAD_INP, used to discount rows still resident in the row ring.
+  struct PrevLoad {
+    bool valid = false;
+    std::uint32_t dram_base = 0;
+    std::uint16_t rows = 0, cols = 0, chan_vecs = 0, pitch = 0, aux = 0;
+    bool wino = false;
+  } prev_load_;
+
+  // Element-granular buffer storage (halves concatenated).
+  std::vector<std::int32_t> input_buf_;   // 2 * vectors * PI
+  std::vector<std::int32_t> weight_buf_;  // 2 * vectors * PI*PO
+  std::vector<std::int32_t> output_buf_;  // 2 * vectors * PO
+  std::vector<std::int32_t> bias_buf_;    // 2 * kBiasCapacity
+  std::vector<std::int64_t> accum_;       // PE accumulation buffer
+
+  std::int64_t macs_executed_ = 0;
+
+  static constexpr std::int64_t kBiasCapacity = 8192;
+};
+
+}  // namespace hdnn
+
+#endif  // HDNN_SIM_ACCELERATOR_H_

@@ -1,0 +1,35 @@
+#include "sim/handshake.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace hdnn {
+
+TokenFifo::TokenFifo(std::string name, int initial_tokens)
+    : name_(std::move(name)) {
+  HDNN_CHECK(initial_tokens >= 0) << "negative initial tokens";
+  for (int i = 0; i < initial_tokens; ++i) tokens_.push_back(0.0);
+  total_pushed_ = initial_tokens;
+}
+
+void TokenFifo::Push(double t) {
+  tokens_.push_back(t);
+  ++total_pushed_;
+}
+
+double TokenFifo::FrontTime() const {
+  HDNN_INTERNAL(!tokens_.empty())
+      << "FrontTime on empty handshake FIFO " << name_;
+  return tokens_.front();
+}
+
+double TokenFifo::PopAfter(double now) {
+  HDNN_INTERNAL(!tokens_.empty())
+      << "pop from empty handshake FIFO " << name_;
+  const double t = tokens_.front();
+  tokens_.pop_front();
+  return std::max(now, t);
+}
+
+}  // namespace hdnn

@@ -1,0 +1,48 @@
+// Handshake token FIFOs (paper Sec. 4.1): "the consumer will wait for the
+// producer to emit a token through the handshake FIFO before reading and
+// processing corresponding data. Meanwhile, the producer will wait for a
+// token from the consumer as well, to avoid data pollution."
+//
+// In the timing model a token is just the timestamp at which it becomes
+// available; credits are tokens flowing the reverse direction, pre-seeded
+// with the ping-pong depth.
+#ifndef HDNN_SIM_HANDSHAKE_H_
+#define HDNN_SIM_HANDSHAKE_H_
+
+#include <deque>
+#include <string>
+
+namespace hdnn {
+
+class TokenFifo {
+ public:
+  TokenFifo(std::string name, int initial_tokens);
+
+  const std::string& name() const { return name_; }
+  bool Empty() const { return tokens_.empty(); }
+  std::size_t size() const { return tokens_.size(); }
+
+  /// Producer side: a token becomes available at time `t`.
+  void Push(double t);
+
+  /// Availability time of the oldest token without consuming it. Requires
+  /// a non-empty FIFO.
+  double FrontTime() const;
+
+  /// Consumer side: consumes the oldest token; returns the time the consumer
+  /// can proceed (max of `now` and the token's availability). Throws
+  /// InternalError if empty — callers must check Empty() first (the
+  /// scheduler retries stalled modules).
+  double PopAfter(double now);
+
+  std::int64_t total_pushed() const { return total_pushed_; }
+
+ private:
+  std::string name_;
+  std::deque<double> tokens_;
+  std::int64_t total_pushed_ = 0;
+};
+
+}  // namespace hdnn
+
+#endif  // HDNN_SIM_HANDSHAKE_H_

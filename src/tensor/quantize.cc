@@ -1,0 +1,42 @@
+#include "tensor/quantize.h"
+
+#include <cmath>
+
+#include "common/fixed_point.h"
+
+namespace hdnn {
+
+Tensor<std::int16_t> QuantizeTensor(const Tensor<float>& t, QuantSpec spec) {
+  Tensor<std::int16_t> out(t.shape());
+  for (std::int64_t i = 0; i < t.elements(); ++i) {
+    out.flat(i) = static_cast<std::int16_t>(
+        QuantizeValue(t.flat(i), spec.frac_bits, spec.bits));
+  }
+  return out;
+}
+
+Tensor<float> DequantizeTensor(const Tensor<std::int16_t>& t, QuantSpec spec) {
+  Tensor<float> out(t.shape());
+  for (std::int64_t i = 0; i < t.elements(); ++i) {
+    out.flat(i) =
+        static_cast<float>(DequantizeValue(t.flat(i), spec.frac_bits));
+  }
+  return out;
+}
+
+QuantSpec ChooseFracBits(const Tensor<float>& t, int bits,
+                         int max_frac_bits) {
+  double max_mag = 0;
+  for (std::int64_t i = 0; i < t.elements(); ++i) {
+    max_mag = std::max(max_mag, std::abs(static_cast<double>(t.flat(i))));
+  }
+  const double limit = static_cast<double>(SignedRangeOf(bits).max);
+  int frac = max_frac_bits;
+  while (frac > 0 &&
+         max_mag * static_cast<double>(std::int64_t{1} << frac) > limit) {
+    --frac;
+  }
+  return QuantSpec{bits, frac};
+}
+
+}  // namespace hdnn

@@ -1,0 +1,36 @@
+// Tensor-level quantisation between float and fixed-point domains.
+#ifndef HDNN_TENSOR_QUANTIZE_H_
+#define HDNN_TENSOR_QUANTIZE_H_
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace hdnn {
+
+/// Power-of-two quantisation parameters: real = q * 2^-frac_bits, q stored
+/// in `bits` signed bits.
+struct QuantSpec {
+  int bits;
+  int frac_bits;
+
+  friend bool operator==(const QuantSpec&, const QuantSpec&) = default;
+};
+
+/// Default accelerator domains.
+inline constexpr QuantSpec kFeatureQuant{12, 6};  // int12 features, Q5.6
+inline constexpr QuantSpec kWeightQuant{8, 6};    // int8 weights, Q1.6
+
+/// Quantises a float tensor to int16 storage under `spec` (saturating).
+Tensor<std::int16_t> QuantizeTensor(const Tensor<float>& t, QuantSpec spec);
+
+/// Dequantises back to float (exact for in-range values).
+Tensor<float> DequantizeTensor(const Tensor<std::int16_t>& t, QuantSpec spec);
+
+/// Picks the smallest frac_bits that avoids saturation for the tensor's max
+/// magnitude, capped at `max_frac_bits`; returns a spec with the same bits.
+QuantSpec ChooseFracBits(const Tensor<float>& t, int bits, int max_frac_bits);
+
+}  // namespace hdnn
+
+#endif  // HDNN_TENSOR_QUANTIZE_H_

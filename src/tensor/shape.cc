@@ -1,0 +1,65 @@
+#include "tensor/shape.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace hdnn {
+
+Shape::Shape(std::initializer_list<std::int64_t> dims)
+    : dims_(dims) {
+  for (auto d : dims_) HDNN_CHECK(d >= 0) << "negative dim in " << ToString();
+}
+
+Shape::Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {
+  for (auto d : dims_) HDNN_CHECK(d >= 0) << "negative dim in " << ToString();
+}
+
+std::int64_t Shape::dim(int i) const {
+  HDNN_CHECK(i >= 0 && i < rank()) << "dim index " << i << " out of rank "
+                                   << rank();
+  return dims_[static_cast<std::size_t>(i)];
+}
+
+std::int64_t Shape::elements() const {
+  std::int64_t n = 1;
+  for (auto d : dims_) n *= d;
+  return n;
+}
+
+std::vector<std::int64_t> Shape::strides() const {
+  std::vector<std::int64_t> s(dims_.size(), 1);
+  for (int i = rank() - 2; i >= 0; --i) {
+    s[static_cast<std::size_t>(i)] =
+        s[static_cast<std::size_t>(i + 1)] * dims_[static_cast<std::size_t>(i + 1)];
+  }
+  return s;
+}
+
+std::int64_t Shape::FlatIndex(const std::vector<std::int64_t>& coord) const {
+  HDNN_CHECK(static_cast<int>(coord.size()) == rank())
+      << "coordinate rank " << coord.size() << " vs shape rank " << rank();
+  const auto s = strides();
+  std::int64_t idx = 0;
+  for (int i = 0; i < rank(); ++i) {
+    HDNN_CHECK(coord[static_cast<std::size_t>(i)] >= 0 &&
+               coord[static_cast<std::size_t>(i)] < dim(i))
+        << "coordinate " << coord[static_cast<std::size_t>(i)]
+        << " out of bounds for dim " << i << " of " << ToString();
+    idx += coord[static_cast<std::size_t>(i)] * s[static_cast<std::size_t>(i)];
+  }
+  return idx;
+}
+
+std::string Shape::ToString() const {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i) out << ", ";
+    out << dims_[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace hdnn

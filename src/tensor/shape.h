@@ -1,0 +1,43 @@
+// Dense tensor shapes (row-major).
+#ifndef HDNN_TENSOR_SHAPE_H_
+#define HDNN_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace hdnn {
+
+/// An N-dimensional dense shape. Dims are non-negative; rank may be zero
+/// (scalar). Strides are derived row-major (last dim contiguous).
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims);
+  explicit Shape(std::vector<std::int64_t> dims);
+
+  int rank() const { return static_cast<int>(dims_.size()); }
+  std::int64_t dim(int i) const;
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+
+  /// Total element count (product of dims; 1 for scalar).
+  std::int64_t elements() const;
+
+  /// Row-major strides, in elements.
+  std::vector<std::int64_t> strides() const;
+
+  /// Flat index of the given coordinate (bounds-checked).
+  std::int64_t FlatIndex(const std::vector<std::int64_t>& coord) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Shape&, const Shape&) = default;
+
+ private:
+  std::vector<std::int64_t> dims_;
+};
+
+}  // namespace hdnn
+
+#endif  // HDNN_TENSOR_SHAPE_H_

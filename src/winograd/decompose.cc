@@ -1,0 +1,48 @@
+#include "winograd/decompose.h"
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace hdnn {
+
+int NumKernelSlices(int kernel_h, int kernel_w) {
+  HDNN_CHECK(kernel_h >= 1 && kernel_w >= 1) << "bad kernel size";
+  return CeilDiv(kernel_h, 3) * CeilDiv(kernel_w, 3);
+}
+
+template <typename T>
+std::vector<KernelSlice<T>> DecomposeKernel(const Tensor<T>& weights) {
+  HDNN_CHECK(weights.shape().rank() == 4) << "weights must be KCRS";
+  const std::int64_t K = weights.shape().dim(0);
+  const std::int64_t C = weights.shape().dim(1);
+  const int R = static_cast<int>(weights.shape().dim(2));
+  const int S = static_cast<int>(weights.shape().dim(3));
+
+  std::vector<KernelSlice<T>> slices;
+  for (int ar = 0; ar < R; ar += 3) {
+    for (int as = 0; as < S; as += 3) {
+      KernelSlice<T> slice{ar, as, Tensor<T>(Shape{K, C, 3, 3})};
+      for (std::int64_t k = 0; k < K; ++k) {
+        for (std::int64_t c = 0; c < C; ++c) {
+          for (int r = 0; r < 3; ++r) {
+            for (int s = 0; s < 3; ++s) {
+              if (ar + r < R && as + s < S) {
+                slice.kernel.at(k, c, r, s) = weights.at(k, c, ar + r, as + s);
+              }
+            }
+          }
+        }
+      }
+      slices.push_back(std::move(slice));
+    }
+  }
+  HDNN_INTERNAL(static_cast<int>(slices.size()) == NumKernelSlices(R, S))
+      << "slice count mismatch";
+  return slices;
+}
+
+template std::vector<KernelSlice<float>> DecomposeKernel(const Tensor<float>&);
+template std::vector<KernelSlice<std::int8_t>> DecomposeKernel(
+    const Tensor<std::int8_t>&);
+
+}  // namespace hdnn

@@ -1,0 +1,40 @@
+// Kernel decomposition (paper Sec. 4.2.5): a CONV layer with an R x S kernel
+// (R, S possibly > 3) is decomposed into ceil(R/3) x ceil(S/3) zero-padded
+// 3x3 sub-kernels; partial results are accumulated to reproduce the full
+// convolution using only the F(m x m, 3 x 3) engine. The (row, col) offset
+// of each slice is what the COMP/LOAD instructions' WINO_OFFSET field
+// addresses.
+#ifndef HDNN_WINOGRAD_DECOMPOSE_H_
+#define HDNN_WINOGRAD_DECOMPOSE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace hdnn {
+
+/// One 3x3 sub-kernel slice of a larger kernel.
+template <typename T>
+struct KernelSlice {
+  int row_offset;    ///< r-offset of this slice within the original kernel
+  int col_offset;    ///< s-offset of this slice within the original kernel
+  Tensor<T> kernel;  ///< K x C x 3 x 3, zero-padded where the slice runs
+                     ///< past the original kernel
+};
+
+/// Number of slices the decomposition produces for an R x S kernel.
+int NumKernelSlices(int kernel_h, int kernel_w);
+
+/// Decomposes KCRS weights into 3x3 slices (offsets are multiples of 3).
+template <typename T>
+std::vector<KernelSlice<T>> DecomposeKernel(const Tensor<T>& weights);
+
+extern template std::vector<KernelSlice<float>> DecomposeKernel(
+    const Tensor<float>&);
+extern template std::vector<KernelSlice<std::int8_t>> DecomposeKernel(
+    const Tensor<std::int8_t>&);
+
+}  // namespace hdnn
+
+#endif  // HDNN_WINOGRAD_DECOMPOSE_H_

@@ -1,0 +1,70 @@
+#include "winograd/matrices.h"
+
+#include <array>
+
+namespace hdnn {
+namespace {
+
+// F(2x2, 3x3): PT = 4.
+constexpr std::array<int, 16> kBT4 = {
+    1, 0, -1, 0,   //
+    0, 1, 1, 0,    //
+    0, -1, 1, 0,   //
+    0, 1, 0, -1,   //
+};
+constexpr std::array<int, 8> kAT4 = {
+    1, 1, 1, 0,    //
+    0, 1, -1, -1,  //
+};
+constexpr std::array<double, 12> kG4 = {
+    1.0, 0.0, 0.0,    //
+    0.5, 0.5, 0.5,    //
+    0.5, -0.5, 0.5,   //
+    0.0, 0.0, 1.0,    //
+};
+
+// F(4x4, 3x3): PT = 6.
+constexpr std::array<int, 36> kBT6 = {
+    4, 0, -5, 0,  1, 0,   //
+    0, -4, -4, 1, 1, 0,   //
+    0, 4, -4, -1, 1, 0,   //
+    0, -2, -1, 2, 1, 0,   //
+    0, 2, -1, -2, 1, 0,   //
+    0, 4, 0, -5, 0, 1,    //
+};
+constexpr std::array<int, 24> kAT6 = {
+    1, 1, 1, 1, 1, 0,     //
+    0, 1, -1, 2, -2, 0,   //
+    0, 1, 1, 4, 4, 0,     //
+    0, 1, -1, 8, -8, 1,   //
+};
+constexpr std::array<double, 18> kG6 = {
+    1.0 / 4, 0.0, 0.0,              //
+    -1.0 / 6, -1.0 / 6, -1.0 / 6,   //
+    -1.0 / 6, 1.0 / 6, -1.0 / 6,    //
+    1.0 / 24, 1.0 / 12, 1.0 / 6,    //
+    1.0 / 24, -1.0 / 12, 1.0 / 6,   //
+    0.0, 0.0, 1.0,                  //
+};
+
+}  // namespace
+
+std::span<const int> WinoBT(int pt) {
+  HDNN_CHECK(pt == 4 || pt == 6) << "PT must be 4 or 6";
+  if (pt == 4) return kBT4;
+  return kBT6;
+}
+
+std::span<const int> WinoAT(int pt) {
+  HDNN_CHECK(pt == 4 || pt == 6) << "PT must be 4 or 6";
+  if (pt == 4) return kAT4;
+  return kAT6;
+}
+
+std::span<const double> WinoG(int pt) {
+  HDNN_CHECK(pt == 4 || pt == 6) << "PT must be 4 or 6";
+  if (pt == 4) return kG4;
+  return kG6;
+}
+
+}  // namespace hdnn

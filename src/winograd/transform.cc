@@ -1,0 +1,138 @@
+#include "winograd/transform.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/fixed_point.h"
+
+namespace hdnn {
+namespace {
+
+// out[rows x cols] = mat[rows x inner] * tile[inner x cols], generic over
+// the small fixed sizes involved (pt <= 6).
+template <typename M, typename T, typename Acc>
+std::vector<Acc> MatTile(std::span<const M> mat, std::span<const T> tile,
+                         int rows, int inner, int cols) {
+  std::vector<Acc> out(static_cast<std::size_t>(rows) * cols, Acc{});
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      Acc acc{};
+      for (int k = 0; k < inner; ++k) {
+        acc += static_cast<Acc>(mat[static_cast<std::size_t>(i * inner + k)]) *
+               static_cast<Acc>(tile[static_cast<std::size_t>(k * cols + j)]);
+      }
+      out[static_cast<std::size_t>(i * cols + j)] = acc;
+    }
+  }
+  return out;
+}
+
+// out[rows x cols] = tile[rows x inner] * matT[cols x inner]^T, i.e. right-
+// multiplication by the transpose of a row-major matrix.
+template <typename M, typename T, typename Acc>
+std::vector<Acc> TileMatT(std::span<const T> tile, std::span<const M> matT,
+                          int rows, int inner, int cols) {
+  std::vector<Acc> out(static_cast<std::size_t>(rows) * cols, Acc{});
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      Acc acc{};
+      for (int k = 0; k < inner; ++k) {
+        acc += static_cast<Acc>(tile[static_cast<std::size_t>(i * inner + k)]) *
+               static_cast<Acc>(matT[static_cast<std::size_t>(j * inner + k)]);
+      }
+      out[static_cast<std::size_t>(i * cols + j)] = acc;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::int32_t> TransformInputTile(std::span<const std::int32_t> d,
+                                             int pt) {
+  HDNN_CHECK(static_cast<int>(d.size()) == pt * pt)
+      << "input tile size " << d.size() << " != " << pt * pt;
+  const auto bt = WinoBT(pt);
+  // V = BT d B == (BT d) B; B == BT^T so right-multiplying by B is TileMatT
+  // with matT = BT.
+  const auto btd =
+      MatTile<int, std::int32_t, std::int64_t>(bt, d, pt, pt, pt);
+  const auto v = TileMatT<int, std::int64_t, std::int64_t>(
+      btd, bt, pt, pt, pt);
+  std::vector<std::int32_t> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    HDNN_INTERNAL(v[i] >= INT32_MIN && v[i] <= INT32_MAX)
+        << "input transform overflow";
+    out[i] = static_cast<std::int32_t>(v[i]);
+  }
+  return out;
+}
+
+std::vector<double> TransformInputTileF(std::span<const double> d, int pt) {
+  HDNN_CHECK(static_cast<int>(d.size()) == pt * pt) << "bad input tile";
+  const auto bt = WinoBT(pt);
+  const auto btd = MatTile<int, double, double>(bt, d, pt, pt, pt);
+  return TileMatT<int, double, double>(btd, bt, pt, pt, pt);
+}
+
+std::vector<double> TransformKernelF(std::span<const double> g, int pt) {
+  HDNN_CHECK(g.size() == 9) << "kernel tile must be 3x3";
+  const auto gm = WinoG(pt);
+  const int r = WinoParam::kR;
+  // U = G g GT: (pt x 3)(3 x 3)(3 x pt).
+  const auto gg = MatTile<double, double, double>(gm, g, pt, r, r);
+  return TileMatT<double, double, double>(gg, gm, pt, r, pt);
+}
+
+std::vector<std::int16_t> TransformKernelQ(std::span<const std::int8_t> g,
+                                           int pt, int u_shift) {
+  HDNN_CHECK(g.size() == 9) << "kernel tile must be 3x3";
+  HDNN_CHECK(u_shift >= 0 && u_shift <= 10) << "u_shift=" << u_shift;
+  std::vector<double> gf(9);
+  for (int i = 0; i < 9; ++i) gf[static_cast<std::size_t>(i)] = g[static_cast<std::size_t>(i)];
+  const auto u = TransformKernelF(gf, pt);
+  std::vector<std::int16_t> out(u.size());
+  const double scale = static_cast<double>(std::int64_t{1} << u_shift);
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    const double scaled = u[i] * scale;
+    const double rounded =
+        scaled >= 0 ? std::floor(scaled + 0.5) : std::ceil(scaled - 0.5);
+    out[i] = static_cast<std::int16_t>(
+        SaturateSigned(static_cast<std::int64_t>(rounded), 16));
+  }
+  return out;
+}
+
+std::vector<std::int64_t> TransformOutputTile(
+    std::span<const std::int64_t> m_tile, int pt) {
+  HDNN_CHECK(static_cast<int>(m_tile.size()) == pt * pt) << "bad M tile";
+  const auto at = WinoAT(pt);
+  const int m = WinoParamForPt(pt).m;
+  const auto atm =
+      MatTile<int, std::int64_t, std::int64_t>(at, m_tile, m, pt, pt);
+  return TileMatT<int, std::int64_t, std::int64_t>(atm, at, m, pt, m);
+}
+
+std::vector<double> TransformOutputTileF(std::span<const double> m_tile,
+                                         int pt) {
+  HDNN_CHECK(static_cast<int>(m_tile.size()) == pt * pt) << "bad M tile";
+  const auto at = WinoAT(pt);
+  const int m = WinoParamForPt(pt).m;
+  const auto atm = MatTile<int, double, double>(at, m_tile, m, pt, pt);
+  return TileMatT<int, double, double>(atm, at, m, pt, m);
+}
+
+std::int64_t InputTransformGrowth(int pt) {
+  const auto bt = WinoBT(pt);
+  std::int64_t max_row_sum = 0;
+  for (int i = 0; i < pt; ++i) {
+    std::int64_t sum = 0;
+    for (int j = 0; j < pt; ++j) {
+      sum += std::abs(bt[static_cast<std::size_t>(i * pt + j)]);
+    }
+    max_row_sum = std::max(max_row_sum, sum);
+  }
+  return max_row_sum * max_row_sum;  // applied on both sides
+}
+
+}  // namespace hdnn

@@ -1,0 +1,352 @@
+#include "winograd/wino_conv.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "common/fixed_point.h"
+#include "common/math_util.h"
+#include "winograd/decompose.h"
+#include "winograd/matrices.h"
+#include "winograd/transform.h"
+
+namespace hdnn {
+namespace {
+
+struct ConvGeometry {
+  std::int64_t C, H, W, K, R, S, OH, OW;
+  int tiles_h, tiles_w;
+};
+
+ConvGeometry Geometry(const Shape& in, const Shape& w, int pad, int pt) {
+  HDNN_CHECK(in.rank() == 3) << "input must be CHW";
+  HDNN_CHECK(w.rank() == 4) << "weights must be KCRS";
+  HDNN_CHECK(in.dim(0) == w.dim(1)) << "channel mismatch";
+  ConvGeometry g;
+  g.C = in.dim(0);
+  g.H = in.dim(1);
+  g.W = in.dim(2);
+  g.K = w.dim(0);
+  g.R = w.dim(2);
+  g.S = w.dim(3);
+  g.OH = g.H + 2 * pad - g.R + 1;  // stride 1
+  g.OW = g.W + 2 * pad - g.S + 1;
+  HDNN_CHECK(g.OH > 0 && g.OW > 0) << "empty convolution output";
+  const int m = WinoParamForPt(pt).m;
+  g.tiles_h = static_cast<int>(CeilDiv(g.OH, static_cast<std::int64_t>(m)));
+  g.tiles_w = static_cast<int>(CeilDiv(g.OW, static_cast<std::int64_t>(m)));
+  return g;
+}
+
+/// Gathers a pt x pt input tile with zero padding. Tile origin (in input
+/// coordinates) is (ih0, iw0).
+template <typename T, typename Out>
+void GatherTile(const Tensor<T>& input, std::int64_t c, std::int64_t ih0,
+                std::int64_t iw0, int pt, std::vector<Out>& tile) {
+  const std::int64_t H = input.shape().dim(1);
+  const std::int64_t W = input.shape().dim(2);
+  for (int y = 0; y < pt; ++y) {
+    for (int x = 0; x < pt; ++x) {
+      const std::int64_t ih = ih0 + y;
+      const std::int64_t iw = iw0 + x;
+      tile[static_cast<std::size_t>(y * pt + x)] =
+          (ih < 0 || iw < 0 || ih >= H || iw >= W)
+              ? Out{}
+              : static_cast<Out>(input.at(c, ih, iw));
+    }
+  }
+}
+
+}  // namespace
+
+Tensor<float> Conv2dWinogradF(const Tensor<float>& input,
+                              const Tensor<float>& weights,
+                              const Tensor<float>& bias, int pad, bool relu,
+                              int pt) {
+  const ConvGeometry g = Geometry(input.shape(), weights.shape(), pad, pt);
+  const int m = WinoParamForPt(pt).m;
+  HDNN_CHECK(bias.empty() || bias.elements() == g.K)
+      << "bias size mismatch";
+
+  const auto slices = DecomposeKernel(weights);
+  Tensor<double> acc(Shape{g.K, g.OH, g.OW});
+
+  std::vector<double> dtile(static_cast<std::size_t>(pt * pt));
+  for (const auto& slice : slices) {
+    // Precompute U for every (k, c).
+    std::vector<std::vector<double>> u(
+        static_cast<std::size_t>(g.K * g.C));
+    std::vector<double> g33(9);
+    for (std::int64_t k = 0; k < g.K; ++k) {
+      for (std::int64_t c = 0; c < g.C; ++c) {
+        for (int r = 0; r < 3; ++r) {
+          for (int s = 0; s < 3; ++s) {
+            g33[static_cast<std::size_t>(r * 3 + s)] =
+                slice.kernel.at(k, c, r, s);
+          }
+        }
+        u[static_cast<std::size_t>(k * g.C + c)] = TransformKernelF(g33, pt);
+      }
+    }
+
+    for (int ty = 0; ty < g.tiles_h; ++ty) {
+      for (int tx = 0; tx < g.tiles_w; ++tx) {
+        const std::int64_t ih0 = static_cast<std::int64_t>(ty) * m - pad +
+                                 slice.row_offset;
+        const std::int64_t iw0 = static_cast<std::int64_t>(tx) * m - pad +
+                                 slice.col_offset;
+        // V per channel, then EWMM-accumulate per output channel.
+        std::vector<std::vector<double>> v(static_cast<std::size_t>(g.C));
+        for (std::int64_t c = 0; c < g.C; ++c) {
+          GatherTile(input, c, ih0, iw0, pt, dtile);
+          v[static_cast<std::size_t>(c)] = TransformInputTileF(dtile, pt);
+        }
+        std::vector<double> m_tile(static_cast<std::size_t>(pt * pt));
+        for (std::int64_t k = 0; k < g.K; ++k) {
+          std::fill(m_tile.begin(), m_tile.end(), 0.0);
+          for (std::int64_t c = 0; c < g.C; ++c) {
+            const auto& uk = u[static_cast<std::size_t>(k * g.C + c)];
+            const auto& vc = v[static_cast<std::size_t>(c)];
+            for (int i = 0; i < pt * pt; ++i) {
+              m_tile[static_cast<std::size_t>(i)] +=
+                  uk[static_cast<std::size_t>(i)] *
+                  vc[static_cast<std::size_t>(i)];
+            }
+          }
+          const auto y = TransformOutputTileF(m_tile, pt);
+          for (int dy = 0; dy < m; ++dy) {
+            for (int dx = 0; dx < m; ++dx) {
+              const std::int64_t oh = static_cast<std::int64_t>(ty) * m + dy;
+              const std::int64_t ow = static_cast<std::int64_t>(tx) * m + dx;
+              if (oh >= g.OH || ow >= g.OW) continue;
+              acc.at(k, oh, ow) += y[static_cast<std::size_t>(dy * m + dx)];
+            }
+          }
+        }
+      }
+    }
+  }
+
+  Tensor<float> out(Shape{g.K, g.OH, g.OW});
+  for (std::int64_t k = 0; k < g.K; ++k) {
+    const double b = bias.empty() ? 0.0 : bias.flat(k);
+    for (std::int64_t i = 0; i < g.OH * g.OW; ++i) {
+      double vacc = acc.flat(k * g.OH * g.OW + i) + b;
+      if (relu && vacc < 0) vacc = 0;
+      out.flat(k * g.OH * g.OW + i) = static_cast<float>(vacc);
+    }
+  }
+  return out;
+}
+
+Tensor<float> Conv2dWinogradGemmF(const Tensor<float>& input,
+                                  const Tensor<float>& weights,
+                                  const Tensor<float>& bias, int pad,
+                                  bool relu, int pt) {
+  const ConvGeometry g = Geometry(input.shape(), weights.shape(), pad, pt);
+  const int m = WinoParamForPt(pt).m;
+  HDNN_CHECK(bias.empty() || bias.elements() == g.K)
+      << "bias size mismatch";
+
+  const auto slices = DecomposeKernel(weights);
+  const std::int64_t num_tiles =
+      static_cast<std::int64_t>(g.tiles_h) * g.tiles_w;
+  Tensor<double> acc(Shape{g.K, g.OH, g.OW});
+
+  std::vector<double> dtile(static_cast<std::size_t>(pt * pt));
+  std::vector<double> g33(9);
+  for (const auto& slice : slices) {
+    // U[e][k][c] and V[e][c][t] for every EWMM element e = i*pt+j
+    // (paper Eq. 2: pt^2 independent GEMMs).
+    const std::size_t e_count = static_cast<std::size_t>(pt * pt);
+    std::vector<std::vector<double>> u_mat(
+        e_count, std::vector<double>(static_cast<std::size_t>(g.K * g.C)));
+    std::vector<std::vector<double>> v_mat(
+        e_count, std::vector<double>(static_cast<std::size_t>(g.C * num_tiles)));
+
+    for (std::int64_t k = 0; k < g.K; ++k) {
+      for (std::int64_t c = 0; c < g.C; ++c) {
+        for (int r = 0; r < 3; ++r) {
+          for (int s = 0; s < 3; ++s) {
+            g33[static_cast<std::size_t>(r * 3 + s)] =
+                slice.kernel.at(k, c, r, s);
+          }
+        }
+        const auto u = TransformKernelF(g33, pt);
+        for (std::size_t e = 0; e < e_count; ++e) {
+          u_mat[e][static_cast<std::size_t>(k * g.C + c)] = u[e];
+        }
+      }
+    }
+    for (std::int64_t c = 0; c < g.C; ++c) {
+      for (std::int64_t t = 0; t < num_tiles; ++t) {
+        const int ty = static_cast<int>(t) / g.tiles_w;
+        const int tx = static_cast<int>(t) % g.tiles_w;
+        GatherTile(input, c,
+                   static_cast<std::int64_t>(ty) * m - pad + slice.row_offset,
+                   static_cast<std::int64_t>(tx) * m - pad + slice.col_offset,
+                   pt, dtile);
+        const auto v = TransformInputTileF(dtile, pt);
+        for (std::size_t e = 0; e < e_count; ++e) {
+          v_mat[e][static_cast<std::size_t>(c * num_tiles + t)] = v[e];
+        }
+      }
+    }
+
+    // pt^2 independent GEMMs: M[e] (K x T) = U[e] (K x C) * V[e] (C x T).
+    std::vector<double> m_all(e_count * static_cast<std::size_t>(g.K * num_tiles));
+    for (std::size_t e = 0; e < e_count; ++e) {
+      for (std::int64_t k = 0; k < g.K; ++k) {
+        for (std::int64_t t = 0; t < num_tiles; ++t) {
+          double s = 0;
+          for (std::int64_t c = 0; c < g.C; ++c) {
+            s += u_mat[e][static_cast<std::size_t>(k * g.C + c)] *
+                 v_mat[e][static_cast<std::size_t>(c * num_tiles + t)];
+          }
+          m_all[e * static_cast<std::size_t>(g.K * num_tiles) +
+                static_cast<std::size_t>(k * num_tiles + t)] = s;
+        }
+      }
+    }
+
+    // Output transform per (k, tile).
+    std::vector<double> m_tile(e_count);
+    for (std::int64_t k = 0; k < g.K; ++k) {
+      for (std::int64_t t = 0; t < num_tiles; ++t) {
+        for (std::size_t e = 0; e < e_count; ++e) {
+          m_tile[e] = m_all[e * static_cast<std::size_t>(g.K * num_tiles) +
+                            static_cast<std::size_t>(k * num_tiles + t)];
+        }
+        const auto y = TransformOutputTileF(m_tile, pt);
+        const int ty = static_cast<int>(t) / g.tiles_w;
+        const int tx = static_cast<int>(t) % g.tiles_w;
+        for (int dy = 0; dy < m; ++dy) {
+          for (int dx = 0; dx < m; ++dx) {
+            const std::int64_t oh = static_cast<std::int64_t>(ty) * m + dy;
+            const std::int64_t ow = static_cast<std::int64_t>(tx) * m + dx;
+            if (oh >= g.OH || ow >= g.OW) continue;
+            acc.at(k, oh, ow) += y[static_cast<std::size_t>(dy * m + dx)];
+          }
+        }
+      }
+    }
+  }
+
+  Tensor<float> out(Shape{g.K, g.OH, g.OW});
+  for (std::int64_t k = 0; k < g.K; ++k) {
+    const double b = bias.empty() ? 0.0 : bias.flat(k);
+    for (std::int64_t i = 0; i < g.OH * g.OW; ++i) {
+      double v = acc.flat(k * g.OH * g.OW + i) + b;
+      if (relu && v < 0) v = 0;
+      out.flat(k * g.OH * g.OW + i) = static_cast<float>(v);
+    }
+  }
+  return out;
+}
+
+Tensor<std::int16_t> Conv2dWinogradQ(const Tensor<std::int16_t>& input,
+                                     const Tensor<std::int8_t>& weights,
+                                     const Tensor<std::int32_t>& bias, int pad,
+                                     int shift, int feature_bits, bool relu,
+                                     int pt, int u_shift) {
+  const ConvGeometry g = Geometry(input.shape(), weights.shape(), pad, pt);
+  const int m = WinoParamForPt(pt).m;
+  HDNN_CHECK(bias.empty() || bias.elements() == g.K)
+      << "bias size mismatch";
+
+  const auto slices = DecomposeKernel(weights);
+  Tensor<std::int64_t> acc(Shape{g.K, g.OH, g.OW});
+
+  std::vector<std::int32_t> dtile(static_cast<std::size_t>(pt * pt));
+  std::vector<std::int8_t> g33(9);
+  for (const auto& slice : slices) {
+    std::vector<std::vector<std::int16_t>> u(
+        static_cast<std::size_t>(g.K * g.C));
+    for (std::int64_t k = 0; k < g.K; ++k) {
+      for (std::int64_t c = 0; c < g.C; ++c) {
+        for (int r = 0; r < 3; ++r) {
+          for (int s = 0; s < 3; ++s) {
+            g33[static_cast<std::size_t>(r * 3 + s)] =
+                slice.kernel.at(k, c, r, s);
+          }
+        }
+        u[static_cast<std::size_t>(k * g.C + c)] =
+            TransformKernelQ(g33, pt, u_shift);
+      }
+    }
+
+    for (int ty = 0; ty < g.tiles_h; ++ty) {
+      for (int tx = 0; tx < g.tiles_w; ++tx) {
+        const std::int64_t ih0 = static_cast<std::int64_t>(ty) * m - pad +
+                                 slice.row_offset;
+        const std::int64_t iw0 = static_cast<std::int64_t>(tx) * m - pad +
+                                 slice.col_offset;
+        std::vector<std::vector<std::int32_t>> v(
+            static_cast<std::size_t>(g.C));
+        for (std::int64_t c = 0; c < g.C; ++c) {
+          GatherTile(input, c, ih0, iw0, pt, dtile);
+          v[static_cast<std::size_t>(c)] = TransformInputTile(dtile, pt);
+        }
+        std::vector<std::int64_t> m_tile(static_cast<std::size_t>(pt * pt));
+        for (std::int64_t k = 0; k < g.K; ++k) {
+          std::fill(m_tile.begin(), m_tile.end(), 0);
+          for (std::int64_t c = 0; c < g.C; ++c) {
+            const auto& uk = u[static_cast<std::size_t>(k * g.C + c)];
+            const auto& vc = v[static_cast<std::size_t>(c)];
+            for (int i = 0; i < pt * pt; ++i) {
+              m_tile[static_cast<std::size_t>(i)] +=
+                  static_cast<std::int64_t>(uk[static_cast<std::size_t>(i)]) *
+                  static_cast<std::int64_t>(vc[static_cast<std::size_t>(i)]);
+            }
+          }
+          const auto y = TransformOutputTile(m_tile, pt);
+          for (int dy = 0; dy < m; ++dy) {
+            for (int dx = 0; dx < m; ++dx) {
+              const std::int64_t oh = static_cast<std::int64_t>(ty) * m + dy;
+              const std::int64_t ow = static_cast<std::int64_t>(tx) * m + dx;
+              if (oh >= g.OH || ow >= g.OW) continue;
+              acc.at(k, oh, ow) += y[static_cast<std::size_t>(dy * m + dx)];
+            }
+          }
+        }
+      }
+    }
+  }
+
+  Tensor<std::int16_t> out(Shape{g.K, g.OH, g.OW});
+  for (std::int64_t k = 0; k < g.K; ++k) {
+    const std::int64_t b =
+        bias.empty() ? 0
+                     : (static_cast<std::int64_t>(bias.flat(k)) << u_shift);
+    for (std::int64_t i = 0; i < g.OH * g.OW; ++i) {
+      std::int64_t q = Requantize(acc.flat(k * g.OH * g.OW + i) + b,
+                                  shift + u_shift, feature_bits);
+      if (relu && q < 0) q = 0;
+      out.flat(k * g.OH * g.OW + i) = static_cast<std::int16_t>(q);
+    }
+  }
+  return out;
+}
+
+ConvMultCount CountConvMults(int channels, int out_channels, int height,
+                             int width, int kernel_h, int kernel_w, int pad,
+                             int pt) {
+  const WinoParam wp = WinoParamForPt(pt);
+  const std::int64_t oh = height + 2 * pad - kernel_h + 1;
+  const std::int64_t ow = width + 2 * pad - kernel_w + 1;
+  HDNN_CHECK(oh > 0 && ow > 0) << "empty convolution output";
+  const std::int64_t tiles =
+      CeilDiv(oh, static_cast<std::int64_t>(wp.m)) *
+      CeilDiv(ow, static_cast<std::int64_t>(wp.m));
+  const std::int64_t pairs =
+      static_cast<std::int64_t>(channels) * out_channels;
+  const std::int64_t slices = NumKernelSlices(kernel_h, kernel_w);
+
+  ConvMultCount count;
+  count.winograd = pairs * tiles * slices * wp.wino_mults_per_tile();
+  count.spatial =
+      pairs * oh * ow * static_cast<std::int64_t>(kernel_h) * kernel_w;
+  return count;
+}
+
+}  // namespace hdnn

@@ -1,0 +1,64 @@
+// Full Winograd convolutions (stride 1), float and bit-accurate integer.
+//
+// These are library-level references for the algorithm the PE executes in
+// Winograd mode; the simulator's PE is tested for bit-exact agreement with
+// Conv2dWinogradQ, which in turn is tolerance-tested (F(4x4)) or
+// exactness-tested (F(2x2)) against the direct Spatial references.
+#ifndef HDNN_WINOGRAD_WINO_CONV_H_
+#define HDNN_WINOGRAD_WINO_CONV_H_
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace hdnn {
+
+/// Float Winograd convolution. Supports any kernel size via decomposition;
+/// stride must be 1. Same contract as Conv2dDirect otherwise.
+Tensor<float> Conv2dWinogradF(const Tensor<float>& input,
+                              const Tensor<float>& weights,
+                              const Tensor<float>& bias, int pad, bool relu,
+                              int pt);
+
+/// Float Winograd convolution computed through the GEMM formulation of
+/// paper Eq. 2: the EWMM is split into pt^2 independent GEMMs of shape
+/// (K x C) * (C x num_tiles). Must agree with Conv2dWinogradF exactly up to
+/// floating-point associativity.
+Tensor<float> Conv2dWinogradGemmF(const Tensor<float>& input,
+                                  const Tensor<float>& weights,
+                                  const Tensor<float>& bias, int pad,
+                                  bool relu, int pt);
+
+/// Bit-accurate integer Winograd convolution matching the accelerator:
+///  - input transform BT d B in exact integer arithmetic,
+///  - offline kernel transform quantised with `u_shift` fraction bits,
+///  - EWMM accumulation over channels and kernel slices in int64,
+///  - output transform AT M A in exact integer arithmetic,
+///  - bias aligned by << u_shift, requantised by (shift + u_shift),
+///  - saturation to feature_bits, optional ReLU.
+Tensor<std::int16_t> Conv2dWinogradQ(const Tensor<std::int16_t>& input,
+                                     const Tensor<std::int8_t>& weights,
+                                     const Tensor<std::int32_t>& bias, int pad,
+                                     int shift, int feature_bits, bool relu,
+                                     int pt, int u_shift);
+
+/// Multiplication counts for a CONV layer (paper Sec. 4.2.1's "36 vs 144"
+/// claim and the Eq. 7 latency numerator).
+struct ConvMultCount {
+  std::int64_t winograd;  ///< EWMM multiplications (transforms are add-only)
+  std::int64_t spatial;   ///< direct convolution multiplications
+
+  double reduction() const {
+    return static_cast<double>(spatial) / static_cast<double>(winograd);
+  }
+};
+
+/// Counts multiplications for a (C,H,W) x (K,R,S) stride-1 convolution when
+/// run spatially vs via F(m x m, 3 x 3) with kernel decomposition.
+ConvMultCount CountConvMults(int channels, int out_channels, int height,
+                             int width, int kernel_h, int kernel_w, int pad,
+                             int pt);
+
+}  // namespace hdnn
+
+#endif  // HDNN_WINOGRAD_WINO_CONV_H_

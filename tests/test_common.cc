@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+#include "common/check.h"
+#include "common/fixed_point.h"
+#include "common/math_util.h"
+#include "common/prng.h"
+#include "common/types.h"
+
+namespace hdnn {
+namespace {
+
+TEST(CheckTest, PassingCheckDoesNothing) {
+  EXPECT_NO_THROW(HDNN_CHECK(1 + 1 == 2) << "unused");
+}
+
+TEST(CheckTest, FailingCheckThrowsInvalidArgument) {
+  EXPECT_THROW(HDNN_CHECK(false) << "context " << 42, InvalidArgument);
+}
+
+TEST(CheckTest, FailingInternalThrowsInternalError) {
+  EXPECT_THROW(HDNN_INTERNAL(false) << "bug", InternalError);
+}
+
+TEST(CheckTest, MessageIncludesContext) {
+  try {
+    HDNN_CHECK(false) << "needle-" << 7;
+    FAIL() << "should have thrown";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("needle-7"), std::string::npos);
+  }
+}
+
+// --- bits ---
+
+TEST(BitsTest, LowMaskBasics) {
+  EXPECT_EQ(LowMask(1), 1u);
+  EXPECT_EQ(LowMask(4), 0xfu);
+  EXPECT_EQ(LowMask(64), ~std::uint64_t{0});
+}
+
+TEST(BitsTest, SetGetRoundTripLowHalf) {
+  Word128 w;
+  SetField(w, 3, 7, 0x55);
+  EXPECT_EQ(GetField(w, 3, 7), 0x55u);
+  EXPECT_EQ(GetField(w, 0, 3), 0u);
+  EXPECT_EQ(GetField(w, 10, 10), 0u);
+}
+
+TEST(BitsTest, SetGetRoundTripHighHalf) {
+  Word128 w;
+  SetField(w, 100, 20, 0xabcde);
+  EXPECT_EQ(GetField(w, 100, 20), 0xabcdeu);
+}
+
+TEST(BitsTest, FieldStraddlingBoundary) {
+  Word128 w;
+  SetField(w, 60, 12, 0xfff);
+  EXPECT_EQ(GetField(w, 60, 12), 0xfffu);
+  EXPECT_EQ(w.lo >> 60, 0xfu);
+  EXPECT_EQ(w.hi & 0xff, 0xffu);
+}
+
+TEST(BitsTest, OverwriteDoesNotDisturbNeighbours) {
+  Word128 w;
+  SetField(w, 0, 8, 0xaa);
+  SetField(w, 8, 8, 0xbb);
+  SetField(w, 16, 8, 0xcc);
+  SetField(w, 8, 8, 0x11);
+  EXPECT_EQ(GetField(w, 0, 8), 0xaau);
+  EXPECT_EQ(GetField(w, 8, 8), 0x11u);
+  EXPECT_EQ(GetField(w, 16, 8), 0xccu);
+}
+
+TEST(BitsTest, ValueTooWideThrows) {
+  Word128 w;
+  EXPECT_THROW(SetField(w, 0, 4, 16), InvalidArgument);
+}
+
+TEST(BitsTest, OutOfRangeFieldThrows) {
+  Word128 w;
+  EXPECT_THROW(SetField(w, 120, 10, 1), InvalidArgument);
+  EXPECT_THROW(GetField(w, -1, 4), InvalidArgument);
+}
+
+class BitsRandomRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitsRandomRoundTrip, RandomFieldsRoundTrip) {
+  Prng prng(static_cast<std::uint64_t>(GetParam()));
+  for (int iter = 0; iter < 200; ++iter) {
+    const int width = static_cast<int>(prng.NextInt(1, 64));
+    const int pos = static_cast<int>(prng.NextInt(0, 128 - width));
+    const std::uint64_t value = prng.NextU64() & LowMask(width);
+    Word128 w;
+    w.lo = prng.NextU64();
+    w.hi = prng.NextU64();
+    SetField(w, pos, width, value);
+    EXPECT_EQ(GetField(w, pos, width), value)
+        << "pos=" << pos << " width=" << width;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitsRandomRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// --- fixed point ---
+
+TEST(FixedPointTest, SignedRange) {
+  EXPECT_EQ(SignedRangeOf(8).min, -128);
+  EXPECT_EQ(SignedRangeOf(8).max, 127);
+  EXPECT_EQ(SignedRangeOf(12).min, -2048);
+  EXPECT_EQ(SignedRangeOf(12).max, 2047);
+}
+
+TEST(FixedPointTest, SaturateClamps) {
+  EXPECT_EQ(SaturateSigned(1000, 8), 127);
+  EXPECT_EQ(SaturateSigned(-1000, 8), -128);
+  EXPECT_EQ(SaturateSigned(100, 8), 100);
+}
+
+TEST(FixedPointTest, RoundingShiftHalfAwayFromZero) {
+  EXPECT_EQ(RoundingShiftRight(5, 1), 3);    // 2.5 -> 3
+  EXPECT_EQ(RoundingShiftRight(-5, 1), -3);  // -2.5 -> -3
+  EXPECT_EQ(RoundingShiftRight(4, 1), 2);
+  EXPECT_EQ(RoundingShiftRight(-4, 1), -2);
+  EXPECT_EQ(RoundingShiftRight(7, 2), 2);    // 1.75 -> 2
+  EXPECT_EQ(RoundingShiftRight(9, 0), 9);
+}
+
+TEST(FixedPointTest, RequantizeCombinesShiftAndSaturate) {
+  EXPECT_EQ(Requantize(1 << 20, 4, 12), 2047);
+  EXPECT_EQ(Requantize(-(1 << 20), 4, 12), -2048);
+  EXPECT_EQ(Requantize(160, 4, 12), 10);
+}
+
+TEST(FixedPointTest, QuantizeDequantizeRoundTrip) {
+  for (double v : {0.0, 1.0, -1.5, 0.015625, 3.999, -7.25}) {
+    const std::int64_t q = QuantizeValue(v, 6, 12);
+    EXPECT_NEAR(DequantizeValue(q, 6), v, 1.0 / 64 / 2 + 1e-12) << v;
+  }
+}
+
+TEST(FixedPointTest, QuantizeSaturates) {
+  EXPECT_EQ(QuantizeValue(1000.0, 6, 12), 2047);
+  EXPECT_EQ(QuantizeValue(-1000.0, 6, 12), -2048);
+}
+
+// --- math util ---
+
+TEST(MathUtilTest, CeilDivAndRoundUp) {
+  EXPECT_EQ(CeilDiv(7, 2), 4);
+  EXPECT_EQ(CeilDiv(8, 2), 4);
+  EXPECT_EQ(CeilDiv(1, 4), 1);
+  EXPECT_EQ(RoundUp(7, 4), 8);
+  EXPECT_EQ(RoundUp(8, 4), 8);
+}
+
+TEST(MathUtilTest, PowersOfTwo) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(64));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(12));
+  EXPECT_EQ(NextPowerOfTwo(5), 8);
+  EXPECT_EQ(NextPowerOfTwo(8), 8);
+  EXPECT_EQ(Log2Floor(1), 0);
+  EXPECT_EQ(Log2Floor(9), 3);
+}
+
+// --- prng ---
+
+TEST(PrngTest, DeterministicAcrossInstances) {
+  Prng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(PrngTest, IntRangeRespected) {
+  Prng prng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = prng.NextInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(PrngTest, DoubleInUnitInterval) {
+  Prng prng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = prng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+// --- types ---
+
+TEST(TypesTest, AccelConfigValidation) {
+  AccelConfig cfg;
+  EXPECT_NO_THROW(cfg.Validate());
+  cfg.pt = 5;
+  EXPECT_THROW(cfg.Validate(), InvalidArgument);
+  cfg.pt = 6;
+  cfg.po = 8;  // violates PI >= PO
+  EXPECT_THROW(cfg.Validate(), InvalidArgument);
+}
+
+TEST(TypesTest, WinoMDerivedFromPt) {
+  AccelConfig cfg;
+  cfg.pt = 4;
+  EXPECT_EQ(cfg.wino_m(), 2);
+  cfg.pt = 6;
+  EXPECT_EQ(cfg.wino_m(), 4);
+}
+
+TEST(TypesTest, ModeAndDataflowStrings) {
+  EXPECT_EQ(ConvModeFromString("wino"), ConvMode::kWinograd);
+  EXPECT_EQ(ConvModeFromString("spat"), ConvMode::kSpatial);
+  EXPECT_EQ(DataflowFromString("is"), Dataflow::kInputStationary);
+  EXPECT_EQ(DataflowFromString("ws"), Dataflow::kWeightStationary);
+  EXPECT_THROW(ConvModeFromString("fft"), InvalidArgument);
+  EXPECT_STREQ(ToString(ConvMode::kWinograd), "wino");
+  EXPECT_STREQ(ToString(Dataflow::kWeightStationary), "ws");
+}
+
+}  // namespace
+}  // namespace hdnn

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "frontend/parser.h"
+#include "nn/builders.h"
+
+namespace hdnn {
+namespace {
+
+TEST(ModelParserTest, ParsesMinimalModel) {
+  const Model m = ParseModelText(
+      "model tiny\n"
+      "input 3 32 32\n"
+      "conv name=c1 out=16 k=3 s=1 p=1 relu=1 pool=2\n"
+      "fc name=f out=10\n");
+  EXPECT_EQ(m.name(), "tiny");
+  EXPECT_EQ(m.num_layers(), 2);
+  EXPECT_EQ(m.layer(0).out_channels, 16);
+  EXPECT_TRUE(m.layer(0).relu);
+  EXPECT_EQ(m.layer(0).pool, 2);
+  EXPECT_TRUE(m.layer(1).is_fc);
+  EXPECT_EQ(m.OutputShape().channels, 10);
+}
+
+TEST(ModelParserTest, DefaultsKernelStridePad) {
+  const Model m = ParseModelText(
+      "model d\ninput 3 16 16\nconv out=8\n");
+  EXPECT_EQ(m.layer(0).kernel_h, 3);
+  EXPECT_EQ(m.layer(0).stride, 1);
+  EXPECT_EQ(m.layer(0).pad, 1);  // same-pad
+}
+
+TEST(ModelParserTest, SamePadForLargerKernels) {
+  const Model m = ParseModelText(
+      "model d\ninput 3 16 16\nconv out=8 k=5\n");
+  EXPECT_EQ(m.layer(0).pad, 2);
+}
+
+TEST(ModelParserTest, CommentsAndBlanksIgnored)
+{
+  const Model m = ParseModelText(
+      "# header comment\n"
+      "model c\n"
+      "\n"
+      "input 3 8 8\n"
+      "conv out=4  # trailing comment\n");
+  EXPECT_EQ(m.num_layers(), 1);
+}
+
+TEST(ModelParserTest, RoundTripsThroughWriter) {
+  for (const Model& m : {BuildVgg16(), BuildTinyCnn(), BuildAlexNetStyle()}) {
+    const std::string text = WriteModelText(m);
+    const Model back = ParseModelText(text);
+    ASSERT_EQ(back.num_layers(), m.num_layers()) << m.name();
+    for (int i = 0; i < m.num_layers(); ++i) {
+      EXPECT_EQ(back.layer(i), m.layer(i)) << m.name() << " layer " << i;
+    }
+    EXPECT_EQ(back.input(), m.input());
+  }
+}
+
+TEST(ModelParserTest, LayerBeforeInputFails) {
+  EXPECT_THROW(ParseModelText("model x\nconv out=4\n"), ParseError);
+}
+
+TEST(ModelParserTest, MissingOutFails) {
+  EXPECT_THROW(ParseModelText("model x\ninput 3 8 8\nconv k=3\n"),
+               ParseError);
+}
+
+TEST(ModelParserTest, UnknownDirectiveFails) {
+  EXPECT_THROW(ParseModelText("model x\ninput 3 8 8\nfrobnicate out=2\n"),
+               ParseError);
+}
+
+TEST(ModelParserTest, BadNumberReportsLine) {
+  try {
+    ParseModelText("model x\ninput 3 8 8\nconv out=banana\n");
+    FAIL();
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(ModelParserTest, GeometryErrorsSurfaceAsParseErrors) {
+  // pool window that does not tile the fmap
+  EXPECT_THROW(
+      ParseModelText("model x\ninput 3 9 9\nconv out=4 pool=2\n"),
+      ParseError);
+}
+
+TEST(FpgaSpecParserTest, ParsesFullSpec) {
+  const FpgaSpec spec = ParseFpgaSpecText(
+      "fpga myboard\n"
+      "luts 53200\n"
+      "dsps 220\n"
+      "bram18 280\n"
+      "dies 1\n"
+      "bandwidth_gbps 2.0\n"
+      "freq_mhz 100\n"
+      "dsp_pack 2\n"
+      "static_watts 1.25\n");
+  EXPECT_EQ(spec.name, "myboard");
+  EXPECT_EQ(spec.dsps, 220);
+  EXPECT_DOUBLE_EQ(spec.dram_bandwidth_gbps, 2.0);
+  EXPECT_DOUBLE_EQ(spec.dsp_pack, 2.0);
+}
+
+TEST(FpgaSpecParserTest, MissingNameFails) {
+  EXPECT_THROW(ParseFpgaSpecText("luts 100\n"), ParseError);
+}
+
+TEST(FpgaSpecParserTest, IncompleteSpecFails) {
+  EXPECT_THROW(ParseFpgaSpecText("fpga x\nluts 100\n"), InvalidArgument);
+}
+
+TEST(FpgaSpecParserTest, UnknownPropertyFails) {
+  EXPECT_THROW(ParseFpgaSpecText("fpga x\nwombats 3\n"), ParseError);
+}
+
+}  // namespace
+}  // namespace hdnn

@@ -1,0 +1,129 @@
+// Randomized end-to-end fuzzing of the compiler + simulator pipeline:
+// deterministic pseudo-random layer geometries, modes, dataflows and buffer
+// sizes, each run validated by the stream checker and compared bit-exactly
+// against the golden reference. The strongest regression net in the repo —
+// any slab-addressing, handshake or layout bug surfaces here.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/prng.h"
+#include "compiler/stream_check.h"
+#include "nn/builders.h"
+#include "testing_util.h"
+#include "winograd/decompose.h"
+
+namespace hdnn {
+namespace {
+
+using ::hdnn::testing::RunEndToEnd;
+using ::hdnn::testing::TestConfig;
+using ::hdnn::testing::TestSpec;
+
+class FuzzPipelineTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzPipelineTest, RandomLayersMatchGolden) {
+  Prng prng(GetParam());
+  for (int iter = 0; iter < 6; ++iter) {
+    // Random geometry within the supported envelope.
+    const int kernel_pick = static_cast<int>(prng.NextInt(0, 3));
+    const int kernel = std::array<int, 4>{1, 3, 5, 7}[static_cast<std::size_t>(
+        kernel_pick)];
+    const int c = static_cast<int>(prng.NextInt(1, 24));
+    const int k = static_cast<int>(prng.NextInt(1, 24));
+    const int h = static_cast<int>(prng.NextInt(kernel, 20));
+    const int w = static_cast<int>(prng.NextInt(kernel, 20));
+    const int pad = static_cast<int>(prng.NextInt(0, (kernel - 1) / 2 + 1));
+    const bool relu = prng.NextInt(0, 1) != 0;
+    int stride = static_cast<int>(prng.NextInt(1, 2));
+    if ((h + 2 * pad - kernel) / stride < 0 ||
+        (w + 2 * pad - kernel) / stride < 0) {
+      stride = 1;
+    }
+    if (h + 2 * pad < kernel || w + 2 * pad < kernel) continue;
+
+    const Model m =
+        BuildSingleConv(c, k, h, w, kernel, stride, pad, relu);
+
+    const ConvMode mode = (stride == 1 && prng.NextInt(0, 1))
+                              ? ConvMode::kWinograd
+                              : ConvMode::kSpatial;
+    Dataflow flow = prng.NextInt(0, 1) ? Dataflow::kWeightStationary
+                                       : Dataflow::kInputStationary;
+    if (mode == ConvMode::kWinograd && NumKernelSlices(kernel, kernel) > 1) {
+      flow = Dataflow::kInputStationary;
+    }
+    const int pt = prng.NextInt(0, 1) ? 4 : 6;
+    AccelConfig cfg = TestConfig(pt);
+    // Shrink buffers sometimes to exercise column tiling / K-grouping.
+    if (prng.NextInt(0, 2) == 0) {
+      cfg.input_buffer_vectors = 512;
+      cfg.weight_buffer_vectors = 288;
+      cfg.output_buffer_vectors = 1024;
+    }
+
+    SCOPED_TRACE(::testing::Message()
+                 << "seed=" << GetParam() << " iter=" << iter << " c=" << c
+                 << " k=" << k << " h=" << h << " w=" << w << " kern="
+                 << kernel << " s=" << stride << " p=" << pad
+                 << " mode=" << ToString(mode) << " flow=" << ToString(flow)
+                 << " pt=" << pt);
+    try {
+      auto r = RunEndToEnd(m, cfg, TestSpec(),
+                           {LayerMapping{mode, flow}},
+                           /*seed=*/GetParam() * 977 + iter);
+      EXPECT_TRUE(CheckInstructionStream(r.compiled).ok());
+      EXPECT_EQ(r.sim_out, r.golden_out);
+    } catch (const CapacityError&) {
+      // geometry does not fit the shrunken buffers — acceptable outcome
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipelineTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+class FuzzNetworkTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzNetworkTest, RandomThreeLayerNetsMatchGolden) {
+  Prng prng(GetParam() * 31337);
+  // Chain three random conv layers with compatible channels + random modes.
+  const int c0 = static_cast<int>(prng.NextInt(1, 12));
+  const int c1 = static_cast<int>(prng.NextInt(1, 16));
+  const int c2 = static_cast<int>(prng.NextInt(1, 16));
+  const int c3 = static_cast<int>(prng.NextInt(1, 16));
+  const int hw = static_cast<int>(prng.NextInt(8, 16));
+
+  Model m("fuzz_net", FmapShape{c0, hw, hw});
+  int in_c = c0;
+  for (const auto& [name, out_c] :
+       {std::pair{"l0", c1}, std::pair{"l1", c2}, std::pair{"l2", c3}}) {
+    ConvLayer l;
+    l.name = name;
+    l.in_channels = in_c;
+    l.out_channels = out_c;
+    l.relu = prng.NextInt(0, 1) != 0;
+    m.Append(l);
+    in_c = out_c;
+  }
+
+  std::vector<LayerMapping> mapping;
+  for (int i = 0; i < 3; ++i) {
+    mapping.push_back(LayerMapping{
+        prng.NextInt(0, 1) ? ConvMode::kWinograd : ConvMode::kSpatial,
+        prng.NextInt(0, 1) ? Dataflow::kWeightStationary
+                           : Dataflow::kInputStationary});
+  }
+  const int pt = prng.NextInt(0, 1) ? 4 : 6;
+  auto r = RunEndToEnd(m, TestConfig(pt), TestSpec(), mapping,
+                       GetParam() * 271 + 9);
+  EXPECT_TRUE(CheckInstructionStream(r.compiled).ok());
+  EXPECT_EQ(r.sim_out, r.golden_out)
+      << "seed=" << GetParam() << " pt=" << pt;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzNetworkTest,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+}  // namespace
+}  // namespace hdnn

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "hlsgen/hls_config_gen.h"
+#include "platform/fpga_spec.h"
+
+namespace hdnn {
+namespace {
+
+AccelConfig PaperVu9pConfig() {
+  AccelConfig cfg;
+  cfg.pi = 4;
+  cfg.po = 4;
+  cfg.pt = 6;
+  cfg.ni = 6;
+  return cfg;
+}
+
+TEST(HlsConfigGenTest, HeaderContainsAllParallelFactors) {
+  const std::string h = GenerateHlsConfigHeader(PaperVu9pConfig(), Vu9pSpec());
+  EXPECT_NE(h.find("#define HDNN_PI 4"), std::string::npos);
+  EXPECT_NE(h.find("#define HDNN_PO 4"), std::string::npos);
+  EXPECT_NE(h.find("#define HDNN_PT 6"), std::string::npos);
+  EXPECT_NE(h.find("#define HDNN_WINO_M 4"), std::string::npos);
+  EXPECT_NE(h.find("#define HDNN_NI 6"), std::string::npos);
+  EXPECT_NE(h.find("#define HDNN_INSTR_WIDTH 128"), std::string::npos);
+}
+
+TEST(HlsConfigGenTest, HeaderHasIncludeGuard) {
+  const std::string h = GenerateHlsConfigHeader(PaperVu9pConfig(), Vu9pSpec());
+  EXPECT_NE(h.find("#ifndef HYBRIDDNN_CONFIG_H_"), std::string::npos);
+  EXPECT_NE(h.find("#endif"), std::string::npos);
+}
+
+TEST(HlsConfigGenTest, PartitionPragmasMatchTable1) {
+  const std::string h = GenerateHlsConfigHeader(PaperVu9pConfig(), Vu9pSpec());
+  // Winograd physical maxima: in = PI*PT^2 = 144, wgt = PI*PO*PT^2 = 576.
+  EXPECT_NE(h.find("array_partition variable=in_buf cyclic factor=144"),
+            std::string::npos);
+  EXPECT_NE(h.find("array_partition variable=wgt_buf cyclic factor=576"),
+            std::string::npos);
+}
+
+TEST(HlsConfigGenTest, InvalidConfigRejected) {
+  AccelConfig bad = PaperVu9pConfig();
+  bad.pt = 5;
+  EXPECT_THROW(GenerateHlsConfigHeader(bad, Vu9pSpec()), InvalidArgument);
+}
+
+TEST(BuildSummaryTest, MentionsPlatformAndResources) {
+  const std::string s = GenerateBuildSummary(PaperVu9pConfig(), Vu9pSpec());
+  EXPECT_NE(s.find("vu9p"), std::string::npos);
+  EXPECT_NE(s.find("2 per die"), std::string::npos);  // 6 instances, 3 dies
+  EXPECT_NE(s.find("analytical"), std::string::npos);
+  EXPECT_NE(s.find("implementation"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hdnn

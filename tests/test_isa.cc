@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+#include "isa/assembler.h"
+#include "isa/codec.h"
+
+namespace hdnn {
+namespace {
+
+LoadFields SampleLoad(Prng& prng, Opcode op) {
+  LoadFields f;
+  f.op = op;
+  f.dept = static_cast<std::uint8_t>(prng.NextInt(0, 63));
+  f.buff_id = static_cast<std::uint8_t>(prng.NextInt(0, 3));
+  f.buff_base = static_cast<std::uint32_t>(prng.NextInt(0, (1 << 14) - 1));
+  f.dram_base = static_cast<std::uint32_t>(prng.NextInt(0, (1 << 28) - 1));
+  f.rows = static_cast<std::uint16_t>(prng.NextInt(0, 255));
+  f.cols = static_cast<std::uint16_t>(prng.NextInt(0, 1023));
+  f.chan_vecs = static_cast<std::uint16_t>(prng.NextInt(0, 4095));
+  f.aux = static_cast<std::uint16_t>(prng.NextInt(0, 4095));
+  f.pitch = static_cast<std::uint16_t>(prng.NextInt(0, 4095));
+  f.pad_t = static_cast<std::uint8_t>(prng.NextInt(0, 15));
+  f.pad_b = static_cast<std::uint8_t>(prng.NextInt(0, 15));
+  f.pad_l = static_cast<std::uint8_t>(prng.NextInt(0, 15));
+  f.pad_r = static_cast<std::uint8_t>(prng.NextInt(0, 15));
+  f.wino = prng.NextInt(0, 1) != 0;
+  f.wino_offset = static_cast<std::uint8_t>(prng.NextInt(0, 7));
+  return f;
+}
+
+CompFields SampleComp(Prng& prng) {
+  CompFields f;
+  f.dept = static_cast<std::uint8_t>(prng.NextInt(0, 63));
+  f.inp_buff_id = static_cast<std::uint8_t>(prng.NextInt(0, 1));
+  f.wgt_buff_id = static_cast<std::uint8_t>(prng.NextInt(0, 1));
+  f.out_buff_id = static_cast<std::uint8_t>(prng.NextInt(0, 1));
+  f.inp_buff_base = static_cast<std::uint16_t>(prng.NextInt(0, 4095));
+  f.out_buff_base = static_cast<std::uint16_t>(prng.NextInt(0, 4095));
+  f.wgt_buff_base = static_cast<std::uint16_t>(prng.NextInt(0, 4095));
+  f.iw_num = static_cast<std::uint16_t>(prng.NextInt(0, 1023));
+  f.ow_num = static_cast<std::uint16_t>(prng.NextInt(0, 1023));
+  f.oh_num = static_cast<std::uint8_t>(prng.NextInt(0, 7));
+  f.ic_vecs = static_cast<std::uint16_t>(prng.NextInt(0, 4095));
+  f.oc_vecs = static_cast<std::uint16_t>(prng.NextInt(0, 4095));
+  f.stride = static_cast<std::uint8_t>(prng.NextInt(1, 4));
+  f.relu = prng.NextInt(0, 1) != 0;
+  f.quan = static_cast<std::uint8_t>(prng.NextInt(0, 31));
+  f.wino = prng.NextInt(0, 1) != 0;
+  f.wino_offset = static_cast<std::uint8_t>(prng.NextInt(0, 15));
+  f.kh = static_cast<std::uint8_t>(prng.NextInt(0, 15));
+  f.kw = static_cast<std::uint8_t>(prng.NextInt(0, 15));
+  f.base_row = static_cast<std::uint8_t>(prng.NextInt(0, 15));
+  f.base_col = static_cast<std::uint8_t>(prng.NextInt(0, 15));
+  f.accum_clear = prng.NextInt(0, 1) != 0;
+  f.accum_emit = prng.NextInt(0, 1) != 0;
+  return f;
+}
+
+SaveFields SampleSave(Prng& prng) {
+  SaveFields f;
+  f.dept = static_cast<std::uint8_t>(prng.NextInt(0, 63));
+  f.buff_id = static_cast<std::uint8_t>(prng.NextInt(0, 3));
+  f.buff_base = static_cast<std::uint16_t>(prng.NextInt(0, 4095));
+  f.dram_base = static_cast<std::uint32_t>(prng.NextInt(0, (1u << 31) - 1));
+  f.rows = static_cast<std::uint8_t>(prng.NextInt(0, 63));
+  f.cols = static_cast<std::uint16_t>(prng.NextInt(0, 4095));
+  f.oc_vecs = static_cast<std::uint16_t>(prng.NextInt(0, 4095));
+  f.layout = static_cast<SaveLayout>(prng.NextInt(0, 3));
+  f.pool = static_cast<std::uint8_t>(prng.NextInt(1, 4));
+  f.out_h = static_cast<std::uint16_t>(prng.NextInt(0, 4095));
+  f.out_w = static_cast<std::uint16_t>(prng.NextInt(0, 4095));
+  f.oc_pitch = static_cast<std::uint16_t>(prng.NextInt(0, 8191));
+  return f;
+}
+
+class RoundTripTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoundTripTest, LoadInstructionsRoundTrip) {
+  Prng prng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    for (Opcode op :
+         {Opcode::kLoadInp, Opcode::kLoadWgt, Opcode::kLoadBias}) {
+      const LoadFields f = SampleLoad(prng, op);
+      const InstrFields decoded = Decode(Encode(InstrFields{f}));
+      ASSERT_TRUE(std::holds_alternative<LoadFields>(decoded));
+      EXPECT_EQ(std::get<LoadFields>(decoded), f);
+    }
+  }
+}
+
+TEST_P(RoundTripTest, CompInstructionsRoundTrip) {
+  Prng prng(GetParam() + 100);
+  for (int i = 0; i < 200; ++i) {
+    const CompFields f = SampleComp(prng);
+    const InstrFields decoded = Decode(Encode(InstrFields{f}));
+    ASSERT_TRUE(std::holds_alternative<CompFields>(decoded));
+    EXPECT_EQ(std::get<CompFields>(decoded), f);
+  }
+}
+
+TEST_P(RoundTripTest, SaveInstructionsRoundTrip) {
+  Prng prng(GetParam() + 200);
+  for (int i = 0; i < 200; ++i) {
+    const SaveFields f = SampleSave(prng);
+    const InstrFields decoded = Decode(Encode(InstrFields{f}));
+    ASSERT_TRUE(std::holds_alternative<SaveFields>(decoded));
+    EXPECT_EQ(std::get<SaveFields>(decoded), f);
+  }
+}
+
+TEST_P(RoundTripTest, AssemblerTextRoundTrip) {
+  Prng prng(GetParam() + 300);
+  std::vector<Instruction> program;
+  for (int i = 0; i < 20; ++i) {
+    program.push_back(Encode(InstrFields{SampleLoad(prng, Opcode::kLoadInp)}));
+    program.push_back(Encode(InstrFields{SampleLoad(prng, Opcode::kLoadWgt)}));
+    program.push_back(Encode(InstrFields{SampleComp(prng)}));
+    program.push_back(Encode(InstrFields{SampleSave(prng)}));
+  }
+  program.push_back(Encode(InstrFields{CtrlFields{Opcode::kEnd, 0}}));
+  const std::string text = DisassembleProgram(program);
+  const std::vector<Instruction> back = AssembleProgram(text);
+  ASSERT_EQ(back.size(), program.size());
+  for (std::size_t i = 0; i < program.size(); ++i) {
+    EXPECT_EQ(back[i], program[i]) << "instruction " << i << ":\n"
+                                   << Disassemble(program[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripTest,
+                         ::testing::Values(1, 2, 3, 42, 1234));
+
+TEST(CodecTest, FieldOverflowThrows) {
+  LoadFields f;
+  f.op = Opcode::kLoadInp;
+  f.chan_vecs = 5000;  // 12-bit field
+  EXPECT_THROW(Encode(InstrFields{f}), InvalidArgument);
+}
+
+TEST(CodecTest, CompStrideRangeEnforced) {
+  CompFields f;
+  f.stride = 5;
+  EXPECT_THROW(Encode(InstrFields{f}), InvalidArgument);
+  f.stride = 0;
+  EXPECT_THROW(Encode(InstrFields{f}), InvalidArgument);
+}
+
+TEST(CodecTest, OpcodeNames) {
+  EXPECT_STREQ(OpcodeName(Opcode::kLoadInp), "LOAD_INP");
+  EXPECT_STREQ(OpcodeName(Opcode::kComp), "COMP");
+  EXPECT_STREQ(OpcodeName(Opcode::kEnd), "END");
+  EXPECT_STREQ(SaveLayoutName(SaveLayout::kWinoToSpat), "WINO-to-SPAT");
+}
+
+TEST(CodecTest, PeekOpcodeRejectsInvalid) {
+  Word128 w;
+  SetField(w, 124, 4, 9);  // not a defined opcode
+  EXPECT_THROW(PeekOpcode(w), InvalidArgument);
+}
+
+TEST(ValidateProgramTest, AcceptsEndTerminated) {
+  std::vector<Instruction> p{Encode(InstrFields{CtrlFields{Opcode::kNop, 0}}),
+                             Encode(InstrFields{CtrlFields{Opcode::kEnd, 0}})};
+  EXPECT_NO_THROW(ValidateProgram(p));
+}
+
+TEST(ValidateProgramTest, RejectsMissingEnd) {
+  std::vector<Instruction> p{Encode(InstrFields{CtrlFields{Opcode::kNop, 0}})};
+  EXPECT_THROW(ValidateProgram(p), InvalidArgument);
+}
+
+TEST(ValidateProgramTest, RejectsTrailingAfterEnd) {
+  std::vector<Instruction> p{Encode(InstrFields{CtrlFields{Opcode::kEnd, 0}}),
+                             Encode(InstrFields{CtrlFields{Opcode::kNop, 0}})};
+  EXPECT_THROW(ValidateProgram(p), InvalidArgument);
+}
+
+TEST(ValidateProgramTest, RejectsEmpty) {
+  EXPECT_THROW(ValidateProgram({}), InvalidArgument);
+}
+
+TEST(AssemblerTest, ParsesMinimalProgram) {
+  const std::string text =
+      "# a comment\n"
+      "LOAD_INP dept=0xa buff=1 base=0 dram=64 rows=4 cols=8 cv=2 aux=8 "
+      "pitch=8 pad=1,1,1,1 wino=1\n"
+      "END\n";
+  const auto program = AssembleProgram(text);
+  ASSERT_EQ(program.size(), 2u);
+  const auto f = std::get<LoadFields>(Decode(program[0]));
+  EXPECT_EQ(f.dept, 0xa);
+  EXPECT_EQ(f.rows, 4);
+  EXPECT_TRUE(f.wino);
+  EXPECT_EQ(f.pad_l, 1);
+}
+
+TEST(AssemblerTest, RejectsBadMnemonic) {
+  EXPECT_THROW(AssembleProgram("FROBNICATE x=1\n"), ParseError);
+}
+
+TEST(AssemblerTest, RejectsMalformedKeyValue) {
+  EXPECT_THROW(AssembleProgram("COMP banana\n"), ParseError);
+  EXPECT_THROW(AssembleProgram("COMP ow=abc\n"), ParseError);
+}
+
+TEST(AssemblerTest, ErrorsIncludeLineNumbers) {
+  try {
+    AssembleProgram("NOP\nBADOP\n");
+    FAIL();
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace hdnn

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "nn/builders.h"
+#include "nn/model.h"
+
+namespace hdnn {
+namespace {
+
+TEST(ConvLayerTest, OutputGeometrySamePad) {
+  ConvLayer l;
+  l.name = "l";
+  l.in_channels = 3;
+  l.out_channels = 8;
+  const FmapShape out = l.ConvOutput(FmapShape{3, 32, 32});
+  EXPECT_EQ(out.channels, 8);
+  EXPECT_EQ(out.height, 32);
+  EXPECT_EQ(out.width, 32);
+}
+
+TEST(ConvLayerTest, OutputGeometryStrideNoPad) {
+  ConvLayer l;
+  l.name = "l";
+  l.in_channels = 3;
+  l.out_channels = 8;
+  l.kernel_h = l.kernel_w = 11;
+  l.stride = 4;
+  l.pad = 0;
+  const FmapShape out = l.ConvOutput(FmapShape{3, 227, 227});
+  EXPECT_EQ(out.height, 55);
+  EXPECT_EQ(out.width, 55);
+}
+
+TEST(ConvLayerTest, PoolHalvesOutput) {
+  ConvLayer l;
+  l.name = "l";
+  l.in_channels = 4;
+  l.out_channels = 4;
+  l.pool = 2;
+  const FmapShape out = l.Output(FmapShape{4, 16, 16});
+  EXPECT_EQ(out.height, 8);
+  EXPECT_EQ(out.width, 8);
+}
+
+TEST(ConvLayerTest, PoolMustTile) {
+  ConvLayer l;
+  l.name = "l";
+  l.in_channels = 4;
+  l.out_channels = 4;
+  l.pool = 3;
+  EXPECT_THROW(l.Output(FmapShape{4, 16, 16}), InvalidArgument);
+}
+
+TEST(ConvLayerTest, MacCount) {
+  ConvLayer l;
+  l.name = "l";
+  l.in_channels = 2;
+  l.out_channels = 4;
+  l.pad = 1;
+  // 4 * 2 * 3 * 3 * 8 * 8 = 4608 MACs
+  EXPECT_EQ(l.Macs(FmapShape{2, 8, 8}), 4608);
+  EXPECT_EQ(l.Ops(FmapShape{2, 8, 8}), 9216);
+}
+
+TEST(ModelTest, AppendValidatesChannelChain) {
+  Model m("m", FmapShape{3, 8, 8});
+  ConvLayer l;
+  l.name = "bad";
+  l.in_channels = 4;  // mismatch with 3
+  l.out_channels = 8;
+  EXPECT_THROW(m.Append(l), InvalidArgument);
+}
+
+TEST(ModelTest, ShapeInferenceChains) {
+  const Model m = BuildTinyCnn();
+  EXPECT_EQ(m.InputOf(0).height, 32);
+  EXPECT_EQ(m.OutputOf(0).height, 16);  // pool2
+  EXPECT_EQ(m.OutputOf(2).channels, 64);
+  EXPECT_EQ(m.OutputOf(2).height, 4);
+}
+
+TEST(ModelTest, FcFlattensInput) {
+  const Model m = BuildTinyCnn();
+  const int fc = m.num_layers() - 1;
+  EXPECT_TRUE(m.layer(fc).is_fc);
+  EXPECT_EQ(m.InputOf(fc).channels, 64 * 4 * 4);
+  EXPECT_EQ(m.InputOf(fc).height, 1);
+  EXPECT_EQ(m.OutputShape().channels, 10);
+}
+
+TEST(ModelTest, Vgg16Structure) {
+  const Model m = BuildVgg16();
+  EXPECT_EQ(m.num_layers(), 16);  // 13 conv + 3 fc
+  EXPECT_EQ(m.OutputShape().channels, 1000);
+  // conv5_3 output after pool: 512 x 7 x 7
+  EXPECT_EQ(m.OutputOf(12).channels, 512);
+  EXPECT_EQ(m.OutputOf(12).height, 7);
+}
+
+TEST(ModelTest, Vgg16OpCountMatchesLiterature) {
+  // VGG16 is ~30.9 GOP end to end (~30.7 GOP conv-only), the number used
+  // for all Table 4 GOPS calculations.
+  const Model full = BuildVgg16();
+  const Model conv = BuildVgg16ConvOnly();
+  EXPECT_NEAR(static_cast<double>(full.TotalOps()), 30.94e9, 0.1e9);
+  EXPECT_NEAR(static_cast<double>(conv.TotalOps()), 30.69e9, 0.1e9);
+}
+
+TEST(ModelTest, AlexNetStyleBuilds) {
+  const Model m = BuildAlexNetStyle();
+  EXPECT_GT(m.TotalOps(), 0);
+  EXPECT_EQ(m.layer(0).kernel_h, 11);
+  EXPECT_EQ(m.layer(1).kernel_h, 5);
+  EXPECT_EQ(m.OutputShape().channels, 256);
+}
+
+TEST(ModelTest, SummaryMentionsEveryLayer) {
+  const Model m = BuildTinyCnn();
+  const std::string s = m.Summary();
+  for (int i = 0; i < m.num_layers(); ++i) {
+    EXPECT_NE(s.find(m.layer(i).name), std::string::npos) << m.layer(i).name;
+  }
+}
+
+TEST(ModelTest, SingleConvBuilderSamePadDefault) {
+  const Model m = BuildSingleConv(3, 8, 16, 16, 5);
+  EXPECT_EQ(m.layer(0).pad, 2);
+  EXPECT_EQ(m.OutputShape().height, 16);
+}
+
+TEST(ModelTest, EmptyModelOutputThrows) {
+  Model m("empty", FmapShape{1, 1, 1});
+  EXPECT_THROW(m.OutputShape(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hdnn

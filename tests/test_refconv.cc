@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+#include "refconv/direct.h"
+#include "refconv/im2col.h"
+#include "refconv/pool.h"
+
+namespace hdnn {
+namespace {
+
+Tensor<float> RandomF(const Shape& shape, std::uint64_t seed) {
+  Tensor<float> t(shape);
+  Prng prng(seed);
+  t.FillRandomReal(prng, -1.0, 1.0);
+  return t;
+}
+
+TEST(DirectConvTest, IdentityKernelCopiesInput) {
+  // 1x1 kernel with value 1 and C=K=1 must reproduce the input.
+  Tensor<float> in = RandomF(Shape{1, 5, 5}, 1);
+  Tensor<float> w(Shape{1, 1, 1, 1}, 1.0f);
+  Tensor<float> bias;
+  const auto out = Conv2dDirect(in, w, bias, 1, 0, false);
+  EXPECT_EQ(out.shape(), in.shape());
+  EXPECT_LT(MaxAbsDiff(out, in), 1e-6);
+}
+
+TEST(DirectConvTest, BiasIsAdded) {
+  Tensor<float> in(Shape{1, 3, 3}, 0.0f);
+  Tensor<float> w(Shape{2, 1, 1, 1}, 0.0f);
+  Tensor<float> bias(Shape{2});
+  bias.flat(0) = 1.5f;
+  bias.flat(1) = -2.5f;
+  const auto out = Conv2dDirect(in, w, bias, 1, 0, false);
+  EXPECT_FLOAT_EQ(out.at(0, 1, 1), 1.5f);
+  EXPECT_FLOAT_EQ(out.at(1, 1, 1), -2.5f);
+}
+
+TEST(DirectConvTest, ReluClampsNegatives) {
+  Tensor<float> in(Shape{1, 2, 2}, 1.0f);
+  Tensor<float> w(Shape{1, 1, 1, 1}, -1.0f);
+  Tensor<float> bias;
+  const auto out = Conv2dDirect(in, w, bias, 1, 0, true);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 0.0f);
+}
+
+TEST(DirectConvTest, ChannelMismatchThrows) {
+  Tensor<float> in(Shape{2, 4, 4});
+  Tensor<float> w(Shape{1, 3, 3, 3});
+  Tensor<float> bias;
+  EXPECT_THROW(Conv2dDirect(in, w, bias, 1, 1, false), InvalidArgument);
+}
+
+struct RefCase {
+  int c, k, h, w, r, stride, pad;
+  const char* label;
+};
+
+std::ostream& operator<<(std::ostream& os, const RefCase& rc) {
+  return os << rc.label;
+}
+
+class DirectVsIm2ColTest : public ::testing::TestWithParam<RefCase> {};
+
+TEST_P(DirectVsIm2ColTest, TwoReferencesAgree) {
+  const RefCase& rc = GetParam();
+  Tensor<float> in = RandomF(Shape{rc.c, rc.h, rc.w}, 10);
+  Tensor<float> w = RandomF(Shape{rc.k, rc.c, rc.r, rc.r}, 11);
+  Tensor<float> bias = RandomF(Shape{rc.k}, 12);
+  const auto a = Conv2dDirect(in, w, bias, rc.stride, rc.pad, false);
+  const auto b = Conv2dIm2Col(in, w, bias, rc.stride, rc.pad, false);
+  EXPECT_EQ(a.shape(), b.shape());
+  EXPECT_LT(MaxAbsDiff(a, b), 1e-4) << rc.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DirectVsIm2ColTest,
+    ::testing::Values(RefCase{1, 1, 4, 4, 3, 1, 1, "minimal"},
+                      RefCase{3, 8, 8, 8, 3, 1, 1, "typical3x3"},
+                      RefCase{4, 4, 9, 7, 3, 1, 0, "rect_nopad"},
+                      RefCase{2, 6, 12, 12, 5, 1, 2, "k5"},
+                      RefCase{2, 2, 11, 11, 3, 2, 1, "stride2"},
+                      RefCase{8, 16, 6, 6, 1, 1, 0, "pointwise"},
+                      RefCase{5, 7, 13, 9, 7, 2, 3, "k7s2"}),
+    [](const auto& info) { return std::string(info.param.label); });
+
+TEST(QuantConvTest, MatchesFloatWithinLsb) {
+  // Integer conv on integer-valued float data must agree exactly before
+  // requantisation; with shift 0 the comparison is exact.
+  Prng prng(3);
+  Tensor<std::int16_t> in(Shape{3, 6, 6});
+  in.FillRandomInt(prng, -20, 20);
+  Tensor<std::int8_t> w(Shape{4, 3, 3, 3});
+  w.FillRandomInt(prng, -8, 8);
+  Tensor<std::int32_t> bias(Shape{4});
+  bias.FillRandomInt(prng, -100, 100);
+
+  Tensor<float> inf(in.shape());
+  for (std::int64_t i = 0; i < in.elements(); ++i) inf.flat(i) = in.flat(i);
+  Tensor<float> wf(w.shape());
+  for (std::int64_t i = 0; i < w.elements(); ++i) wf.flat(i) = w.flat(i);
+  Tensor<float> bf(bias.shape());
+  for (std::int64_t i = 0; i < bias.elements(); ++i) bf.flat(i) = bias.flat(i);
+
+  const auto qout = Conv2dDirectQ(in, w, bias, 1, 1, 0, 16, false);
+  const auto fout = Conv2dDirect(inf, wf, bf, 1, 1, false);
+  for (std::int64_t i = 0; i < qout.elements(); ++i) {
+    EXPECT_EQ(static_cast<float>(qout.flat(i)), fout.flat(i)) << i;
+  }
+}
+
+TEST(QuantConvTest, RequantShiftHalves) {
+  Tensor<std::int16_t> in(Shape{1, 1, 1}, 10);
+  Tensor<std::int8_t> w(Shape{1, 1, 1, 1}, 2);
+  Tensor<std::int32_t> bias;
+  const auto out = Conv2dDirectQ(in, w, bias, 1, 0, 2, 12, false);
+  EXPECT_EQ(out.at(0, 0, 0), 5);  // 20 >> 2 = 5
+}
+
+TEST(QuantConvTest, SaturatesToFeatureWidth) {
+  Tensor<std::int16_t> in(Shape{1, 1, 1}, 2000);
+  Tensor<std::int8_t> w(Shape{1, 1, 1, 1}, 100);
+  Tensor<std::int32_t> bias;
+  const auto out = Conv2dDirectQ(in, w, bias, 1, 0, 0, 12, false);
+  EXPECT_EQ(out.at(0, 0, 0), 2047);
+}
+
+TEST(QuantConvTest, ReluAppliesAfterRequant) {
+  Tensor<std::int16_t> in(Shape{1, 1, 1}, -10);
+  Tensor<std::int8_t> w(Shape{1, 1, 1, 1}, 5);
+  Tensor<std::int32_t> bias;
+  const auto out = Conv2dDirectQ(in, w, bias, 1, 0, 0, 12, true);
+  EXPECT_EQ(out.at(0, 0, 0), 0);
+}
+
+TEST(PoolTest, MaxPoolPicksMaximum) {
+  Tensor<float> in(Shape{1, 2, 2});
+  in.flat(0) = 1;
+  in.flat(1) = 4;
+  in.flat(2) = -2;
+  in.flat(3) = 3;
+  const auto out = MaxPool2d(in, 2);
+  EXPECT_EQ(out.shape(), Shape({1, 1, 1}));
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 4.0f);
+}
+
+TEST(PoolTest, MaxPoolQNegativeValues) {
+  Tensor<std::int16_t> in(Shape{1, 2, 2}, -5);
+  in.at(0, 1, 1) = -1;
+  const auto out = MaxPool2dQ(in, 2);
+  EXPECT_EQ(out.at(0, 0, 0), -1);
+}
+
+TEST(PoolTest, AvgPoolAverages) {
+  Tensor<float> in(Shape{1, 2, 2});
+  in.flat(0) = 1;
+  in.flat(1) = 2;
+  in.flat(2) = 3;
+  in.flat(3) = 4;
+  const auto out = AvgPool2d(in, 2);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 2.5f);
+}
+
+TEST(PoolTest, NonTilingWindowThrows) {
+  Tensor<float> in(Shape{1, 3, 3});
+  EXPECT_THROW(MaxPool2d(in, 2), InvalidArgument);
+}
+
+TEST(RunLayerQTest, ConvReluPoolPipeline) {
+  Prng prng(4);
+  ConvLayer layer;
+  layer.name = "l";
+  layer.in_channels = 2;
+  layer.out_channels = 2;
+  layer.relu = true;
+  layer.pool = 2;
+  Tensor<std::int16_t> in(Shape{2, 8, 8});
+  in.FillRandomInt(prng, -64, 64);
+  Tensor<std::int8_t> w(Shape{2, 2, 3, 3});
+  w.FillRandomInt(prng, -8, 8);
+  Tensor<std::int32_t> bias(Shape{2});
+  bias.FillRandomInt(prng, -16, 16);
+  const auto out = RunLayerQ(layer, in, w, bias, 6, 12);
+  EXPECT_EQ(out.shape(), Shape({2, 4, 4}));
+  for (std::int64_t i = 0; i < out.elements(); ++i) {
+    EXPECT_GE(out.flat(i), 0);  // ReLU before pool
+  }
+}
+
+}  // namespace
+}  // namespace hdnn

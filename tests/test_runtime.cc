@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "frontend/parser.h"
+#include "nn/builders.h"
+#include "runtime/design_flow.h"
+#include "runtime/runtime.h"
+#include "testing_util.h"
+
+namespace hdnn {
+namespace {
+
+using ::hdnn::testing::TestSpec;
+
+TEST(RuntimeTest, StageAndCollectRoundTrip) {
+  DramModel dram(4096);
+  Prng prng(3);
+  Tensor<std::int16_t> fmap(Shape{3, 5, 7});
+  fmap.FillRandomInt(prng, -100, 100);
+  for (ConvMode layout : {ConvMode::kSpatial, ConvMode::kWinograd}) {
+    StageInputFmap(dram, 64, layout, fmap, /*padded_channels=*/4);
+    const auto back =
+        CollectOutputFmap(dram, 64, layout, FmapShape{3, 5, 7}, 4);
+    EXPECT_EQ(back, fmap);
+  }
+}
+
+TEST(RuntimeTest, PaddedChannelsAreZero) {
+  DramModel dram(4096);
+  Tensor<std::int16_t> fmap(Shape{2, 3, 3}, 5);
+  StageInputFmap(dram, 0, ConvMode::kWinograd, fmap, 4);
+  // Channels 2..3 must read back zero.
+  const auto padded =
+      CollectOutputFmap(dram, 0, ConvMode::kWinograd, FmapShape{4, 3, 3}, 4);
+  for (int h = 0; h < 3; ++h) {
+    for (int w = 0; w < 3; ++w) {
+      EXPECT_EQ(padded.at(2, h, w), 0);
+      EXPECT_EQ(padded.at(3, h, w), 0);
+    }
+  }
+}
+
+TEST(DesignFlowTest, EndToEndTinyCnnFunctional) {
+  const DesignFlow flow(TestSpec());
+  const DesignFlowResult r = flow.Run(BuildTinyCnn(), /*functional=*/true);
+  EXPECT_GT(r.report.stats.total_cycles, 0);
+  EXPECT_GT(r.report.gops, 0);
+  EXPECT_EQ(r.report.output.shape(), Shape({10, 1, 1}));
+  // The functional output must match the golden model under the DSE's
+  // chosen mapping.
+  std::vector<LayerMapping> effective;
+  for (const LayerPlan& plan : r.compiled.plans) {
+    effective.push_back(plan.mapping);
+  }
+  const ModelWeightsQ weights = SyntheticWeights(BuildTinyCnn(), 1);
+  Tensor<std::int16_t> input(Shape{3, 32, 32});
+  Prng prng(1 ^ 0x9e3779b9u);
+  input.FillRandomInt(prng, -128, 127);
+  const auto golden = ::hdnn::testing::GoldenForward(
+      BuildTinyCnn(), weights, input, effective, r.dse.config,
+      r.compiled.base_shift);
+  EXPECT_EQ(r.report.output, golden);
+}
+
+TEST(DesignFlowTest, TimingOnlyRunIsFastAndConsistent) {
+  const DesignFlow flow(TestSpec());
+  const DesignFlowResult a = flow.Run(BuildTinyCnn(), /*functional=*/false);
+  const DesignFlowResult b = flow.Run(BuildTinyCnn(), /*functional=*/true);
+  // Timing does not depend on data values.
+  EXPECT_DOUBLE_EQ(a.report.stats.total_cycles, b.report.stats.total_cycles);
+}
+
+TEST(DesignFlowTest, RunFromTextMatchesProgrammatic) {
+  const DesignFlow flow(TestSpec());
+  const std::string text = WriteModelText(BuildTinyCnn());
+  const DesignFlowResult a = flow.RunFromText(text, /*functional=*/false);
+  const DesignFlowResult b = flow.Run(BuildTinyCnn(), /*functional=*/false);
+  EXPECT_DOUBLE_EQ(a.report.stats.total_cycles, b.report.stats.total_cycles);
+  EXPECT_EQ(a.dse.config, b.dse.config);
+}
+
+TEST(RuntimeTest, LayerCyclesSumToTotal) {
+  const DesignFlow flow(TestSpec());
+  const DesignFlowResult r = flow.Run(BuildTinyCnn(), /*functional=*/false);
+  double sum = 0;
+  for (double c : r.report.layer_cycles) sum += c;
+  EXPECT_NEAR(sum, r.report.stats.total_cycles,
+              0.01 * r.report.stats.total_cycles + 10);
+}
+
+TEST(RuntimeTest, MismatchedConfigRejected) {
+  const Model m = BuildTinyCnn();
+  AccelConfig cfg = ::hdnn::testing::TestConfig(4);
+  const Compiler compiler(cfg, TestSpec());
+  std::vector<LayerMapping> mapping(
+      static_cast<std::size_t>(m.num_layers()),
+      LayerMapping{ConvMode::kSpatial, Dataflow::kInputStationary});
+  CompiledModel cm = compiler.Compile(m, mapping);
+  AccelConfig other = cfg;
+  other.pi = 8;
+  Runtime runtime(other, TestSpec());
+  EXPECT_THROW(runtime.Execute(m, cm, {}, {}, false), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hdnn

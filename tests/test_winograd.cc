@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+#include "refconv/direct.h"
+#include "winograd/decompose.h"
+#include "winograd/matrices.h"
+#include "winograd/transform.h"
+#include "winograd/wino_conv.h"
+
+namespace hdnn {
+namespace {
+
+Tensor<float> RandomF(const Shape& shape, std::uint64_t seed) {
+  Tensor<float> t(shape);
+  Prng prng(seed);
+  t.FillRandomReal(prng, -1.0, 1.0);
+  return t;
+}
+
+// --- matrices ---
+
+TEST(MatricesTest, ParamsForPt) {
+  EXPECT_EQ(WinoParamForPt(4).m, 2);
+  EXPECT_EQ(WinoParamForPt(6).m, 4);
+  EXPECT_THROW(WinoParamForPt(5), InvalidArgument);
+}
+
+TEST(MatricesTest, MultCountsMatchPaperClaim) {
+  // Paper Sec. 4.2.1: F(4x4,3x3) needs 36 multiplications per tile vs 144
+  // for Spatial — a 4x reduction. F(2x2,3x3): 16 vs 36 = 2.25x.
+  const WinoParam f4 = WinoParamForPt(6);
+  EXPECT_EQ(f4.wino_mults_per_tile(), 36);
+  EXPECT_EQ(f4.spatial_mults_per_tile(), 144);
+  const WinoParam f2 = WinoParamForPt(4);
+  EXPECT_EQ(f2.wino_mults_per_tile(), 16);
+  EXPECT_EQ(f2.spatial_mults_per_tile(), 36);
+}
+
+class WinoCorrectnessTest : public ::testing::TestWithParam<int> {};
+
+// The fundamental Winograd identity on a single tile:
+// AT [ (G g GT) (.) (BT d B) ] A == conv(d, g) valid region.
+TEST_P(WinoCorrectnessTest, SingleTileIdentity) {
+  const int pt = GetParam();
+  const int m = WinoParamForPt(pt).m;
+  Prng prng(42);
+  std::vector<double> d(static_cast<std::size_t>(pt * pt));
+  std::vector<double> g(9);
+  for (auto& v : d) v = prng.NextDouble(-1, 1);
+  for (auto& v : g) v = prng.NextDouble(-1, 1);
+
+  const auto v = TransformInputTileF(d, pt);
+  const auto u = TransformKernelF(g, pt);
+  std::vector<double> mm(static_cast<std::size_t>(pt * pt));
+  for (int i = 0; i < pt * pt; ++i) {
+    mm[static_cast<std::size_t>(i)] =
+        u[static_cast<std::size_t>(i)] * v[static_cast<std::size_t>(i)];
+  }
+  const auto y = TransformOutputTileF(mm, pt);
+
+  // Direct valid convolution of the tile.
+  for (int oy = 0; oy < m; ++oy) {
+    for (int ox = 0; ox < m; ++ox) {
+      double ref = 0;
+      for (int r = 0; r < 3; ++r) {
+        for (int s = 0; s < 3; ++s) {
+          ref += d[static_cast<std::size_t>((oy + r) * pt + ox + s)] *
+                 g[static_cast<std::size_t>(r * 3 + s)];
+        }
+      }
+      EXPECT_NEAR(y[static_cast<std::size_t>(oy * m + ox)], ref, 1e-9)
+          << "tile output (" << oy << "," << ox << ") pt=" << pt;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothTileSizes, WinoCorrectnessTest,
+                         ::testing::Values(4, 6));
+
+TEST(TransformTest, IntegerInputTransformMatchesFloat) {
+  for (int pt : {4, 6}) {
+    Prng prng(7);
+    std::vector<std::int32_t> d(static_cast<std::size_t>(pt * pt));
+    std::vector<double> df(static_cast<std::size_t>(pt * pt));
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      d[i] = static_cast<std::int32_t>(prng.NextInt(-2048, 2047));
+      df[i] = d[i];
+    }
+    const auto vi = TransformInputTile(d, pt);
+    const auto vf = TransformInputTileF(df, pt);
+    for (std::size_t i = 0; i < vi.size(); ++i) {
+      EXPECT_EQ(static_cast<double>(vi[i]), vf[i]) << "pt=" << pt;
+    }
+  }
+}
+
+TEST(TransformTest, KernelTransformExactForPt4) {
+  // G entries for F(2x2,3x3) are multiples of 1/2, so U * 4 is integral:
+  // quantisation with u_shift = 2 is exact.
+  Prng prng(9);
+  std::vector<std::int8_t> g(9);
+  for (auto& v : g) v = static_cast<std::int8_t>(prng.NextInt(-127, 127));
+  std::vector<double> gf(9);
+  for (int i = 0; i < 9; ++i) gf[static_cast<std::size_t>(i)] = g[static_cast<std::size_t>(i)];
+  const auto uq = TransformKernelQ(g, 4, 2);
+  const auto uf = TransformKernelF(gf, 4);
+  for (std::size_t i = 0; i < uq.size(); ++i) {
+    EXPECT_EQ(static_cast<double>(uq[i]), uf[i] * 4.0);
+  }
+}
+
+TEST(TransformTest, KernelTransformBoundedForPt6) {
+  // |U| <= max|g| for F(4x4,3x3) (G row abs-sums <= 1), so int16 with
+  // u_shift 7 never saturates for int8 kernels.
+  Prng prng(13);
+  for (int iter = 0; iter < 50; ++iter) {
+    std::vector<std::int8_t> g(9);
+    for (auto& v : g) v = static_cast<std::int8_t>(prng.NextInt(-127, 127));
+    const auto uq = TransformKernelQ(g, 6, 7);
+    for (const auto v : uq) {
+      EXPECT_LE(std::abs(static_cast<int>(v)), 127 * 128);
+    }
+  }
+}
+
+TEST(TransformTest, InputGrowthBound) {
+  EXPECT_EQ(InputTransformGrowth(4), 4);    // rows sum <= 2
+  EXPECT_EQ(InputTransformGrowth(6), 100);  // rows sum <= 10
+}
+
+// --- decomposition ---
+
+TEST(DecomposeTest, SliceCounts) {
+  EXPECT_EQ(NumKernelSlices(3, 3), 1);
+  EXPECT_EQ(NumKernelSlices(5, 5), 4);
+  EXPECT_EQ(NumKernelSlices(7, 7), 9);
+  EXPECT_EQ(NumKernelSlices(1, 1), 1);
+  EXPECT_EQ(NumKernelSlices(11, 11), 16);
+  EXPECT_EQ(NumKernelSlices(3, 7), 3);
+}
+
+TEST(DecomposeTest, SlicesPartitionTheKernel) {
+  Prng prng(5);
+  Tensor<float> w(Shape{2, 3, 5, 5});
+  w.FillRandomReal(prng, -1, 1);
+  const auto slices = DecomposeKernel(w);
+  ASSERT_EQ(slices.size(), 4u);
+  // Every original tap appears in exactly one slice at the right offset.
+  Tensor<float> reassembled(Shape{2, 3, 5, 5});
+  for (const auto& slice : slices) {
+    for (int k = 0; k < 2; ++k) {
+      for (int c = 0; c < 3; ++c) {
+        for (int r = 0; r < 3; ++r) {
+          for (int s = 0; s < 3; ++s) {
+            const int rr = slice.row_offset + r;
+            const int ss = slice.col_offset + s;
+            if (rr < 5 && ss < 5) {
+              reassembled.at(k, c, rr, ss) = slice.kernel.at(k, c, r, s);
+            } else {
+              EXPECT_EQ(slice.kernel.at(k, c, r, s), 0.0f)
+                  << "zero padding expected beyond kernel";
+            }
+          }
+        }
+      }
+    }
+  }
+  EXPECT_LT(MaxAbsDiff(reassembled, w), 1e-7);
+}
+
+// --- full convolutions ---
+
+struct WinoCase {
+  int c, k, h, w, kernel, pad;
+  const char* label;
+};
+
+std::ostream& operator<<(std::ostream& os, const WinoCase& wc) {
+  return os << wc.label;
+}
+
+class WinoConvTest : public ::testing::TestWithParam<std::tuple<WinoCase, int>> {};
+
+TEST_P(WinoConvTest, FloatWinogradMatchesDirect) {
+  const auto& [wc, pt] = GetParam();
+  Tensor<float> in = RandomF(Shape{wc.c, wc.h, wc.w}, 21);
+  Tensor<float> w = RandomF(Shape{wc.k, wc.c, wc.kernel, wc.kernel}, 22);
+  Tensor<float> bias = RandomF(Shape{wc.k}, 23);
+  const auto wino = Conv2dWinogradF(in, w, bias, wc.pad, false, pt);
+  const auto ref = Conv2dDirect(in, w, bias, 1, wc.pad, false);
+  EXPECT_EQ(wino.shape(), ref.shape());
+  EXPECT_LT(MaxAbsDiff(wino, ref), 1e-3) << wc.label;
+}
+
+TEST_P(WinoConvTest, GemmFormulationMatchesTileFormulation) {
+  // Paper Eq. 2: the EWMM splits into PT^2 independent GEMMs. Both
+  // evaluation orders must agree.
+  const auto& [wc, pt] = GetParam();
+  Tensor<float> in = RandomF(Shape{wc.c, wc.h, wc.w}, 31);
+  Tensor<float> w = RandomF(Shape{wc.k, wc.c, wc.kernel, wc.kernel}, 32);
+  Tensor<float> bias;
+  const auto a = Conv2dWinogradF(in, w, bias, wc.pad, false, pt);
+  const auto b = Conv2dWinogradGemmF(in, w, bias, wc.pad, false, pt);
+  EXPECT_LT(MaxAbsDiff(a, b), 1e-4) << wc.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, WinoConvTest,
+    ::testing::Combine(
+        ::testing::Values(WinoCase{1, 1, 6, 6, 3, 1, "minimal"},
+                          WinoCase{3, 4, 8, 8, 3, 1, "typical"},
+                          WinoCase{2, 2, 9, 7, 3, 0, "rect_nopad"},
+                          WinoCase{2, 3, 10, 10, 5, 2, "k5_decomposed"},
+                          WinoCase{1, 2, 14, 14, 7, 3, "k7_decomposed"},
+                          WinoCase{4, 4, 5, 5, 1, 0, "k1_padded_up"}),
+        ::testing::Values(4, 6)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param).label) + "_pt" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(WinoQuantTest, Pt4IsBitExactAgainstSpatial) {
+  // F(2x2,3x3) integer Winograd with u_shift=2 is *exactly* equal to the
+  // direct integer convolution — the strongest equivalence property the
+  // hybrid PE relies on.
+  Prng prng(17);
+  Tensor<std::int16_t> in(Shape{3, 10, 10});
+  in.FillRandomInt(prng, -512, 511);
+  Tensor<std::int8_t> w(Shape{4, 3, 3, 3});
+  w.FillRandomInt(prng, -64, 64);
+  Tensor<std::int32_t> bias(Shape{4});
+  bias.FillRandomInt(prng, -1000, 1000);
+  for (int shift : {0, 4, 6}) {
+    const auto wino =
+        Conv2dWinogradQ(in, w, bias, 1, shift, 12, false, 4, 2);
+    const auto ref = Conv2dDirectQ(in, w, bias, 1, 1, shift, 12, false);
+    EXPECT_EQ(wino, ref) << "shift=" << shift;
+  }
+}
+
+TEST(WinoQuantTest, Pt6CloseToSpatialWithinQuantError) {
+  // F(4x4,3x3) has fractional G coefficients, so the offline U quantisation
+  // (u_shift = 7) introduces bounded error. The input transform grows values
+  // by up to 100x (InputTransformGrowth(6)), so the absolute error scales
+  // with |input|: err(Y) <~ |d|max * 100 * 2^-8 * C * A-amplification /
+  // 2^(shift + u_shift). For the ranges below that bound is ~10 LSB — this
+  // is the numeric cost the paper absorbs by widening PE features to 12 bit.
+  Prng prng(19);
+  Tensor<std::int16_t> in(Shape{4, 12, 12});
+  in.FillRandomInt(prng, -64, 63);
+  Tensor<std::int8_t> w(Shape{4, 4, 3, 3});
+  w.FillRandomInt(prng, -16, 16);
+  Tensor<std::int32_t> bias(Shape{4});
+  bias.FillRandomInt(prng, -100, 100);
+  const auto wino = Conv2dWinogradQ(in, w, bias, 1, 6, 12, false, 6, 7);
+  const auto ref = Conv2dDirectQ(in, w, bias, 1, 1, 6, 12, false);
+  double max_diff = 0;
+  for (std::int64_t i = 0; i < wino.elements(); ++i) {
+    max_diff = std::max(
+        max_diff, std::abs(static_cast<double>(wino.flat(i)) - ref.flat(i)));
+  }
+  EXPECT_LT(max_diff, 10) << "F(4x4) quantisation error out of expected range";
+}
+
+TEST(WinoQuantTest, ReluAndBiasHandling) {
+  Prng prng(23);
+  Tensor<std::int16_t> in(Shape{2, 6, 6});
+  in.FillRandomInt(prng, -128, 127);
+  Tensor<std::int8_t> w(Shape{2, 2, 3, 3});
+  w.FillRandomInt(prng, -16, 16);
+  Tensor<std::int32_t> bias(Shape{2});
+  bias.flat(0) = 500;
+  bias.flat(1) = -500;
+  const auto wino = Conv2dWinogradQ(in, w, bias, 1, 2, 12, true, 4, 2);
+  const auto ref = Conv2dDirectQ(in, w, bias, 1, 1, 2, 12, true);
+  EXPECT_EQ(wino, ref);
+}
+
+// --- multiplication accounting ---
+
+TEST(MultCountTest, ReductionFactorsMatchPaper) {
+  // 3x3 stride-1 same-pad layer: F(4x4) reduction ~4x, F(2x2) ~2.25x
+  // (modulo edge-tile rounding).
+  const auto f4 = CountConvMults(64, 64, 32, 32, 3, 3, 1, 6);
+  EXPECT_NEAR(f4.reduction(), 4.0, 0.15);
+  const auto f2 = CountConvMults(64, 64, 32, 32, 3, 3, 1, 4);
+  EXPECT_NEAR(f2.reduction(), 2.25, 0.1);
+}
+
+TEST(MultCountTest, DecompositionOverheadFor5x5) {
+  // Paper Sec. 5.2: a 5x5 kernel via F(4x4,3x3) loads
+  // 4 * 36 / 25 = 5.76x more weight data; compute reduction becomes
+  // 25 * 16 / (4 * 36) = 2.78x.
+  const auto f4 = CountConvMults(16, 16, 32, 32, 5, 5, 2, 6);
+  EXPECT_NEAR(f4.reduction(), 25.0 * 16 / (4 * 36), 0.2);
+}
+
+TEST(MultCountTest, PointwiseConvIsBetterSpatial) {
+  // 1x1 kernels padded to 3x3 waste Winograd multiplications.
+  const auto f = CountConvMults(32, 32, 16, 16, 1, 1, 0, 6);
+  EXPECT_LT(f.reduction(), 1.0);
+}
+
+}  // namespace
+}  // namespace hdnn
