@@ -1,0 +1,92 @@
+// Batch-serving throughput of the InferenceEngine: sweeps batch size x
+// worker count on the quickstart CNN and prints one JSON document.
+//
+// Two throughput domains are reported per cell:
+//   * host_items_per_s — wall-clock serving rate of this process (machine-
+//     and core-count-dependent);
+//   * aggregate_effective_gops — modeled-accelerator throughput with the W
+//     workers as W parallel instances (paper Table 4 "effective" style);
+//     deterministic, so the speedup-vs-1-worker column is exact.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/prng.h"
+#include "dse/search.h"
+#include "nn/builders.h"
+#include "runtime/engine.h"
+
+using namespace hdnn;
+
+int main() {
+  const FpgaSpec& spec = PynqZ1Spec();
+  const Model model = BuildTinyCnn();
+
+  // Same deployment the quickstart example arrives at: DSE picks the config
+  // and per-layer mapping for the platform.
+  const DseResult dse = DseEngine(spec).Explore(model);
+
+  const ModelWeightsQ weights = SyntheticWeights(model, 7);
+  std::vector<Tensor<std::int16_t>> batch_pool;
+  const int kMaxBatch = 16;
+  for (int i = 0; i < kMaxBatch; ++i) {
+    Tensor<std::int16_t> t(Shape{model.input().channels,
+                                 model.input().height, model.input().width});
+    Prng prng(1000 + static_cast<std::uint64_t>(i));
+    t.FillRandomInt(prng, -256, 255);
+    batch_pool.push_back(std::move(t));
+  }
+
+  const int batch_sizes[] = {1, 4, 8, 16};
+  const int worker_counts[] = {1, 2, 4};
+
+  std::printf("{\n");
+  std::printf("  \"model\": \"%s\",\n", model.name().c_str());
+  std::printf("  \"platform\": \"%s\",\n", spec.name.c_str());
+  std::printf("  \"config\": \"%s\",\n", dse.config.ToString().c_str());
+  std::printf("  \"total_gop_per_item\": %.6f,\n",
+              static_cast<double>(model.TotalOps()) / 1e9);
+  std::printf("  \"cells\": [\n");
+
+  bool first_cell = true;
+  // One engine per worker count so the program cache is also exercised:
+  // every batch size after the first must be a cache hit.
+  for (int workers : worker_counts) {
+    InferenceEngine engine(spec, workers);
+    for (int batch : batch_sizes) {
+      const std::span<const Tensor<std::int16_t>> inputs(
+          batch_pool.data(), static_cast<std::size_t>(batch));
+      const BatchReport r = engine.ExecuteBatch(model, dse.config, dse.mapping,
+                                                weights, inputs);
+      std::printf("%s    {\"workers\": %d, \"batch\": %d, "
+                  "\"wall_seconds\": %.6f, \"host_items_per_s\": %.2f, "
+                  "\"sim_makespan_ms\": %.4f, "
+                  "\"aggregate_effective_gops\": %.3f, "
+                  "\"program_cache_hit\": %s}",
+                  first_cell ? "" : ",\n", workers, batch, r.wall_seconds,
+                  r.items_per_second, r.sim_makespan_seconds * 1e3,
+                  r.aggregate_effective_gops, r.cache_hit ? "true" : "false");
+      first_cell = false;
+    }
+  }
+  std::printf("\n  ],\n");
+
+  // Headline: aggregate throughput at the largest batch, 4 workers vs 1.
+  double gops_w1 = 0, gops_w4 = 0;
+  {
+    const std::span<const Tensor<std::int16_t>> inputs(batch_pool.data(),
+                                                       kMaxBatch);
+    InferenceEngine e1(spec, 1);
+    InferenceEngine e4(spec, 4);
+    gops_w1 = e1.ExecuteBatch(model, dse.config, dse.mapping, weights, inputs)
+                  .aggregate_effective_gops;
+    gops_w4 = e4.ExecuteBatch(model, dse.config, dse.mapping, weights, inputs)
+                  .aggregate_effective_gops;
+  }
+  std::printf("  \"headline\": {\"batch\": %d, "
+              "\"gops_1_worker\": %.3f, \"gops_4_workers\": %.3f, "
+              "\"speedup_4v1\": %.3f}\n",
+              kMaxBatch, gops_w1, gops_w4, gops_w4 / gops_w1);
+  std::printf("}\n");
+  return 0;
+}

@@ -22,9 +22,17 @@ std::int64_t SaturateSigned(std::int64_t v, int bits) {
 std::int64_t RoundingShiftRight(std::int64_t v, int shift) {
   HDNN_CHECK(shift >= 0 && shift < 63) << "shift=" << shift;
   if (shift == 0) return v;
-  const std::int64_t bias = std::int64_t{1} << (shift - 1);
-  if (v >= 0) return (v + bias) >> shift;
-  return -((-v + bias) >> shift);
+  // Round half away from zero, on the magnitude in unsigned arithmetic:
+  // `-v` overflows for v == INT64_MIN and `v + bias` for v near INT64_MAX.
+  // |v| <= 2^63 and bias <= 2^61, so `mag + bias` never wraps and the
+  // shifted magnitude (<= 2^62 + 1) converts back to int64 exactly.
+  const std::uint64_t bias = std::uint64_t{1} << (shift - 1);
+  if (v >= 0) {
+    return static_cast<std::int64_t>(
+        (static_cast<std::uint64_t>(v) + bias) >> shift);
+  }
+  const std::uint64_t mag = ~static_cast<std::uint64_t>(v) + 1;  // |v|
+  return -static_cast<std::int64_t>((mag + bias) >> shift);
 }
 
 std::int64_t Requantize(std::int64_t acc, int shift, int out_bits) {

@@ -9,6 +9,8 @@
 
 #include <cstdint>
 
+#include "common/check.h"
+
 namespace hdnn {
 
 /// splitmix64: tiny, fast, well-distributed, fully deterministic.
@@ -23,10 +25,25 @@ class Prng {
     return z ^ (z >> 31);
   }
 
-  /// Uniform in [lo, hi] inclusive; requires hi >= lo.
+  /// Uniform in [lo, hi] inclusive; requires hi >= lo. Unbiased: draws are
+  /// rejected when they fall into the short final bucket of the modulo (for
+  /// spans far below 2^64 the rejection zone is vanishingly small, so golden
+  /// sequences are unchanged in practice).
   std::int64_t NextInt(std::int64_t lo, std::int64_t hi) {
-    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
-    return lo + static_cast<std::int64_t>(NextU64() % span);
+    HDNN_CHECK(hi >= lo) << "inverted range [" << lo << ", " << hi << "]";
+    // Width of [lo, hi] computed in unsigned arithmetic: signed `hi - lo`
+    // overflows for spans wider than int64. A full-range request wraps the
+    // width to 0 — and `% 0` is UB — so handle it as "any 64-bit draw".
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>(NextU64());
+    // Rejection sampling: 2^64 % span values at the top of the u64 range
+    // would over-represent the low residues; redraw instead of folding them.
+    const std::uint64_t zone = (0 - span) % span;  // == 2^64 mod span
+    std::uint64_t r = NextU64();
+    while (r < zone) r = NextU64();
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                     r % span);
   }
 
   /// Uniform in [0, 1).

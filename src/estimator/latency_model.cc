@@ -158,7 +158,6 @@ LatencyBreakdown EstimateLayerLatency(const ConvLayer& layer,
   const double pe_width = static_cast<double>(cfg.pi) * cfg.po * cfg.pt;
   const double m = cfg.wino_m();
 
-  const double K = out.channels, C = in.channels;
   const double R = layer.kernel_h, S = layer.kernel_w;
   const double OH = out.height, OW = out.width;
   const double H = in.height, W = in.width;

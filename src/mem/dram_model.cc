@@ -4,9 +4,12 @@
 
 namespace hdnn {
 
-DramModel::DramModel(std::int64_t words)
-    : words_(static_cast<std::size_t>(words), 0) {
+DramModel::DramModel(std::int64_t words) {
+  // Validate before sizing the backing store: a negative `words` cast to
+  // size_t would request a ~2^64-element allocation and die in bad_alloc
+  // before the precondition check could fire.
   HDNN_CHECK(words > 0) << "DRAM size must be positive";
+  words_.assign(static_cast<std::size_t>(words), 0);
 }
 
 std::int16_t DramModel::Read(std::int64_t addr) const {

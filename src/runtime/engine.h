@@ -1,0 +1,127 @@
+// Batch serving layer over the single-shot runtime (towards the ROADMAP
+// north star: amortise compilation and fan inference across accelerator
+// instances, the way paper Table 4 reports effective throughput for NI
+// parallel instances).
+//
+// The InferenceEngine owns
+//   * a compiled-program cache keyed by (structural model+mapping hash,
+//     AccelConfig) — repeated traffic for the same deployment skips the
+//     compiler entirely;
+//   * one Runtime per worker. Each Runtime builds its own DramModel, so
+//     workers are share-nothing and a batch can execute concurrently with
+//     bit-identical results to sequential Runtime::Execute calls.
+//
+// Throughput is reported in two domains:
+//   * host wall-clock (items/s) — serving speed of this process;
+//   * modeled accelerator time — the batch makespan when the W workers are
+//     viewed as W parallel accelerator instances, i.e. aggregate effective
+//     GOPS in the sense of paper Table 4. This is deterministic and
+//     machine-independent, so tests and benches can rely on it.
+#ifndef HDNN_RUNTIME_ENGINE_H_
+#define HDNN_RUNTIME_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "compiler/compiler.h"
+#include "compiler/weight_pack.h"
+#include "nn/model.h"
+#include "platform/fpga_spec.h"
+#include "runtime/runtime.h"
+
+namespace hdnn {
+
+/// Order-independent structural fingerprint of a model plus its per-layer
+/// mapping (FNV-1a over geometry; the model name does not participate).
+std::uint64_t ModelStructuralHash(const Model& model,
+                                  const std::vector<LayerMapping>& mapping);
+
+/// Result of one ExecuteBatch call.
+struct BatchReport {
+  std::vector<RunReport> items;  ///< one per input, in input order
+
+  int workers_used = 0;
+  double wall_seconds = 0;       ///< host wall-clock for the whole batch
+  double items_per_second = 0;   ///< host-side serving throughput
+
+  /// Batch makespan in modeled accelerator time: max over workers of the
+  /// summed simulated seconds of the items that worker executed.
+  double sim_makespan_seconds = 0;
+  /// total model ops x batch / sim_makespan_seconds (paper Table 4
+  /// "effective" style, with the worker pool as the parallel instances; a
+  /// simulated run already models one instance, so NI does not enter —
+  /// per-item RunReport.effective_gops still reports the xNI figure).
+  double aggregate_effective_gops = 0;
+
+  bool cache_hit = false;        ///< program came from the compiled cache
+};
+
+class InferenceEngine {
+ public:
+  /// Spins up `num_workers` workers; each gets a dedicated Runtime when a
+  /// batch executes.
+  InferenceEngine(const FpgaSpec& spec, int num_workers);
+
+  int num_workers() const { return pool_.num_threads(); }
+
+  /// Compiles `model` for `cfg` under `mapping`, or returns the cached
+  /// program compiled earlier for an identical deployment. When `was_hit`
+  /// is non-null it reports whether this call was served from the cache.
+  std::shared_ptr<const CompiledModel> GetOrCompile(
+      const Model& model, const AccelConfig& cfg,
+      const std::vector<LayerMapping>& mapping, bool* was_hit = nullptr);
+
+  /// Runs every input through the model, fanning the batch across the
+  /// worker pool (item i runs on worker i % W; workers process their items
+  /// in order, so results are deterministic and bit-identical to sequential
+  /// execution). Throws (first failure wins, in item order) if any item
+  /// fails.
+  BatchReport ExecuteBatch(const Model& model, const AccelConfig& cfg,
+                           const std::vector<LayerMapping>& mapping,
+                           const ModelWeightsQ& weights,
+                           std::span<const Tensor<std::int16_t>> inputs,
+                           bool functional = true);
+
+  // Program-cache observability.
+  std::int64_t cache_hits() const;
+  std::int64_t cache_misses() const;
+  std::size_t cache_size() const;
+
+ private:
+  struct CacheKey {
+    std::uint64_t structural_hash = 0;
+    AccelConfig cfg;
+    friend bool operator==(const CacheKey&, const CacheKey&) = default;
+  };
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& key) const;
+  };
+
+  FpgaSpec spec_;
+  ThreadPool pool_;
+  /// Per-worker runtimes, rebuilt when the target config changes. Guarded
+  /// by the ExecuteBatch serialization below.
+  std::vector<std::unique_ptr<Runtime>> runtimes_;
+  AccelConfig runtimes_cfg_;
+  bool runtimes_valid_ = false;
+
+  mutable std::mutex cache_mu_;
+  std::unordered_map<CacheKey, std::shared_ptr<const CompiledModel>,
+                     CacheKeyHash>
+      cache_;
+  std::int64_t cache_hits_ = 0;
+  std::int64_t cache_misses_ = 0;
+
+  /// ExecuteBatch is one-at-a-time (the worker pool supplies parallelism
+  /// within a batch); this guards the runtimes_ pool.
+  std::mutex batch_mu_;
+};
+
+}  // namespace hdnn
+
+#endif  // HDNN_RUNTIME_ENGINE_H_

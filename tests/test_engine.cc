@@ -1,0 +1,211 @@
+#include "runtime/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <future>
+#include <numeric>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "nn/builders.h"
+#include "runtime/runtime.h"
+#include "tests/testing_util.h"
+
+namespace hdnn {
+namespace {
+
+using testing::MakeInput;
+using testing::TestConfig;
+using testing::TestSpec;
+
+std::vector<Tensor<std::int16_t>> MakeBatch(const Model& model, int n,
+                                            std::uint64_t seed) {
+  std::vector<Tensor<std::int16_t>> batch;
+  batch.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    batch.push_back(
+        MakeInput(model.InputOf(0), seed + static_cast<std::uint64_t>(i)));
+  }
+  return batch;
+}
+
+std::vector<LayerMapping> UniformMapping(const Model& model, ConvMode mode,
+                                         Dataflow flow) {
+  return std::vector<LayerMapping>(
+      static_cast<std::size_t>(model.num_layers()), LayerMapping{mode, flow});
+}
+
+// --- thread pool ---
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  int sum = 0;
+  for (auto& f : futures) sum += f.get();
+  int expect = 0;
+  for (int i = 0; i < 64; ++i) expect += i * i;
+  EXPECT_EQ(sum, expect);
+}
+
+TEST(ThreadPoolTest, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([]() -> int { throw InvalidArgument("boom"); });
+  EXPECT_THROW(f.get(), InvalidArgument);
+}
+
+TEST(ThreadPoolTest, RejectsNonPositiveSize) {
+  EXPECT_THROW(ThreadPool(0), InvalidArgument);
+  EXPECT_THROW(ThreadPool(-3), InvalidArgument);
+}
+
+// --- inference engine ---
+
+TEST(InferenceEngineTest, BatchBitIdenticalToSequentialExecute) {
+  const Model model = BuildTinyCnn();
+  const AccelConfig cfg = TestConfig();
+  const FpgaSpec spec = TestSpec();
+  const auto mapping =
+      UniformMapping(model, ConvMode::kSpatial, Dataflow::kInputStationary);
+  const ModelWeightsQ weights = SyntheticWeights(model, 7);
+  const auto batch = MakeBatch(model, 6, 100);
+
+  InferenceEngine engine(spec, 3);
+  const BatchReport report =
+      engine.ExecuteBatch(model, cfg, mapping, weights, batch);
+  ASSERT_EQ(report.items.size(), batch.size());
+
+  // Sequential reference through the plain single-shot runtime.
+  const Compiler compiler(cfg, spec);
+  const CompiledModel compiled = compiler.Compile(model, mapping);
+  Runtime runtime(cfg, spec);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const RunReport seq =
+        runtime.Execute(model, compiled, weights, batch[i]);
+    EXPECT_EQ(report.items[i].output, seq.output) << "item " << i;
+    EXPECT_EQ(report.items[i].stats.total_cycles, seq.stats.total_cycles)
+        << "item " << i;
+  }
+}
+
+TEST(InferenceEngineTest, ProgramCacheHitsSkipRecompilation) {
+  const Model model = BuildTinyCnn();
+  const AccelConfig cfg = TestConfig();
+  const auto mapping =
+      UniformMapping(model, ConvMode::kSpatial, Dataflow::kInputStationary);
+  const ModelWeightsQ weights = SyntheticWeights(model, 7);
+  const auto batch = MakeBatch(model, 2, 5);
+
+  InferenceEngine engine(TestSpec(), 2);
+  const auto p1 = engine.GetOrCompile(model, cfg, mapping);
+  EXPECT_EQ(engine.cache_misses(), 1);
+  EXPECT_EQ(engine.cache_hits(), 0);
+
+  const auto p2 = engine.GetOrCompile(model, cfg, mapping);
+  EXPECT_EQ(p1.get(), p2.get()) << "second lookup must reuse the program";
+  EXPECT_EQ(engine.cache_misses(), 1);
+  EXPECT_EQ(engine.cache_hits(), 1);
+
+  const BatchReport first =
+      engine.ExecuteBatch(model, cfg, mapping, weights, batch);
+  EXPECT_TRUE(first.cache_hit);
+  EXPECT_EQ(engine.cache_misses(), 1) << "ExecuteBatch must not recompile";
+  EXPECT_EQ(engine.cache_size(), 1u);
+
+  // A different config is a different deployment: one more miss.
+  AccelConfig other = cfg;
+  other.pt = 6;
+  engine.ExecuteBatch(model, other, mapping, weights, batch);
+  EXPECT_EQ(engine.cache_misses(), 2);
+  EXPECT_EQ(engine.cache_size(), 2u);
+
+  // A different mapping also re-keys the cache.
+  const auto wino =
+      UniformMapping(model, ConvMode::kWinograd, Dataflow::kInputStationary);
+  engine.GetOrCompile(model, cfg, wino);
+  EXPECT_EQ(engine.cache_misses(), 3);
+}
+
+TEST(InferenceEngineTest, FourWorkerRunIsDeterministicAcrossRepeats) {
+  const Model model = BuildTinyCnn();
+  const AccelConfig cfg = TestConfig();
+  const auto mapping =
+      UniformMapping(model, ConvMode::kSpatial, Dataflow::kInputStationary);
+  const ModelWeightsQ weights = SyntheticWeights(model, 9);
+  const auto batch = MakeBatch(model, 9, 40);  // deliberately not % 4 == 0
+
+  InferenceEngine engine(TestSpec(), 4);
+  const BatchReport a = engine.ExecuteBatch(model, cfg, mapping, weights, batch);
+  const BatchReport b = engine.ExecuteBatch(model, cfg, mapping, weights, batch);
+  ASSERT_EQ(a.items.size(), b.items.size());
+  for (std::size_t i = 0; i < a.items.size(); ++i) {
+    EXPECT_EQ(a.items[i].output, b.items[i].output) << "item " << i;
+    EXPECT_EQ(a.items[i].stats.total_cycles, b.items[i].stats.total_cycles);
+  }
+  EXPECT_EQ(a.sim_makespan_seconds, b.sim_makespan_seconds);
+  EXPECT_EQ(a.aggregate_effective_gops, b.aggregate_effective_gops);
+}
+
+TEST(InferenceEngineTest, AggregateThroughputScalesWithWorkerInstances) {
+  const Model model = BuildTinyCnn();
+  const AccelConfig cfg = TestConfig();
+  const auto mapping =
+      UniformMapping(model, ConvMode::kSpatial, Dataflow::kInputStationary);
+  const ModelWeightsQ weights = SyntheticWeights(model, 7);
+  const auto batch = MakeBatch(model, 8, 70);
+
+  InferenceEngine one(TestSpec(), 1);
+  InferenceEngine four(TestSpec(), 4);
+  const BatchReport r1 = one.ExecuteBatch(model, cfg, mapping, weights, batch);
+  const BatchReport r4 = four.ExecuteBatch(model, cfg, mapping, weights, batch);
+
+  // Identical per-item simulated latency; 4 share-nothing instances cut the
+  // batch makespan 4x exactly (8 equal items, round-robin 2 per worker).
+  EXPECT_GT(r1.sim_makespan_seconds, 0);
+  EXPECT_NEAR(r4.sim_makespan_seconds, r1.sim_makespan_seconds / 4,
+              r1.sim_makespan_seconds * 1e-9);
+  EXPECT_GT(r4.aggregate_effective_gops,
+            1.8 * r1.aggregate_effective_gops);
+}
+
+TEST(InferenceEngineTest, EmptyBatchIsANoOp) {
+  const Model model = BuildTinyCnn();
+  const AccelConfig cfg = TestConfig();
+  const auto mapping =
+      UniformMapping(model, ConvMode::kSpatial, Dataflow::kInputStationary);
+  InferenceEngine engine(TestSpec(), 2);
+  const BatchReport report = engine.ExecuteBatch(
+      model, cfg, mapping, SyntheticWeights(model, 7), {});
+  EXPECT_TRUE(report.items.empty());
+  EXPECT_EQ(report.sim_makespan_seconds, 0);
+}
+
+TEST(InferenceEngineTest, StructuralHashIgnoresNameButNotGeometry) {
+  Model a("net_a", FmapShape{3, 8, 8});
+  Model b("net_b", FmapShape{3, 8, 8});
+  ConvLayer layer;
+  layer.name = "c1";
+  layer.in_channels = 3;
+  layer.out_channels = 4;
+  a.Append(layer);
+  layer.name = "other_name";
+  b.Append(layer);
+  const std::vector<LayerMapping> mapping(1);
+  EXPECT_EQ(ModelStructuralHash(a, mapping), ModelStructuralHash(b, mapping));
+
+  Model c("net_c", FmapShape{3, 8, 8});
+  layer.out_channels = 8;
+  c.Append(layer);
+  EXPECT_NE(ModelStructuralHash(a, mapping), ModelStructuralHash(c, mapping));
+
+  std::vector<LayerMapping> wino(1);
+  wino[0].mode = ConvMode::kWinograd;
+  EXPECT_NE(ModelStructuralHash(a, mapping), ModelStructuralHash(a, wino));
+}
+
+}  // namespace
+}  // namespace hdnn

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 
+#include "common/check.h"
 #include "common/prng.h"
 #include "mem/dram_model.h"
 #include "mem/layout.h"
@@ -9,6 +11,16 @@
 
 namespace hdnn {
 namespace {
+
+TEST(DramModelTest, NonPositiveSizeThrowsWithoutAllocating) {
+  // A negative size must be rejected up front: size-constructing the backing
+  // vector first would attempt a ~2^64-element allocation and crash in
+  // bad_alloc before the precondition could report anything useful.
+  EXPECT_THROW(DramModel(-1), InvalidArgument);
+  EXPECT_THROW(DramModel(0), InvalidArgument);
+  EXPECT_THROW(DramModel(std::numeric_limits<std::int64_t>::min()),
+               InvalidArgument);
+}
 
 TEST(DramModelTest, ReadWriteRoundTrip) {
   DramModel dram(128);
