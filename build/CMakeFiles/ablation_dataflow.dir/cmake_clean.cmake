@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dataflow.dir/bench/ablation_dataflow.cc.o"
+  "CMakeFiles/ablation_dataflow.dir/bench/ablation_dataflow.cc.o.d"
+  "ablation_dataflow"
+  "ablation_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_model_dse.dir/examples/custom_model_dse.cc.o"
+  "CMakeFiles/custom_model_dse.dir/examples/custom_model_dse.cc.o.d"
+  "custom_model_dse"
+  "custom_model_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_model_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

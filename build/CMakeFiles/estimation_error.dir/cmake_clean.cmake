@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimation_error.dir/bench/estimation_error.cc.o"
+  "CMakeFiles/estimation_error.dir/bench/estimation_error.cc.o.d"
+  "estimation_error"
+  "estimation_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimation_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

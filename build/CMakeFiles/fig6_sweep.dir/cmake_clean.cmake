@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_sweep.dir/bench/fig6_sweep.cc.o"
+  "CMakeFiles/fig6_sweep.dir/bench/fig6_sweep.cc.o.d"
+  "fig6_sweep"
+  "fig6_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

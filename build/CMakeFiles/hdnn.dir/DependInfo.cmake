@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/check.cc" "CMakeFiles/hdnn.dir/src/common/check.cc.o" "gcc" "CMakeFiles/hdnn.dir/src/common/check.cc.o.d"
+  "/root/repo/src/common/fixed_point.cc" "CMakeFiles/hdnn.dir/src/common/fixed_point.cc.o" "gcc" "CMakeFiles/hdnn.dir/src/common/fixed_point.cc.o.d"
+  "/root/repo/src/common/logging.cc" "CMakeFiles/hdnn.dir/src/common/logging.cc.o" "gcc" "CMakeFiles/hdnn.dir/src/common/logging.cc.o.d"
+  "/root/repo/src/compiler/compiler.cc" "CMakeFiles/hdnn.dir/src/compiler/compiler.cc.o" "gcc" "CMakeFiles/hdnn.dir/src/compiler/compiler.cc.o.d"
+  "/root/repo/src/compiler/stream_check.cc" "CMakeFiles/hdnn.dir/src/compiler/stream_check.cc.o" "gcc" "CMakeFiles/hdnn.dir/src/compiler/stream_check.cc.o.d"
+  "/root/repo/src/compiler/weight_pack.cc" "CMakeFiles/hdnn.dir/src/compiler/weight_pack.cc.o" "gcc" "CMakeFiles/hdnn.dir/src/compiler/weight_pack.cc.o.d"
+  "/root/repo/src/dse/search.cc" "CMakeFiles/hdnn.dir/src/dse/search.cc.o" "gcc" "CMakeFiles/hdnn.dir/src/dse/search.cc.o.d"
+  "/root/repo/src/estimator/latency_model.cc" "CMakeFiles/hdnn.dir/src/estimator/latency_model.cc.o" "gcc" "CMakeFiles/hdnn.dir/src/estimator/latency_model.cc.o.d"
+  "/root/repo/src/estimator/resource_model.cc" "CMakeFiles/hdnn.dir/src/estimator/resource_model.cc.o" "gcc" "CMakeFiles/hdnn.dir/src/estimator/resource_model.cc.o.d"
+  "/root/repo/src/frontend/parser.cc" "CMakeFiles/hdnn.dir/src/frontend/parser.cc.o" "gcc" "CMakeFiles/hdnn.dir/src/frontend/parser.cc.o.d"
+  "/root/repo/src/hlsgen/hls_config_gen.cc" "CMakeFiles/hdnn.dir/src/hlsgen/hls_config_gen.cc.o" "gcc" "CMakeFiles/hdnn.dir/src/hlsgen/hls_config_gen.cc.o.d"
+  "/root/repo/src/isa/assembler.cc" "CMakeFiles/hdnn.dir/src/isa/assembler.cc.o" "gcc" "CMakeFiles/hdnn.dir/src/isa/assembler.cc.o.d"
+  "/root/repo/src/isa/codec.cc" "CMakeFiles/hdnn.dir/src/isa/codec.cc.o" "gcc" "CMakeFiles/hdnn.dir/src/isa/codec.cc.o.d"
+  "/root/repo/src/mem/dram_model.cc" "CMakeFiles/hdnn.dir/src/mem/dram_model.cc.o" "gcc" "CMakeFiles/hdnn.dir/src/mem/dram_model.cc.o.d"
+  "/root/repo/src/mem/layout.cc" "CMakeFiles/hdnn.dir/src/mem/layout.cc.o" "gcc" "CMakeFiles/hdnn.dir/src/mem/layout.cc.o.d"
+  "/root/repo/src/mem/onchip_buffer.cc" "CMakeFiles/hdnn.dir/src/mem/onchip_buffer.cc.o" "gcc" "CMakeFiles/hdnn.dir/src/mem/onchip_buffer.cc.o.d"
+  "/root/repo/src/nn/builders.cc" "CMakeFiles/hdnn.dir/src/nn/builders.cc.o" "gcc" "CMakeFiles/hdnn.dir/src/nn/builders.cc.o.d"
+  "/root/repo/src/nn/model.cc" "CMakeFiles/hdnn.dir/src/nn/model.cc.o" "gcc" "CMakeFiles/hdnn.dir/src/nn/model.cc.o.d"
+  "/root/repo/src/platform/fpga_spec.cc" "CMakeFiles/hdnn.dir/src/platform/fpga_spec.cc.o" "gcc" "CMakeFiles/hdnn.dir/src/platform/fpga_spec.cc.o.d"
+  "/root/repo/src/platform/power_model.cc" "CMakeFiles/hdnn.dir/src/platform/power_model.cc.o" "gcc" "CMakeFiles/hdnn.dir/src/platform/power_model.cc.o.d"
+  "/root/repo/src/refconv/direct.cc" "CMakeFiles/hdnn.dir/src/refconv/direct.cc.o" "gcc" "CMakeFiles/hdnn.dir/src/refconv/direct.cc.o.d"
+  "/root/repo/src/refconv/im2col.cc" "CMakeFiles/hdnn.dir/src/refconv/im2col.cc.o" "gcc" "CMakeFiles/hdnn.dir/src/refconv/im2col.cc.o.d"
+  "/root/repo/src/refconv/pool.cc" "CMakeFiles/hdnn.dir/src/refconv/pool.cc.o" "gcc" "CMakeFiles/hdnn.dir/src/refconv/pool.cc.o.d"
+  "/root/repo/src/runtime/design_flow.cc" "CMakeFiles/hdnn.dir/src/runtime/design_flow.cc.o" "gcc" "CMakeFiles/hdnn.dir/src/runtime/design_flow.cc.o.d"
+  "/root/repo/src/runtime/engine.cc" "CMakeFiles/hdnn.dir/src/runtime/engine.cc.o" "gcc" "CMakeFiles/hdnn.dir/src/runtime/engine.cc.o.d"
+  "/root/repo/src/runtime/runtime.cc" "CMakeFiles/hdnn.dir/src/runtime/runtime.cc.o" "gcc" "CMakeFiles/hdnn.dir/src/runtime/runtime.cc.o.d"
+  "/root/repo/src/sim/accelerator.cc" "CMakeFiles/hdnn.dir/src/sim/accelerator.cc.o" "gcc" "CMakeFiles/hdnn.dir/src/sim/accelerator.cc.o.d"
+  "/root/repo/src/sim/handshake.cc" "CMakeFiles/hdnn.dir/src/sim/handshake.cc.o" "gcc" "CMakeFiles/hdnn.dir/src/sim/handshake.cc.o.d"
+  "/root/repo/src/tensor/quantize.cc" "CMakeFiles/hdnn.dir/src/tensor/quantize.cc.o" "gcc" "CMakeFiles/hdnn.dir/src/tensor/quantize.cc.o.d"
+  "/root/repo/src/tensor/shape.cc" "CMakeFiles/hdnn.dir/src/tensor/shape.cc.o" "gcc" "CMakeFiles/hdnn.dir/src/tensor/shape.cc.o.d"
+  "/root/repo/src/winograd/decompose.cc" "CMakeFiles/hdnn.dir/src/winograd/decompose.cc.o" "gcc" "CMakeFiles/hdnn.dir/src/winograd/decompose.cc.o.d"
+  "/root/repo/src/winograd/matrices.cc" "CMakeFiles/hdnn.dir/src/winograd/matrices.cc.o" "gcc" "CMakeFiles/hdnn.dir/src/winograd/matrices.cc.o.d"
+  "/root/repo/src/winograd/transform.cc" "CMakeFiles/hdnn.dir/src/winograd/transform.cc.o" "gcc" "CMakeFiles/hdnn.dir/src/winograd/transform.cc.o.d"
+  "/root/repo/src/winograd/wino_conv.cc" "CMakeFiles/hdnn.dir/src/winograd/wino_conv.cc.o" "gcc" "CMakeFiles/hdnn.dir/src/winograd/wino_conv.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

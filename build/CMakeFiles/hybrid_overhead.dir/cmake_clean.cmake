@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_overhead.dir/bench/hybrid_overhead.cc.o"
+  "CMakeFiles/hybrid_overhead.dir/bench/hybrid_overhead.cc.o.d"
+  "hybrid_overhead"
+  "hybrid_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instruction_trace.dir/examples/instruction_trace.cc.o"
+  "CMakeFiles/instruction_trace.dir/examples/instruction_trace.cc.o.d"
+  "instruction_trace"
+  "instruction_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instruction_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_throughput.dir/bench/serve_throughput.cc.o"
+  "CMakeFiles/serve_throughput.dir/bench/serve_throughput.cc.o.d"
+  "serve_throughput"
+  "serve_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_resources.dir/bench/table3_resources.cc.o"
+  "CMakeFiles/table3_resources.dir/bench/table3_resources.cc.o.d"
+  "table3_resources"
+  "table3_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dse.dir/tests/test_dse.cc.o"
+  "CMakeFiles/test_dse.dir/tests/test_dse.cc.o.d"
+  "test_dse"
+  "test_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

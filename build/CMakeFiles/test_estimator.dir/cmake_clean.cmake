@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_estimator.dir/tests/test_estimator.cc.o"
+  "CMakeFiles/test_estimator.dir/tests/test_estimator.cc.o.d"
+  "test_estimator"
+  "test_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_estimator.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frontend.dir/tests/test_frontend.cc.o"
+  "CMakeFiles/test_frontend.dir/tests/test_frontend.cc.o.d"
+  "test_frontend"
+  "test_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_pipeline.dir/tests/test_fuzz_pipeline.cc.o"
+  "CMakeFiles/test_fuzz_pipeline.dir/tests/test_fuzz_pipeline.cc.o.d"
+  "test_fuzz_pipeline"
+  "test_fuzz_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hlsgen.dir/tests/test_hlsgen.cc.o"
+  "CMakeFiles/test_hlsgen.dir/tests/test_hlsgen.cc.o.d"
+  "test_hlsgen"
+  "test_hlsgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hlsgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn.dir/tests/test_nn.cc.o"
+  "CMakeFiles/test_nn.dir/tests/test_nn.cc.o.d"
+  "test_nn"
+  "test_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

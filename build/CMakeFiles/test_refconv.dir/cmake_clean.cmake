@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_refconv.dir/tests/test_refconv.cc.o"
+  "CMakeFiles/test_refconv.dir/tests/test_refconv.cc.o.d"
+  "test_refconv"
+  "test_refconv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_refconv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime.dir/tests/test_runtime.cc.o"
+  "CMakeFiles/test_runtime.dir/tests/test_runtime.cc.o.d"
+  "test_runtime"
+  "test_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_compiler.dir/tests/test_sim_compiler.cc.o"
+  "CMakeFiles/test_sim_compiler.dir/tests/test_sim_compiler.cc.o.d"
+  "test_sim_compiler"
+  "test_sim_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stream_check.dir/tests/test_stream_check.cc.o"
+  "CMakeFiles/test_stream_check.dir/tests/test_stream_check.cc.o.d"
+  "test_stream_check"
+  "test_stream_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stream_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_stream_check.
+# This may be replaced when dependencies are built.

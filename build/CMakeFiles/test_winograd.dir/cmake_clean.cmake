@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_winograd.dir/tests/test_winograd.cc.o"
+  "CMakeFiles/test_winograd.dir/tests/test_winograd.cc.o.d"
+  "test_winograd"
+  "test_winograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_winograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgg16_cloud.dir/examples/vgg16_cloud.cc.o"
+  "CMakeFiles/vgg16_cloud.dir/examples/vgg16_cloud.cc.o.d"
+  "vgg16_cloud"
+  "vgg16_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgg16_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

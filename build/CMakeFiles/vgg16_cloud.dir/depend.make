@@ -1,0 +1,2 @@
+# Empty dependencies file for vgg16_cloud.
+# This may be replaced when dependencies are built.

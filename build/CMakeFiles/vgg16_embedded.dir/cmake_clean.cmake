@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgg16_embedded.dir/examples/vgg16_embedded.cc.o"
+  "CMakeFiles/vgg16_embedded.dir/examples/vgg16_embedded.cc.o.d"
+  "vgg16_embedded"
+  "vgg16_embedded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgg16_embedded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

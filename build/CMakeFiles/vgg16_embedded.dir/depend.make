@@ -1,0 +1,2 @@
+# Empty dependencies file for vgg16_embedded.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wino_mults.dir/bench/wino_mults.cc.o"
+  "CMakeFiles/wino_mults.dir/bench/wino_mults.cc.o.d"
+  "wino_mults"
+  "wino_mults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wino_mults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

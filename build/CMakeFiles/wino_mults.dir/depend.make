@@ -1,0 +1,2 @@
+# Empty dependencies file for wino_mults.
+# This may be replaced when dependencies are built.
