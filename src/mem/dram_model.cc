@@ -12,6 +12,14 @@ DramModel::DramModel(std::int64_t words) {
   words_.assign(static_cast<std::size_t>(words), 0);
 }
 
+void DramModel::Reset(std::int64_t words) {
+  HDNN_CHECK(words > 0) << "DRAM size must be positive";
+  words_.assign(static_cast<std::size_t>(words), 0);
+  next_free_ = 0;
+  words_read_ = 0;
+  words_written_ = 0;
+}
+
 std::int16_t DramModel::Read(std::int64_t addr) const {
   HDNN_CHECK(addr >= 0 && addr < size_words())
       << "DRAM read out of range: " << addr << " / " << size_words();

@@ -17,6 +17,12 @@ class DramModel {
  public:
   explicit DramModel(std::int64_t words);
 
+  /// Re-sizes to `words` and zeroes the contents, reusing the existing
+  /// backing store when capacity allows (serving runtimes Reset one
+  /// persistent DramModel per inference instead of reallocating). Also
+  /// resets the bump allocator and the access statistics.
+  void Reset(std::int64_t words);
+
   std::int64_t size_words() const {
     return static_cast<std::int64_t>(words_.size());
   }

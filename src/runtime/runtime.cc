@@ -54,7 +54,12 @@ RunReport Runtime::Execute(const Model& model, const CompiledModel& cm,
                            bool functional) {
   HDNN_CHECK(cm.cfg == cfg_) << "compiled model targets a different config";
   RequireValidStream(cm);  // compiler QA: handshake/bounds invariants
-  dram_ = std::make_unique<DramModel>(cm.total_dram_words + 1024);
+  const std::int64_t dram_words = cm.total_dram_words + 1024;
+  if (!dram_) {
+    dram_ = std::make_unique<DramModel>(dram_words);
+  } else {
+    dram_->Reset(dram_words);
+  }
 
   if (functional) {
     WriteWeightImages(cm, model, weights, *dram_);
@@ -67,10 +72,10 @@ RunReport Runtime::Execute(const Model& model, const CompiledModel& cm,
                    first.cp_in);
   }
 
-  Accelerator accel(cfg_, spec_, *dram_);
-  accel.set_functional(functional);
+  if (!accel_) accel_ = std::make_unique<Accelerator>(cfg_, spec_, *dram_);
+  accel_->set_functional(functional);
   RunReport report;
-  report.stats = accel.Run(cm.program);
+  report.stats = accel_->Run(cm.program);
   report.seconds = report.stats.Seconds(spec_.freq_mhz);
   const double ops = static_cast<double>(model.TotalOps());
   report.gops = ops / report.seconds / 1e9;

@@ -43,7 +43,13 @@ class Runtime {
  private:
   AccelConfig cfg_;
   FpgaSpec spec_;
+  /// Persistent per-Runtime arenas: the DRAM image is Reset (storage
+  /// reused) and the Accelerator's buffers and COMP scratch survive across
+  /// Execute calls, so steady-state serving performs no per-inference
+  /// reallocation of the simulator state. `accel_` holds a reference to
+  /// `*dram_`, whose object identity is stable after first construction.
   std::unique_ptr<DramModel> dram_;
+  std::unique_ptr<Accelerator> accel_;
 };
 
 /// Stores a CHW fmap into a layer's DRAM region with channel padding, in the

@@ -38,6 +38,82 @@ ModuleId ModuleOf(Opcode op) {
   }
 }
 
+// --- MAC micro-kernels, specialised on the GEMM-core geometry ------------
+//
+// PI/PO are template parameters so the innermost reductions fully unroll
+// for the common design points (both published configurations use
+// PI = PO = 4); <0, 0> is the generic runtime-trip-count fallback. The
+// dispatch happens once per COMP instruction, far outside the tile loops.
+
+/// Winograd EWMM for one (kv, cvi) pair: ee GEMM-core steps, each a PI x PO
+/// outer-product MAC. Weights are (((e)*PO + co)*PI + ci) within w_cv; the
+/// transformed-input arena v_cv is (e*PI + ci) — both ci streams stride-1.
+template <int PI, int PO>
+void EwmmAccumulate(const std::int32_t* w_cv, const std::int32_t* v_cv,
+                    std::int64_t* acc_kv, std::int64_t ee, int pi_rt,
+                    int po_rt) {
+  const int pi = PI > 0 ? PI : pi_rt;
+  const int po = PO > 0 ? PO : po_rt;
+  for (std::int64_t e = 0; e < ee; ++e) {
+    const std::int32_t* const w_e = w_cv + e * po * pi;
+    const std::int32_t* const v_e = v_cv + e * pi;
+    std::int64_t* const acc_e = acc_kv + e * po;
+    for (int co = 0; co < po; ++co) {
+      const std::int32_t* const w_co = w_e + co * pi;
+      std::int64_t acc = 0;
+      for (int ci = 0; ci < pi; ++ci) {
+        acc += static_cast<std::int64_t>(w_co[ci]) *
+               static_cast<std::int64_t>(v_e[ci]);
+      }
+      acc_e[co] += acc;
+    }
+  }
+}
+
+/// Spatial MAC for one (position, tap, cvi) triple: PI input lanes fanned
+/// out to ocv x PO accumulators, with the zero-skip of the broadcast tree.
+template <int PI, int PO>
+void SpatialAccumulate(const std::int32_t* in_cv, const std::int32_t* w_cv,
+                       std::int64_t* acc_pos, int ocv,
+                       std::int64_t kv_stride, int pi_rt, int po_rt) {
+  const int pi = PI > 0 ? PI : pi_rt;
+  const int po = PO > 0 ? PO : po_rt;
+  for (int ci = 0; ci < pi; ++ci) {
+    const std::int64_t din = in_cv[ci];
+    if (din == 0) continue;
+    const std::int32_t* w_kv = w_cv + ci;
+    std::int64_t* acc = acc_pos;
+    for (int kv = 0; kv < ocv; ++kv) {
+      for (int lane = 0; lane < po; ++lane) {
+        acc[lane] +=
+            din * static_cast<std::int64_t>(
+                      w_kv[static_cast<std::int64_t>(lane) * pi]);
+      }
+      acc += po;
+      w_kv += kv_stride;
+    }
+  }
+}
+
+using EwmmFn = void (*)(const std::int32_t*, const std::int32_t*,
+                        std::int64_t*, std::int64_t, int, int);
+using SpatialFn = void (*)(const std::int32_t*, const std::int32_t*,
+                           std::int64_t*, int, std::int64_t, int, int);
+
+EwmmFn SelectEwmm(int pi, int po) {
+  if (pi == 4 && po == 4) return &EwmmAccumulate<4, 4>;
+  if (pi == 8 && po == 4) return &EwmmAccumulate<8, 4>;
+  if (pi == 8 && po == 8) return &EwmmAccumulate<8, 8>;
+  return &EwmmAccumulate<0, 0>;
+}
+
+SpatialFn SelectSpatial(int pi, int po) {
+  if (pi == 4 && po == 4) return &SpatialAccumulate<4, 4>;
+  if (pi == 8 && po == 4) return &SpatialAccumulate<8, 4>;
+  if (pi == 8 && po == 8) return &SpatialAccumulate<8, 8>;
+  return &SpatialAccumulate<0, 0>;
+}
+
 }  // namespace
 
 Accelerator::Accelerator(const AccelConfig& cfg, const FpgaSpec& spec,
@@ -58,22 +134,14 @@ Accelerator::Accelerator(const AccelConfig& cfg, const FpgaSpec& spec,
   bias_buf_.assign(static_cast<std::size_t>(2 * kBiasCapacity), 0);
 }
 
-std::int32_t Accelerator::InSlab(int half, std::int64_t vec, int lane) const {
-  const std::int64_t slot =
-      (static_cast<std::int64_t>(half) * cfg_.input_buffer_vectors + vec) *
-          cfg_.pi +
-      lane;
-  HDNN_INTERNAL(vec >= 0 && vec < cfg_.input_buffer_vectors)
-      << "input slab vector " << vec << " out of range";
-  return input_buf_[static_cast<std::size_t>(slot)];
-}
-
-std::int32_t Accelerator::WgtSlab(int half, std::int64_t slot) const {
-  const std::int64_t cap =
-      static_cast<std::int64_t>(cfg_.weight_buffer_vectors) * cfg_.pi * cfg_.po;
-  HDNN_INTERNAL(slot >= 0 && slot < cap)
-      << "weight slab slot " << slot << " out of range";
-  return weight_buf_[static_cast<std::size_t>(half * cap + slot)];
+void Accelerator::EnsureAccum(std::int64_t size, bool clear) {
+  // Grows monotonically and is zeroed in place on accum_clear, so the
+  // steady-state COMP loop never reallocates the accumulation buffer.
+  if (static_cast<std::int64_t>(accum_.size()) < size) {
+    accum_.assign(static_cast<std::size_t>(size), 0);
+  } else if (clear) {
+    std::fill_n(accum_.begin(), static_cast<std::size_t>(size), 0);
+  }
 }
 
 Accelerator::ExecResult Accelerator::ExecLoadInp(const LoadFields& f) {
@@ -215,113 +283,176 @@ Accelerator::ExecResult Accelerator::ExecLoadBias(const LoadFields& f) {
 }
 
 void Accelerator::CompWinograd(const CompFields& f) {
-  const int pt = cfg_.pt;
+  const int pi = cfg_.pi, po = cfg_.po, pt = cfg_.pt;
   const int m = cfg_.wino_m();
   const int icv = f.ic_vecs, ocv = f.oc_vecs;
   const int tiles = f.oh_num * f.ow_num;
   const std::int64_t ee = static_cast<std::int64_t>(pt) * pt;
+  const std::int64_t kk = ee;  // weight slab rc dimension for Winograd
   const std::int64_t accum_size =
-      static_cast<std::int64_t>(tiles) * ocv * ee * cfg_.po;
-  if (f.accum_clear || static_cast<std::int64_t>(accum_.size()) < accum_size) {
-    accum_.assign(static_cast<std::size_t>(accum_size), 0);
+      static_cast<std::int64_t>(tiles) * ocv * ee * po;
+  EnsureAccum(accum_size, f.accum_clear);
+
+  // Scratch arenas: grown once, reused across tiles and COMP instructions.
+  const std::size_t v_elems =
+      static_cast<std::size_t>(icv) * static_cast<std::size_t>(ee) *
+      static_cast<std::size_t>(pi);
+  if (wino_v_.size() < v_elems) wino_v_.resize(v_elems);
+  if (wino_dtile_.size() < static_cast<std::size_t>(ee)) {
+    wino_dtile_.resize(static_cast<std::size_t>(ee));
+    wino_vtile_.resize(static_cast<std::size_t>(ee));
+    wino_tmp_.resize(static_cast<std::size_t>(ee));
   }
 
-  const int in_half = f.inp_buff_id;
-  const int wgt_half = f.wgt_buff_id;
-  const std::int64_t kk = ee;  // weight slab rc dimension for Winograd
+  // Hoisted slab addressing: validate the whole COMP's access ranges once,
+  // then walk raw base pointers inside the tile loops. The vector index is
+  // monotone in (row, col, cvi), so the extremes bound every access.
+  const std::int64_t max_row =
+      static_cast<std::int64_t>(f.base_row) +
+      static_cast<std::int64_t>(f.oh_num - 1) * m + pt - 1;
+  const std::int64_t max_col =
+      static_cast<std::int64_t>(f.base_col) +
+      static_cast<std::int64_t>(f.ow_num - 1) * m + pt - 1;
+  const std::int64_t max_vec =
+      f.inp_buff_base + (max_row * f.iw_num + max_col) * icv + (icv - 1);
+  HDNN_INTERNAL(max_vec < cfg_.input_buffer_vectors)
+      << "input slab vector " << max_vec << " out of range";
+  const std::int32_t* const in_base =
+      input_buf_.data() +
+      static_cast<std::size_t>(static_cast<std::int64_t>(f.inp_buff_id) *
+                               cfg_.input_buffer_vectors * pi);
 
-  std::vector<std::int32_t> dtile(static_cast<std::size_t>(pt * pt));
-  std::vector<std::vector<std::int32_t>> v(
-      static_cast<std::size_t>(icv * cfg_.pi));
+  const std::int64_t wgt_cap =
+      static_cast<std::int64_t>(cfg_.weight_buffer_vectors) * pi * po;
+  const std::int64_t wgt_lo =
+      static_cast<std::int64_t>(f.wgt_buff_base) * pi * po;
+  const std::int64_t wgt_hi =
+      wgt_lo + static_cast<std::int64_t>(ocv) * icv * kk * po * pi;
+  HDNN_INTERNAL(wgt_hi - 1 < wgt_cap)
+      << "weight slab slot " << wgt_hi - 1 << " out of range";
+  const std::int32_t* const wgt_base =
+      weight_buf_.data() +
+      static_cast<std::size_t>(
+          static_cast<std::int64_t>(f.wgt_buff_id) * wgt_cap + wgt_lo);
+  const EwmmFn ewmm = SelectEwmm(pi, po);
 
   for (int ty = 0; ty < f.oh_num; ++ty) {
     for (int tx = 0; tx < f.ow_num; ++tx) {
-      // Input transforms for every channel lane.
+      // Input transforms for every channel lane, scattered into the
+      // [cvi][e][ci] arena so the EWMM's ci reduction is stride-1.
+      const std::int64_t row0 =
+          f.base_row + static_cast<std::int64_t>(ty) * m;
+      const std::int64_t col0 =
+          f.base_col + static_cast<std::int64_t>(tx) * m;
       for (int cvi = 0; cvi < icv; ++cvi) {
-        for (int ci = 0; ci < cfg_.pi; ++ci) {
+        std::int32_t* const v_cv =
+            wino_v_.data() + static_cast<std::size_t>(cvi) *
+                                 static_cast<std::size_t>(ee) *
+                                 static_cast<std::size_t>(pi);
+        for (int ci = 0; ci < pi; ++ci) {
           for (int y = 0; y < pt; ++y) {
+            const std::int32_t* const in_row =
+                in_base + ((f.inp_buff_base +
+                            ((row0 + y) * f.iw_num + col0) * icv + cvi) *
+                           pi);
             for (int x = 0; x < pt; ++x) {
-              const std::int64_t row = f.base_row + static_cast<std::int64_t>(ty) * m + y;
-              const std::int64_t col = f.base_col + static_cast<std::int64_t>(tx) * m + x;
-              const std::int64_t vec =
-                  f.inp_buff_base + (row * f.iw_num + col) * icv + cvi;
-              dtile[static_cast<std::size_t>(y * pt + x)] =
-                  InSlab(in_half, vec, ci);
+              wino_dtile_[static_cast<std::size_t>(y * pt + x)] =
+                  in_row[static_cast<std::int64_t>(x) * icv * pi + ci];
             }
           }
-          v[static_cast<std::size_t>(cvi * cfg_.pi + ci)] =
-              TransformInputTile(dtile, pt);
+          TransformInputTileInto(wino_dtile_, pt, wino_vtile_, wino_tmp_);
+          for (std::int64_t e = 0; e < ee; ++e) {
+            v_cv[e * pi + ci] = wino_vtile_[static_cast<std::size_t>(e)];
+          }
         }
       }
       // EWMM accumulation: each GEMM core (element e) handles PI x PO.
-      const std::int64_t tile_idx = static_cast<std::int64_t>(ty) * f.ow_num + tx;
+      // Both operand streams of the ci reduction are now contiguous: the
+      // weight slab stores (((kv*icv+cvi)*kk+e)*po+co)*pi+ci and the arena
+      // stores (cvi*ee+e)*pi+ci.
+      const std::int64_t tile_idx =
+          static_cast<std::int64_t>(ty) * f.ow_num + tx;
       for (int kv = 0; kv < ocv; ++kv) {
+        std::int64_t* const acc_kv =
+            accum_.data() +
+            static_cast<std::size_t>((tile_idx * ocv + kv) * ee * po);
         for (int cvi = 0; cvi < icv; ++cvi) {
-          for (std::int64_t e = 0; e < ee; ++e) {
-            for (int co = 0; co < cfg_.po; ++co) {
-              const std::int64_t wslot =
-                  f.wgt_buff_base * cfg_.pi * cfg_.po +
-                  (((static_cast<std::int64_t>(kv) * icv + cvi) * kk + e) *
-                       cfg_.po +
-                   co) *
-                      cfg_.pi;
-              std::int64_t acc = 0;
-              for (int ci = 0; ci < cfg_.pi; ++ci) {
-                acc += static_cast<std::int64_t>(WgtSlab(wgt_half, wslot + ci)) *
-                       v[static_cast<std::size_t>(cvi * cfg_.pi + ci)]
-                        [static_cast<std::size_t>(e)];
-              }
-              accum_[static_cast<std::size_t>(
-                  ((tile_idx * ocv + kv) * ee + e) * cfg_.po + co)] += acc;
-            }
-          }
+          const std::int32_t* const w_cv =
+              wgt_base + (static_cast<std::int64_t>(kv) * icv + cvi) * kk *
+                             po * pi;
+          const std::int32_t* const v_cv =
+              wino_v_.data() + static_cast<std::size_t>(cvi) *
+                                   static_cast<std::size_t>(ee) *
+                                   static_cast<std::size_t>(pi);
+          ewmm(w_cv, v_cv, acc_kv, ee, pi, po);
         }
       }
     }
   }
-  macs_executed_ += static_cast<std::int64_t>(tiles) * icv * ocv * ee *
-                    cfg_.pi * cfg_.po;
+  macs_executed_ +=
+      static_cast<std::int64_t>(tiles) * icv * ocv * ee * pi * po;
 }
 
 void Accelerator::EmitWinograd(const CompFields& f) {
-  const int pt = cfg_.pt;
+  const int po = cfg_.po, pt = cfg_.pt;
   const int m = cfg_.wino_m();
   const int ocv = f.oc_vecs;
   const std::int64_t ee = static_cast<std::int64_t>(pt) * pt;
   const int slab_cols = f.ow_num * m;
-  const int out_half = f.out_buff_id;
-  const std::int64_t half_base =
-      static_cast<std::int64_t>(out_half) * cfg_.output_buffer_vectors;
 
-  std::vector<std::int64_t> m_tile(static_cast<std::size_t>(ee));
+  if (emit_m_.size() < static_cast<std::size_t>(ee)) {
+    emit_m_.resize(static_cast<std::size_t>(ee));
+  }
+  if (emit_y_.size() < static_cast<std::size_t>(m * m)) {
+    emit_y_.resize(static_cast<std::size_t>(m * m));
+  }
+  if (emit_tmp_.size() < static_cast<std::size_t>(m * pt)) {
+    emit_tmp_.resize(static_cast<std::size_t>(m * pt));
+  }
+
+  // Hoisted output-slab bound: the vector index is monotone in (row, col,
+  // kv), so checking the extreme access covers the whole COMP.
+  const std::int64_t out_max_vec =
+      f.out_buff_base +
+      ((static_cast<std::int64_t>(f.oh_num) * m - 1) * slab_cols +
+       static_cast<std::int64_t>(f.ow_num) * m - 1) *
+          ocv +
+      (ocv - 1);
+  HDNN_CHECK(out_max_vec < cfg_.output_buffer_vectors)
+      << "COMP output slab overflows output buffer half";
+  std::int32_t* const out_base =
+      output_buf_.data() +
+      static_cast<std::size_t>(static_cast<std::int64_t>(f.out_buff_id) *
+                               cfg_.output_buffer_vectors * po);
+  const std::int32_t* const bias_base =
+      bias_buf_.data() +
+      static_cast<std::size_t>(f.wgt_buff_id * kBiasCapacity);
+
   for (int ty = 0; ty < f.oh_num; ++ty) {
     for (int tx = 0; tx < f.ow_num; ++tx) {
-      const std::int64_t tile_idx = static_cast<std::int64_t>(ty) * f.ow_num + tx;
+      const std::int64_t tile_idx =
+          static_cast<std::int64_t>(ty) * f.ow_num + tx;
       for (int kv = 0; kv < ocv; ++kv) {
-        for (int co = 0; co < cfg_.po; ++co) {
+        const std::int64_t* const acc_kv =
+            accum_.data() +
+            static_cast<std::size_t>((tile_idx * ocv + kv) * ee * po);
+        for (int co = 0; co < po; ++co) {
           for (std::int64_t e = 0; e < ee; ++e) {
-            m_tile[static_cast<std::size_t>(e)] = accum_[static_cast<std::size_t>(
-                ((tile_idx * ocv + kv) * ee + e) * cfg_.po + co)];
+            emit_m_[static_cast<std::size_t>(e)] = acc_kv[e * po + co];
           }
-          const auto y = TransformOutputTile(m_tile, pt);
-          const std::int64_t bias =
-              bias_buf_[static_cast<std::size_t>(f.wgt_buff_id * kBiasCapacity +
-                                                 kv * cfg_.po + co)];
+          TransformOutputTileInto(emit_m_, pt, emit_y_, emit_tmp_);
+          const std::int64_t bias = bias_base[kv * po + co];
           for (int dy = 0; dy < m; ++dy) {
             for (int dx = 0; dx < m; ++dx) {
               std::int64_t q = Requantize(
-                  y[static_cast<std::size_t>(dy * m + dx)] + bias, f.quan,
-                  cfg_.data_width);
+                  emit_y_[static_cast<std::size_t>(dy * m + dx)] + bias,
+                  f.quan, cfg_.data_width);
               if (f.relu && q < 0) q = 0;
               const std::int64_t row = static_cast<std::int64_t>(ty) * m + dy;
               const std::int64_t col = static_cast<std::int64_t>(tx) * m + dx;
               const std::int64_t vec =
                   f.out_buff_base + (row * slab_cols + col) * ocv + kv;
-              HDNN_CHECK(vec < cfg_.output_buffer_vectors)
-                  << "COMP output slab overflows output buffer half";
-              output_buf_[static_cast<std::size_t>((half_base + vec) * cfg_.po +
-                                                   co)] =
-                  static_cast<std::int32_t>(q);
+              out_base[vec * po + co] = static_cast<std::int32_t>(q);
             }
           }
         }
@@ -331,20 +462,52 @@ void Accelerator::EmitWinograd(const CompFields& f) {
 }
 
 void Accelerator::CompSpatial(const CompFields& f) {
+  const int pi = cfg_.pi, po = cfg_.po;
   const int icv = f.ic_vecs, ocv = f.oc_vecs;
   const std::int64_t positions =
       static_cast<std::int64_t>(f.oh_num) * f.ow_num;
-  const std::int64_t accum_size = positions * ocv * cfg_.po;
-  if (f.accum_clear || static_cast<std::int64_t>(accum_.size()) < accum_size) {
-    accum_.assign(static_cast<std::size_t>(accum_size), 0);
-  }
-  const int in_half = f.inp_buff_id;
-  const int wgt_half = f.wgt_buff_id;
+  const std::int64_t accum_size = positions * ocv * po;
+  EnsureAccum(accum_size, f.accum_clear);
   const std::int64_t kk = static_cast<std::int64_t>(f.kh) * f.kw;
 
+  // Hoisted slab addressing (see CompWinograd): one range check per COMP,
+  // raw base pointers inside the MAC loops.
+  const std::int64_t max_row =
+      static_cast<std::int64_t>(f.base_row) +
+      static_cast<std::int64_t>(f.oh_num - 1) * f.stride + f.kh - 1;
+  const std::int64_t max_col =
+      static_cast<std::int64_t>(f.base_col) +
+      static_cast<std::int64_t>(f.ow_num - 1) * f.stride + f.kw - 1;
+  const std::int64_t max_vec =
+      f.inp_buff_base + (max_row * f.iw_num + max_col) * icv + (icv - 1);
+  HDNN_INTERNAL(max_vec < cfg_.input_buffer_vectors)
+      << "input slab vector " << max_vec << " out of range";
+  const std::int32_t* const in_base =
+      input_buf_.data() +
+      static_cast<std::size_t>(static_cast<std::int64_t>(f.inp_buff_id) *
+                               cfg_.input_buffer_vectors * pi);
+
+  const std::int64_t wgt_cap =
+      static_cast<std::int64_t>(cfg_.weight_buffer_vectors) * pi * po;
+  const std::int64_t wgt_lo =
+      static_cast<std::int64_t>(f.wgt_buff_base) * pi * po;
+  const std::int64_t wgt_hi =
+      wgt_lo + static_cast<std::int64_t>(ocv) * icv * kk * po * pi;
+  HDNN_INTERNAL(wgt_hi - 1 < wgt_cap)
+      << "weight slab slot " << wgt_hi - 1 << " out of range";
+  const std::int32_t* const wgt_base =
+      weight_buf_.data() +
+      static_cast<std::size_t>(
+          static_cast<std::int64_t>(f.wgt_buff_id) * wgt_cap + wgt_lo);
+
+  const std::int64_t kv_stride = static_cast<std::int64_t>(icv) * kk * po * pi;
+  const SpatialFn spatial = SelectSpatial(pi, po);
   for (int ro = 0; ro < f.oh_num; ++ro) {
     for (int co_pos = 0; co_pos < f.ow_num; ++co_pos) {
-      const std::int64_t pos = static_cast<std::int64_t>(ro) * f.ow_num + co_pos;
+      const std::int64_t pos =
+          static_cast<std::int64_t>(ro) * f.ow_num + co_pos;
+      std::int64_t* const acc_pos =
+          accum_.data() + static_cast<std::size_t>(pos * ocv * po);
       for (int r = 0; r < f.kh; ++r) {
         for (int s = 0; s < f.kw; ++s) {
           const std::int64_t row =
@@ -352,62 +515,58 @@ void Accelerator::CompSpatial(const CompFields& f) {
           const std::int64_t col =
               f.base_col + static_cast<std::int64_t>(co_pos) * f.stride + s;
           const std::int64_t rc = static_cast<std::int64_t>(r) * f.kw + s;
+          const std::int32_t* const in_px =
+              in_base +
+              (f.inp_buff_base + (row * f.iw_num + col) * icv) * pi;
+          const std::int32_t* const w_rc = wgt_base + rc * po * pi;
           for (int cvi = 0; cvi < icv; ++cvi) {
-            const std::int64_t vec =
-                f.inp_buff_base + (row * f.iw_num + col) * icv + cvi;
-            for (int ci = 0; ci < cfg_.pi; ++ci) {
-              const std::int64_t din = InSlab(in_half, vec, ci);
-              if (din == 0) continue;
-              for (int kv = 0; kv < ocv; ++kv) {
-                const std::int64_t wslot =
-                    f.wgt_buff_base * cfg_.pi * cfg_.po +
-                    (((static_cast<std::int64_t>(kv) * icv + cvi) * kk + rc) *
-                         cfg_.po) *
-                        cfg_.pi +
-                    ci;
-                for (int po = 0; po < cfg_.po; ++po) {
-                  accum_[static_cast<std::size_t>((pos * ocv + kv) * cfg_.po +
-                                                  po)] +=
-                      din * static_cast<std::int64_t>(
-                                WgtSlab(wgt_half, wslot + po * cfg_.pi));
-                }
-              }
-            }
+            spatial(in_px + cvi * pi,
+                    w_rc + static_cast<std::int64_t>(cvi) * kk * po * pi,
+                    acc_pos, ocv, kv_stride, pi, po);
           }
         }
       }
     }
   }
-  macs_executed_ += positions * kk * icv * ocv * cfg_.pi * cfg_.po;
+  macs_executed_ += positions * kk * icv * ocv * pi * po;
 }
 
 void Accelerator::EmitSpatial(const CompFields& f) {
+  const int po = cfg_.po;
   const int ocv = f.oc_vecs;
-  const int out_half = f.out_buff_id;
-  const std::int64_t half_base =
-      static_cast<std::int64_t>(out_half) * cfg_.output_buffer_vectors;
-  for (int ro = 0; ro < f.oh_num; ++ro) {
-    for (int cp = 0; cp < f.ow_num; ++cp) {
-      const std::int64_t pos = static_cast<std::int64_t>(ro) * f.ow_num + cp;
-      for (int kv = 0; kv < ocv; ++kv) {
-        for (int po = 0; po < cfg_.po; ++po) {
-          const std::int64_t bias =
-              bias_buf_[static_cast<std::size_t>(f.wgt_buff_id * kBiasCapacity +
-                                                 kv * cfg_.po + po)];
-          std::int64_t q = Requantize(
-              accum_[static_cast<std::size_t>((pos * ocv + kv) * cfg_.po + po)] +
-                  bias,
-              f.quan, cfg_.data_width);
-          if (f.relu && q < 0) q = 0;
-          const std::int64_t vec =
-              f.out_buff_base +
-              (static_cast<std::int64_t>(ro) * f.ow_num + cp) * ocv + kv;
-          HDNN_CHECK(vec < cfg_.output_buffer_vectors)
-              << "COMP output slab overflows output buffer half";
-          output_buf_[static_cast<std::size_t>((half_base + vec) * cfg_.po +
-                                               po)] =
-              static_cast<std::int32_t>(q);
-        }
+  const std::int64_t positions =
+      static_cast<std::int64_t>(f.oh_num) * f.ow_num;
+
+  const std::int64_t out_max_vec =
+      f.out_buff_base + (positions - 1) * ocv + (ocv - 1);
+  HDNN_CHECK(out_max_vec < cfg_.output_buffer_vectors)
+      << "COMP output slab overflows output buffer half";
+  std::int32_t* const out_base =
+      output_buf_.data() +
+      static_cast<std::size_t>(
+          (static_cast<std::int64_t>(f.out_buff_id) *
+               cfg_.output_buffer_vectors +
+           f.out_buff_base) *
+          po);
+  const std::int32_t* const bias_base =
+      bias_buf_.data() +
+      static_cast<std::size_t>(f.wgt_buff_id * kBiasCapacity);
+
+  // Output vectors are written densely: vec = out_buff_base + pos*ocv + kv,
+  // so one linear walk covers the whole emit.
+  for (std::int64_t pos = 0; pos < positions; ++pos) {
+    const std::int64_t* const acc_pos =
+        accum_.data() + static_cast<std::size_t>(pos * ocv * po);
+    std::int32_t* const out_pos = out_base + pos * ocv * po;
+    for (int kv = 0; kv < ocv; ++kv) {
+      const std::int32_t* const bias_kv = bias_base + kv * po;
+      for (int lane = 0; lane < po; ++lane) {
+        std::int64_t q = Requantize(
+            acc_pos[kv * po + lane] + static_cast<std::int64_t>(bias_kv[lane]),
+            f.quan, cfg_.data_width);
+        if (f.relu && q < 0) q = 0;
+        out_pos[static_cast<std::int64_t>(kv) * po + lane] =
+            static_cast<std::int32_t>(q);
       }
     }
   }
@@ -518,6 +677,21 @@ Accelerator::ExecResult Accelerator::ExecSave(const SaveFields& f) {
 SimStats Accelerator::Run(const std::vector<Instruction>& program) {
   ValidateProgram(program);
   macs_executed_ = 0;
+  // The accelerator is reusable across programs (serving runtimes hold one
+  // per worker): reset per-run state so every Run is bit- and cycle-
+  // identical to a run on a freshly constructed instance.
+  prev_load_ = PrevLoad{};
+  // Empty (not shrink) the accumulator so the first COMP's EnsureAccum
+  // grows-and-zeroes exactly as on a fresh instance even when it carries
+  // accum_clear=false; capacity is kept, so steady state stays
+  // allocation-free.
+  accum_.clear();
+  if (functional_) {
+    std::fill(input_buf_.begin(), input_buf_.end(), 0);
+    std::fill(weight_buf_.begin(), weight_buf_.end(), 0);
+    std::fill(output_buf_.begin(), output_buf_.end(), 0);
+    std::fill(bias_buf_.begin(), bias_buf_.end(), 0);
+  }
 
   // Decode everything up front and split into per-module queues.
   std::vector<InstrFields> decoded(program.size());

@@ -69,6 +69,11 @@ class Accelerator {
 
   /// Executes an END-terminated program; returns timing statistics.
   /// Functional effects (DRAM writes) persist in `dram`.
+  ///
+  /// An Accelerator is reusable: per-run microarchitectural state is reset
+  /// on entry, so consecutive Runs are bit- and cycle-identical to runs on
+  /// freshly constructed instances, while buffer storage and the COMP
+  /// scratch arenas are reused (no steady-state allocations).
   SimStats Run(const std::vector<Instruction>& program);
 
   /// When disabled, the simulator computes timing only: no data is moved and
@@ -101,8 +106,8 @@ class Accelerator {
   void EmitWinograd(const CompFields& f);
   void EmitSpatial(const CompFields& f);
 
-  std::int32_t InSlab(int half, std::int64_t vec, int lane) const;
-  std::int32_t WgtSlab(int half, std::int64_t slot) const;
+  /// Sizes the accumulation buffer for one COMP, reusing existing storage.
+  void EnsureAccum(std::int64_t size, bool clear);
 
   AccelConfig cfg_;
   FpgaSpec spec_;
@@ -127,6 +132,19 @@ class Accelerator {
   std::vector<std::int32_t> output_buf_;  // 2 * vectors * PO
   std::vector<std::int32_t> bias_buf_;    // 2 * kBiasCapacity
   std::vector<std::int64_t> accum_;       // PE accumulation buffer
+
+  // Flat scratch arenas for the COMP datapath. Sized on first use (growing
+  // monotonically) and reused across tiles and instructions, so steady-state
+  // per-tile loops perform zero heap allocations (see DESIGN.md).
+  std::vector<std::int32_t> wino_v_;      // icv*ee*pi transformed inputs,
+                                          // laid out [cvi][e][ci] so the ci
+                                          // MAC reduction is contiguous
+  std::vector<std::int32_t> wino_dtile_;  // pt*pt input gather tile
+  std::vector<std::int32_t> wino_vtile_;  // pt*pt transform result tile
+  std::vector<std::int64_t> wino_tmp_;    // pt*pt transform intermediate
+  std::vector<std::int64_t> emit_m_;      // ee accumulator gather tile
+  std::vector<std::int64_t> emit_y_;      // m*m output transform result
+  std::vector<std::int64_t> emit_tmp_;    // m*pt transform intermediate
 
   std::int64_t macs_executed_ = 0;
 

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <future>
 #include <numeric>
+#include <utility>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -182,6 +183,99 @@ TEST(InferenceEngineTest, EmptyBatchIsANoOp) {
       model, cfg, mapping, SyntheticWeights(model, 7), {});
   EXPECT_TRUE(report.items.empty());
   EXPECT_EQ(report.sim_makespan_seconds, 0);
+}
+
+// --- program-cache key audit ---
+//
+// Every AccelConfig field affects compilation (tiling, buffer budgets,
+// quantisation, instance bandwidth share), so two deployments differing in
+// ANY field must occupy distinct cache entries. This audit exercises the
+// private CacheKey equality + CacheKeyHash through the engine: for each
+// field, a mutated config must produce a fresh cache miss, never a hit on
+// the base entry.
+TEST(InferenceEngineTest, CacheKeyCoversEveryAccelConfigField) {
+  // Compile-time tripwire: if AccelConfig grows a field, this sizeof
+  // changes — update CacheKeyHash in engine.cc AND the mutation list below,
+  // then adjust the expected size.
+  static_assert(sizeof(AccelConfig) == 9 * sizeof(int),
+                "AccelConfig changed: audit InferenceEngine::CacheKeyHash "
+                "and this test's mutation list");
+
+  const Model model = BuildTinyCnn();
+  const auto mapping =
+      UniformMapping(model, ConvMode::kSpatial, Dataflow::kInputStationary);
+
+  // One mutation per field, each keeping the config valid and compilable
+  // for the tiny model.
+  const AccelConfig base = TestConfig();
+  std::vector<std::pair<const char*, AccelConfig>> mutations;
+  {
+    AccelConfig c = base;
+    c.pi = 8;
+    mutations.emplace_back("pi", c);
+  }
+  {
+    AccelConfig c = base;
+    c.pi = 8;
+    c.po = 8;
+    mutations.emplace_back("po", c);
+  }
+  {
+    AccelConfig c = base;
+    c.pt = 6;
+    mutations.emplace_back("pt", c);
+  }
+  {
+    AccelConfig c = base;
+    c.ni = 2;
+    mutations.emplace_back("ni", c);
+  }
+  {
+    AccelConfig c = base;
+    c.data_width = 10;
+    mutations.emplace_back("data_width", c);
+  }
+  {
+    AccelConfig c = base;
+    c.wgt_width = 6;
+    mutations.emplace_back("wgt_width", c);
+  }
+  {
+    AccelConfig c = base;
+    c.input_buffer_vectors /= 2;
+    mutations.emplace_back("input_buffer_vectors", c);
+  }
+  {
+    AccelConfig c = base;
+    c.weight_buffer_vectors /= 2;
+    mutations.emplace_back("weight_buffer_vectors", c);
+  }
+  {
+    AccelConfig c = base;
+    c.output_buffer_vectors /= 2;
+    mutations.emplace_back("output_buffer_vectors", c);
+  }
+  ASSERT_EQ(mutations.size(), 9u) << "one mutation per AccelConfig field";
+
+  InferenceEngine engine(TestSpec(), 1);
+  bool hit = true;
+  engine.GetOrCompile(model, base, mapping, &hit);
+  EXPECT_FALSE(hit);
+
+  std::int64_t expected_misses = 1;
+  for (const auto& [field, cfg] : mutations) {
+    SCOPED_TRACE(field);
+    ASSERT_FALSE(cfg == base) << "mutation did not change the config";
+    engine.GetOrCompile(model, cfg, mapping, &hit);
+    EXPECT_FALSE(hit) << "config differing in '" << field
+                      << "' collided with the base cache entry";
+    EXPECT_EQ(engine.cache_misses(), ++expected_misses);
+    // The same mutated deployment must now be served from the cache (the
+    // key is stable, not merely unequal).
+    engine.GetOrCompile(model, cfg, mapping, &hit);
+    EXPECT_TRUE(hit) << "re-lookup of '" << field << "' mutation missed";
+  }
+  EXPECT_EQ(engine.cache_size(), 1u + mutations.size());
 }
 
 TEST(InferenceEngineTest, StructuralHashIgnoresNameButNotGeometry) {
