@@ -1,0 +1,195 @@
+// Wall-clock comparison of the legacy serial DSE loop against the parallel,
+// memoized exploration subsystem on a model-family portfolio sweep:
+// {VGG16 conv-only, full VGG16, ResNet-18-style} x {VU9P, PYNQ-Z1},
+// explored repeatedly the way a platform-portfolio service would.
+//
+//   * serial leg   — one fresh engine per Explore, 1 worker thread, memo
+//                    cache off: exactly the pre-subsystem behaviour;
+//   * parallel leg — one engine per platform reused across the sweep,
+//                    hardware-concurrency workers, shared memo cache.
+//
+// Both legs produce bit-identical DseResults/frontiers (verified and
+// reported as "bit_identical"); only the wall-clock may differ. Prints a
+// table and writes one JSON document (default ./BENCH_dse_sweep.json,
+// override with argv[1]).
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "dse/search.h"
+#include "nn/builders.h"
+#include "platform/fpga_spec.h"
+
+using namespace hdnn;
+using namespace hdnn::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+bool SameResult(const DseFrontier& a, const DseFrontier& b) {
+  if (!(a.best.config == b.best.config) ||
+      a.best.estimated_cycles != b.best.estimated_cycles ||
+      a.best.objective != b.best.objective ||
+      a.best.power_watts != b.best.power_watts ||
+      a.points.size() != b.points.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    const ParetoPoint& pa = a.points[i];
+    const ParetoPoint& pb = b.points[i];
+    if (!(pa.config == pb.config) || pa.objective != pb.objective ||
+        pa.power_watts != pb.power_watts || !(pa.mapping == pb.mapping)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct Scenario {
+  const char* platform;
+  const FpgaSpec* spec;
+  const char* model_name;
+  const Model* model;
+};
+
+std::string ShortConfig(const AccelConfig& cfg) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%d/%d/%d x%d", cfg.pi, cfg.po, cfg.pt,
+                cfg.ni);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_dse_sweep.json";
+
+  const Model vgg_conv = BuildVgg16ConvOnly();
+  const Model vgg_full = BuildVgg16();
+  const Model resnet = BuildResNet18Style();
+
+  const std::vector<Scenario> scenarios = {
+      {"VU9P", &Vu9pSpec(), "vgg16_conv", &vgg_conv},
+      {"VU9P", &Vu9pSpec(), "vgg16_full", &vgg_full},
+      {"VU9P", &Vu9pSpec(), "resnet18_style", &resnet},
+      {"PYNQ-Z1", &PynqZ1Spec(), "vgg16_conv", &vgg_conv},
+      {"PYNQ-Z1", &PynqZ1Spec(), "vgg16_full", &vgg_full},
+      {"PYNQ-Z1", &PynqZ1Spec(), "resnet18_style", &resnet},
+  };
+  constexpr int kRounds = 4;
+
+  DseOptions serial_opts;
+  serial_opts.num_threads = 1;
+  serial_opts.use_memo = false;
+
+  DseOptions parallel_opts;
+  parallel_opts.num_threads = 0;  // hardware concurrency
+  parallel_opts.use_memo = true;
+
+  // --- serial leg: fresh engine per explore, no memo, one thread ---------
+  std::vector<DseFrontier> serial_results;
+  const auto t_serial = Clock::now();
+  for (int round = 0; round < kRounds; ++round) {
+    for (const Scenario& sc : scenarios) {
+      DseEngine engine(*sc.spec);
+      DseFrontier f = engine.ExploreFrontier(*sc.model, serial_opts);
+      if (round == 0) serial_results.push_back(std::move(f));
+    }
+  }
+  const double serial_seconds = SecondsSince(t_serial);
+
+  // --- parallel leg: per-platform engines shared across the sweep --------
+  DseEngine vu9p_engine(Vu9pSpec());
+  DseEngine pynq_engine(PynqZ1Spec());
+  auto engine_for = [&](const Scenario& sc) -> DseEngine& {
+    return sc.spec == &Vu9pSpec() ? vu9p_engine : pynq_engine;
+  };
+  std::vector<DseFrontier> parallel_results;
+  const auto t_parallel = Clock::now();
+  for (int round = 0; round < kRounds; ++round) {
+    for (const Scenario& sc : scenarios) {
+      DseFrontier f = engine_for(sc).ExploreFrontier(*sc.model, parallel_opts);
+      if (round == 0) parallel_results.push_back(std::move(f));
+    }
+  }
+  const double parallel_seconds = SecondsSince(t_parallel);
+
+  bool bit_identical = true;
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    bit_identical =
+        bit_identical && SameResult(serial_results[i], parallel_results[i]);
+  }
+  const LatencyMemoCache::Stats vu9p_stats = vu9p_engine.cache_stats();
+  const LatencyMemoCache::Stats pynq_stats = pynq_engine.cache_stats();
+  const double hit_rate =
+      static_cast<double>(vu9p_stats.hits + pynq_stats.hits) /
+      static_cast<double>(vu9p_stats.hits + pynq_stats.hits +
+                          vu9p_stats.misses + pynq_stats.misses);
+  const double speedup = serial_seconds / parallel_seconds;
+
+  // --- human-readable table ----------------------------------------------
+  std::printf("=== DSE portfolio sweep: serial (legacy) vs parallel+memo ===\n");
+  std::printf("%-9s %-14s %7s %9s %13s %9s %8s\n", "platform", "model",
+              "layers", "frontier", "PI/PO/PT xNI", "obj(Mcy)", "power-W");
+  PrintRule(78);
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const Scenario& sc = scenarios[i];
+    const DseFrontier& f = parallel_results[i];
+    std::printf("%-9s %-14s %7d %9zu %13s %9.2f %8.1f\n", sc.platform,
+                sc.model_name, sc.model->num_layers(), f.points.size(),
+                ShortConfig(f.best.config).c_str(), f.best.objective / 1e6,
+                f.best.power_watts);
+  }
+  PrintRule(78);
+  std::printf("sweep (%d rounds x %zu scenarios):\n", kRounds,
+              scenarios.size());
+  std::printf("  serial (fresh engine, 1 thread, no memo) : %8.1f ms\n",
+              serial_seconds * 1e3);
+  std::printf("  parallel (shared engine + memo cache)    : %8.1f ms\n",
+              parallel_seconds * 1e3);
+  std::printf("  speedup %.2fx   memo hit rate %.1f%%   bit-identical: %s\n",
+              speedup, 100 * hit_rate, bit_identical ? "yes" : "NO");
+
+  // --- JSON ---------------------------------------------------------------
+  std::FILE* out = std::fopen(json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"dse_sweep\",\n");
+  std::fprintf(out, "  \"rounds\": %d,\n", kRounds);
+  std::fprintf(out, "  \"scenarios\": [\n");
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const Scenario& sc = scenarios[i];
+    const DseFrontier& f = parallel_results[i];
+    std::fprintf(out,
+                 "    {\"platform\": \"%s\", \"model\": \"%s\", "
+                 "\"layers\": %d, \"candidates_evaluated\": %d, "
+                 "\"frontier_points\": %zu, \"best_config\": \"%s\", "
+                 "\"best_objective_cycles\": %.1f, "
+                 "\"best_power_watts\": %.3f}%s\n",
+                 sc.platform, sc.model_name, sc.model->num_layers(),
+                 f.candidates_evaluated, f.points.size(),
+                 f.best.config.ToString().c_str(), f.best.objective,
+                 f.best.power_watts, i + 1 < scenarios.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"serial_wall_seconds\": %.6f,\n"
+               "  \"parallel_wall_seconds\": %.6f,\n"
+               "  \"speedup\": %.3f,\n"
+               "  \"memo_hit_rate\": %.4f,\n"
+               "  \"bit_identical\": %s\n}\n",
+               serial_seconds, parallel_seconds, speedup, hit_rate,
+               bit_identical ? "true" : "false");
+  std::fclose(out);
+  std::printf("wrote %s\n", json_path.c_str());
+  return bit_identical ? 0 : 2;
+}

@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
+#include <future>
 #include <limits>
+#include <thread>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
+#include "platform/power_model.h"
 
 namespace hdnn {
 namespace {
@@ -40,12 +45,63 @@ bool IsLegalCombo(const ConvLayer& layer, ConvMode mode, Dataflow flow,
   return true;
 }
 
+int ResolveThreads(int num_threads) {
+  if (num_threads > 0) return num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+/// Everything the latency model reads from a model, flattened: input
+/// geometry and the per-layer fields of every layer (is_fc included because
+/// it changes the canonical input shape of the next layer). Names and relu
+/// are deliberately absent — two models differing only there score
+/// identically.
+std::vector<int> GeometrySignature(const Model& model) {
+  std::vector<int> sig;
+  sig.reserve(4 + 8 * static_cast<std::size_t>(model.num_layers()));
+  const FmapShape& in = model.input();
+  sig.insert(sig.end(), {in.channels, in.height, in.width,
+                         model.num_layers()});
+  for (const ConvLayer& l : model.layers()) {
+    sig.insert(sig.end(),
+               {l.in_channels, l.out_channels, l.kernel_h, l.kernel_w,
+                l.stride, l.pad, l.pool, static_cast<int>(l.is_fc)});
+  }
+  return sig;
+}
+
 }  // namespace
+
+void DseOptions::Validate() const {
+  HDNN_CHECK(max_ni >= 1) << "DseOptions.max_ni must be >= 1, got " << max_ni
+                          << " (the search would explore an empty space)";
+  HDNN_CHECK(max_pi >= 1) << "DseOptions.max_pi must be >= 1, got " << max_pi
+                          << " (the search would explore an empty space)";
+  HDNN_CHECK(tie_fraction >= 0)
+      << "DseOptions.tie_fraction must be >= 0, got " << tie_fraction;
+  HDNN_CHECK(num_threads >= 0)
+      << "DseOptions.num_threads must be >= 0 (0 = hardware concurrency), "
+         "got " << num_threads;
+}
+
+bool Dominates(const ParetoPoint& a, const ParetoPoint& b) {
+  bool strictly_better = false;
+  const double av[] = {a.objective, a.lut_utilization, a.dsp_utilization,
+                       a.bram_utilization, a.power_watts};
+  const double bv[] = {b.objective, b.lut_utilization, b.dsp_utilization,
+                       b.bram_utilization, b.power_watts};
+  for (int i = 0; i < 5; ++i) {
+    if (av[i] > bv[i]) return false;
+    if (av[i] < bv[i]) strictly_better = true;
+  }
+  return strictly_better;
+}
 
 DseEngine::DseEngine(const FpgaSpec& spec, const ProfileConstants& profile)
     : spec_(spec), profile_(profile) {}
 
-bool DseEngine::AssignBuffers(AccelConfig& cfg) const {
+bool DseEngine::AssignBuffers(AccelConfig& cfg, ResourceEstimate* analytical,
+                              ResourceEstimate* implementation) const {
   for (const BufferRung& rung : kBufferLadder) {
     cfg.input_buffer_vectors = rung.input;
     cfg.weight_buffer_vectors = rung.weight;
@@ -58,15 +114,22 @@ bool DseEngine::AssignBuffers(AccelConfig& cfg) const {
     const ResourceEstimate ana = AnalyticalResources(cfg, spec_, profile_);
     if (FitsDeviceLimits(ana, spec_) && FitsDeviceLimits(impl, spec_) &&
         FitsPerDie(impl, cfg, spec_)) {
+      if (analytical) *analytical = ana;
+      if (implementation) *implementation = impl;
       return true;
     }
   }
   return false;
 }
 
-std::vector<AccelConfig> DseEngine::EnumerateCandidates(
+const std::vector<DseEngine::Candidate>& DseEngine::CandidatesFor(
     const DseOptions& opts) const {
-  std::vector<AccelConfig> candidates;
+  const std::pair<int, int> key{opts.max_ni, opts.max_pi};
+  std::lock_guard<std::mutex> lock(enum_mu_);
+  const auto it = enum_cache_.find(key);
+  if (it != enum_cache_.end()) return it->second;
+
+  std::vector<Candidate> candidates;
   for (int pt : {4, 6}) {
     for (int pi = 1; pi <= opts.max_pi; pi *= 2) {
       for (int po = 1; po <= pi; po *= 2) {
@@ -75,90 +138,224 @@ std::vector<AccelConfig> DseEngine::EnumerateCandidates(
         // is what keeps instances within one die on multi-SLR parts).
         if (pi * pt > 32) continue;
         for (int ni = 1; ni <= opts.max_ni; ++ni) {
-          AccelConfig cfg;
-          cfg.pi = pi;
-          cfg.po = po;
-          cfg.pt = pt;
-          cfg.ni = ni;
-          if (!AssignBuffers(cfg)) continue;
-          candidates.push_back(cfg);
+          Candidate cand;
+          cand.cfg.pi = pi;
+          cand.cfg.po = po;
+          cand.cfg.pt = pt;
+          cand.cfg.ni = ni;
+          if (!AssignBuffers(cand.cfg, &cand.analytical,
+                             &cand.implementation)) {
+            continue;
+          }
+          candidates.push_back(std::move(cand));
         }
       }
     }
   }
-  return candidates;
+  return enum_cache_.emplace(key, std::move(candidates)).first->second;
+}
+
+std::vector<AccelConfig> DseEngine::EnumerateCandidates(
+    const DseOptions& opts) const {
+  opts.Validate();
+  const std::vector<Candidate>& cached = CandidatesFor(opts);
+  std::vector<AccelConfig> configs;
+  configs.reserve(cached.size());
+  for (const Candidate& cand : cached) configs.push_back(cand.cfg);
+  return configs;
+}
+
+LayerLatencyValue DseEngine::EvaluateLayerMode(const ConvLayer& layer,
+                                               const FmapShape& in,
+                                               ConvMode mode,
+                                               const AccelConfig& cfg,
+                                               bool use_memo) const {
+  LayerLatencyKey key;
+  if (use_memo) {
+    key = MakeLatencyKey(layer, in, mode, cfg);
+    LayerLatencyValue cached;
+    if (memo_.Lookup(key, &cached)) return cached;
+  }
+
+  LayerLatencyValue value;
+  GroupCounts g;
+  bool scheduled = true;
+  try {
+    g = ComputeGroups(layer, in, mode, cfg);
+  } catch (const CapacityError&) {
+    scheduled = false;  // this mode cannot be scheduled on this config
+  }
+  if (scheduled) {
+    double best = std::numeric_limits<double>::infinity();
+    for (Dataflow flow :
+         {Dataflow::kInputStationary, Dataflow::kWeightStationary}) {
+      if (!IsLegalCombo(layer, mode, flow, g)) continue;
+      const LatencyBreakdown lb =
+          EstimateLayerLatency(layer, in, mode, flow, cfg, spec_);
+      if (lb.total < best) {
+        best = lb.total;
+        value.feasible = true;
+        value.total_cycles = lb.total;
+        value.dataflow = flow;
+      }
+    }
+  }
+  if (use_memo) memo_.Insert(key, value);
+  return value;
+}
+
+DseEngine::LayerChoice DseEngine::BestLayerChoice(const ConvLayer& layer,
+                                                  const FmapShape& in,
+                                                  const AccelConfig& cfg,
+                                                  const DseOptions& opts) const {
+  LayerChoice choice;
+  double best = std::numeric_limits<double>::infinity();
+  for (ConvMode mode : {ConvMode::kSpatial, ConvMode::kWinograd}) {
+    if (mode == ConvMode::kWinograd && !opts.allow_winograd) continue;
+    if (mode == ConvMode::kWinograd && !WinogradApplicable(layer)) continue;
+    const LayerLatencyValue v =
+        EvaluateLayerMode(layer, in, mode, cfg, opts.use_memo);
+    if (!v.feasible) continue;
+    if (v.total_cycles < best) {
+      best = v.total_cycles;
+      choice.feasible = true;
+      choice.mapping = LayerMapping{mode, v.dataflow};
+      choice.cycles = v.total_cycles;
+    }
+  }
+  return choice;
 }
 
 std::vector<LayerMapping> DseEngine::BestMapping(const Model& model,
                                                  const AccelConfig& cfg,
                                                  const DseOptions& opts,
                                                  double* total_cycles) const {
+  opts.Validate();
   std::vector<LayerMapping> mapping;
   double total = 0;
   for (int i = 0; i < model.num_layers(); ++i) {
     const ConvLayer& layer = model.layer(i);
-    const FmapShape in = model.InputOf(i);
-    double best = std::numeric_limits<double>::infinity();
-    LayerMapping best_map;
-    bool feasible = false;
-    for (ConvMode mode : {ConvMode::kSpatial, ConvMode::kWinograd}) {
-      if (mode == ConvMode::kWinograd && !opts.allow_winograd) continue;
-      if (mode == ConvMode::kWinograd && !WinogradApplicable(layer)) continue;
-      GroupCounts g;
-      try {
-        g = ComputeGroups(layer, in, mode, cfg);
-      } catch (const CapacityError&) {
-        continue;  // this mode cannot be scheduled on this config
-      }
-      for (Dataflow flow :
-           {Dataflow::kInputStationary, Dataflow::kWeightStationary}) {
-        if (!IsLegalCombo(layer, mode, flow, g)) continue;
-        const LatencyBreakdown lb =
-            EstimateLayerLatency(layer, in, mode, flow, cfg, spec_);
-        if (lb.total < best) {
-          best = lb.total;
-          best_map = LayerMapping{mode, flow};
-          feasible = true;
-        }
-      }
-    }
-    if (!feasible) {
+    const LayerChoice choice =
+        BestLayerChoice(layer, model.InputOf(i), cfg, opts);
+    if (!choice.feasible) {
       throw CapacityError("layer " + layer.name +
                           " cannot be scheduled on config " + cfg.ToString());
     }
-    mapping.push_back(best_map);
-    total += best;
+    mapping.push_back(choice.mapping);
+    total += choice.cycles;
   }
   if (total_cycles) *total_cycles = total;
   return mapping;
 }
 
-DseResult DseEngine::Explore(const Model& model, const DseOptions& opts) const {
-  const std::vector<AccelConfig> candidates = EnumerateCandidates(opts);
+DseEngine::Evaluation DseEngine::EvaluateCandidates(
+    const Model& model, const DseOptions& opts) const {
+  opts.Validate();
+  const std::vector<Candidate>& candidates = CandidatesFor(opts);
   HDNN_CHECK(!candidates.empty())
       << "no feasible accelerator configuration for platform " << spec_.name;
 
-  struct Scored {
-    AccelConfig cfg;
-    std::vector<LayerMapping> mapping;
-    double cycles;
-    double objective;
-  };
-  std::vector<Scored> scored;
-  for (const AccelConfig& cfg : candidates) {
-    try {
-      double cycles = 0;
-      std::vector<LayerMapping> mapping =
-          BestMapping(model, cfg, opts, &cycles);
-      scored.push_back(
-          Scored{cfg, std::move(mapping), cycles, cycles / cfg.ni});
-    } catch (const CapacityError&) {
-      continue;  // some layer does not fit this candidate at all
-    }
+  // Score-level memo: a model geometry this engine has already scored under
+  // the same search options is a single lookup.
+  const ScoreKey score_key{GeometrySignature(model), opts.allow_winograd,
+                           opts.max_ni, opts.max_pi};
+  std::shared_ptr<const std::vector<CandidateScore>> scores;
+  if (opts.use_memo) {
+    std::lock_guard<std::mutex> lock(score_mu_);
+    const auto it = score_cache_.find(score_key);
+    if (it != score_cache_.end()) scores = it->second;
   }
-  HDNN_CHECK(!scored.empty())
-      << "no candidate can schedule every layer of " << model.name();
 
+  if (scores == nullptr) {
+    // Layer inputs once, not per candidate (InputOf is O(i) per call).
+    const int num_layers = model.num_layers();
+    std::vector<FmapShape> inputs;
+    inputs.reserve(static_cast<std::size_t>(num_layers));
+    for (int i = 0; i < num_layers; ++i) inputs.push_back(model.InputOf(i));
+
+    // Step 2 for one candidate. Pure given (model, cfg, memo values), so the
+    // schedule of these tasks over workers cannot change any result.
+    auto evaluate = [&](const AccelConfig& cfg) {
+      CandidateScore score;
+      score.mapping.reserve(static_cast<std::size_t>(num_layers));
+      for (int i = 0; i < num_layers; ++i) {
+        const LayerChoice choice = BestLayerChoice(
+            model.layer(i), inputs[static_cast<std::size_t>(i)], cfg, opts);
+        if (!choice.feasible) return CandidateScore{};  // unschedulable layer
+        score.mapping.push_back(choice.mapping);
+        score.cycles += choice.cycles;
+      }
+      score.feasible = true;
+      return score;
+    };
+
+    // Fan out over the pool, then merge in enumeration order: the result is
+    // a plain indexed gather, so 1, 4 and N workers produce identical bits.
+    std::vector<CandidateScore> computed(candidates.size());
+    const int threads =
+        std::min<int>(ResolveThreads(opts.num_threads),
+                      static_cast<int>(candidates.size()));
+    if (threads > 1) {
+      // The engine's pool is reused across Explore calls; it is only
+      // (re)created when the resolved worker count changes.
+      std::shared_ptr<ThreadPool> pool;
+      {
+        std::lock_guard<std::mutex> lock(pool_mu_);
+        if (pool_ == nullptr || pool_->num_threads() != threads) {
+          pool_ = std::make_shared<ThreadPool>(threads);
+        }
+        pool = pool_;
+      }
+      std::vector<std::future<CandidateScore>> futures;
+      futures.reserve(candidates.size());
+      for (const Candidate& cand : candidates) {
+        futures.push_back(
+            pool->Submit([&evaluate, &cand] { return evaluate(cand.cfg); }));
+      }
+      // Drain every future before rethrowing: queued tasks capture this
+      // frame's locals by reference, so unwinding mid-loop while the
+      // long-lived pool still runs them would be a use-after-free.
+      std::exception_ptr first_error;
+      for (std::size_t i = 0; i < futures.size(); ++i) {
+        try {
+          computed[i] = futures[i].get();
+        } catch (...) {
+          if (first_error == nullptr) first_error = std::current_exception();
+        }
+      }
+      if (first_error != nullptr) std::rethrow_exception(first_error);
+    } else {
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        computed[i] = evaluate(candidates[i].cfg);
+      }
+    }
+
+    auto owned = std::make_shared<const std::vector<CandidateScore>>(
+        std::move(computed));
+    if (opts.use_memo) {
+      std::lock_guard<std::mutex> lock(score_mu_);
+      score_cache_.emplace(score_key, owned);  // first writer wins
+    }
+    scores = std::move(owned);
+  }
+
+  // The feasible subset, in enumeration order.
+  Evaluation ev;
+  ev.candidates = &candidates;
+  ev.scores = std::move(scores);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (!(*ev.scores)[i].feasible) continue;
+    ev.scored.push_back(Scored{&candidates[i], &(*ev.scores)[i],
+                               (*ev.scores)[i].cycles / candidates[i].cfg.ni});
+  }
+  HDNN_CHECK(!ev.scored.empty())
+      << "no candidate can schedule every layer of " << model.name();
+  return ev;
+}
+
+DseResult DseEngine::SelectBest(const Evaluation& ev,
+                                const DseOptions& opts) const {
+  const std::vector<Scored>& scored = ev.scored;
   const double best_objective =
       std::min_element(scored.begin(), scored.end(),
                        [](const Scored& a, const Scored& b) {
@@ -175,14 +372,14 @@ DseResult DseEngine::Explore(const Model& model, const DseOptions& opts) const {
       chosen = &s;
       continue;
     }
-    const int ratio_a = s.cfg.pi / s.cfg.po;
-    const int ratio_b = chosen->cfg.pi / chosen->cfg.po;
+    const int ratio_a = s.cand->cfg.pi / s.cand->cfg.po;
+    const int ratio_b = chosen->cand->cfg.pi / chosen->cand->cfg.po;
     if (ratio_a != ratio_b) {
       if (ratio_a < ratio_b) chosen = &s;
       continue;
     }
-    if (s.cfg.ni != chosen->cfg.ni) {
-      if (s.cfg.ni > chosen->cfg.ni) chosen = &s;
+    if (s.cand->cfg.ni != chosen->cand->cfg.ni) {
+      if (s.cand->cfg.ni > chosen->cand->cfg.ni) chosen = &s;
       continue;
     }
     if (s.objective < chosen->objective) chosen = &s;
@@ -190,14 +387,77 @@ DseResult DseEngine::Explore(const Model& model, const DseOptions& opts) const {
   HDNN_INTERNAL(chosen != nullptr) << "tie-break selected nothing";
 
   DseResult result;
-  result.config = chosen->cfg;
-  result.mapping = chosen->mapping;
-  result.estimated_cycles = chosen->cycles;
+  result.config = chosen->cand->cfg;
+  result.mapping = chosen->score->mapping;
+  result.estimated_cycles = chosen->score->cycles;
   result.objective = chosen->objective;
-  result.analytical = AnalyticalResources(chosen->cfg, spec_, profile_);
-  result.implementation = ImplementationResources(chosen->cfg, spec_, profile_);
+  result.analytical = chosen->cand->analytical;
+  result.implementation = chosen->cand->implementation;
+  result.power_watts = DefaultPowerModel().TotalWatts(
+      spec_, chosen->cand->implementation.AsUsage());
   result.candidates_evaluated = static_cast<int>(scored.size());
   return result;
+}
+
+DseFrontier DseEngine::ExploreFrontier(const Model& model,
+                                       const DseOptions& opts) const {
+  const Evaluation ev = EvaluateCandidates(model, opts);
+
+  DseFrontier frontier;
+  frontier.candidates_evaluated = static_cast<int>(ev.scored.size());
+  frontier.best = SelectBest(ev, opts);
+
+  // Multi-objective view of every scored candidate.
+  std::vector<ParetoPoint> points;
+  points.reserve(ev.scored.size());
+  for (const Scored& s : ev.scored) {
+    ParetoPoint p;
+    p.config = s.cand->cfg;
+    p.mapping = s.score->mapping;  // copy: the score vector may be cached
+    p.estimated_cycles = s.score->cycles;
+    p.objective = s.objective;
+    p.analytical = s.cand->analytical;
+    p.implementation = s.cand->implementation;
+    p.lut_utilization =
+        s.cand->implementation.luts / static_cast<double>(spec_.luts);
+    p.dsp_utilization =
+        s.cand->implementation.dsps / static_cast<double>(spec_.dsps);
+    p.bram_utilization =
+        s.cand->implementation.bram18 / static_cast<double>(spec_.bram18);
+    p.power_watts =
+        DefaultPowerModel().TotalWatts(spec_, s.cand->implementation.AsUsage());
+    points.push_back(std::move(p));
+  }
+
+  // Non-dominated filter, O(n^2) over ~a hundred points. Mark first, move
+  // after: the dominance scan must never read a moved-from point.
+  std::vector<bool> dominated(points.size(), false);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (j != i && Dominates(points[j], points[i])) {
+        dominated[i] = true;
+        break;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (!dominated[i]) frontier.points.push_back(std::move(points[i]));
+  }
+  std::sort(frontier.points.begin(), frontier.points.end(),
+            [](const ParetoPoint& a, const ParetoPoint& b) {
+              if (a.objective != b.objective) return a.objective < b.objective;
+              if (a.config.pt != b.config.pt) return a.config.pt < b.config.pt;
+              if (a.config.pi != b.config.pi) return a.config.pi < b.config.pi;
+              if (a.config.po != b.config.po) return a.config.po < b.config.po;
+              return a.config.ni < b.config.ni;
+            });
+  return frontier;
+}
+
+DseResult DseEngine::Explore(const Model& model, const DseOptions& opts) const {
+  // The thin best-point wrapper: same evaluation and tie-break as
+  // ExploreFrontier, without paying for frontier construction.
+  return SelectBest(EvaluateCandidates(model, opts), opts);
 }
 
 }  // namespace hdnn

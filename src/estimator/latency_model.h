@@ -66,6 +66,8 @@ LatencyBreakdown EstimateLayerLatency(const ConvLayer& layer,
 struct LayerMapping {
   ConvMode mode = ConvMode::kSpatial;
   Dataflow dataflow = Dataflow::kInputStationary;
+
+  friend bool operator==(const LayerMapping&, const LayerMapping&) = default;
 };
 
 /// Sum of per-layer latencies for a whole model under a fixed mapping.

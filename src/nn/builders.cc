@@ -78,12 +78,74 @@ Model BuildAlexNetStyle() {
   return m;
 }
 
+Model BuildResNet18Style() {
+  Model m("resnet18_style", FmapShape{3, 224, 224});
+
+  ConvLayer stem;
+  stem.name = "conv1";
+  stem.in_channels = 3;
+  stem.out_channels = 64;
+  stem.kernel_h = stem.kernel_w = 7;
+  stem.stride = 2;
+  stem.pad = 3;  // (224 + 6 - 7)/2 + 1 = 112
+  stem.relu = true;
+  stem.pool = 2;  // stands in for the 3x3/s2 max-pool -> 56
+  m.Append(stem);
+
+  auto append_stage = [&m](const std::string& prefix, int in_c, int out_c,
+                           int body_convs) {
+    int c = in_c;
+    if (in_c != out_c) {
+      // Stage transition: the 1x1 stride-2 projection carries both the
+      // downsampling and the channel growth (in the real network it is the
+      // shortcut path; a linear chain keeps exactly one stride-2 conv).
+      ConvLayer proj;
+      proj.name = prefix + "_proj";
+      proj.in_channels = in_c;
+      proj.out_channels = out_c;
+      proj.kernel_h = proj.kernel_w = 1;
+      proj.stride = 2;
+      proj.pad = 0;
+      proj.relu = true;
+      m.Append(proj);
+      c = out_c;
+    }
+    for (int i = 1; i <= body_convs; ++i) {
+      m.Append(Conv3x3(prefix + "_" + std::to_string(i), c, out_c, false));
+      c = out_c;
+    }
+  };
+
+  append_stage("conv2", 64, 64, 4);    // 56x56
+  append_stage("conv3", 64, 128, 3);   // 28x28
+  append_stage("conv4", 128, 256, 3);  // 14x14
+  append_stage("conv5", 256, 512, 3);  // 7x7
+  m.AppendFullyConnected("fc", 1000, /*relu=*/false);
+  return m;
+}
+
 Model BuildTinyCnn() {
   Model m("tiny_cnn", FmapShape{3, 32, 32});
   m.Append(Conv3x3("conv1", 3, 16, true));
   m.Append(Conv3x3("conv2", 16, 32, true));
   m.Append(Conv3x3("conv3", 32, 64, true));
   m.AppendFullyConnected("fc", 10, false);
+  return m;
+}
+
+Model BuildTinyResNetBlock() {
+  Model m("tiny_resnet_block", FmapShape{64, 28, 28});
+  ConvLayer proj;
+  proj.name = "proj";
+  proj.in_channels = 64;
+  proj.out_channels = 128;
+  proj.kernel_h = proj.kernel_w = 1;
+  proj.stride = 2;
+  proj.pad = 0;
+  proj.relu = true;
+  m.Append(proj);  // -> 128 x 14 x 14
+  m.Append(Conv3x3("body1", 128, 128, false));
+  m.Append(Conv3x3("body2", 128, 128, true));  // pool -> 128 x 7 x 7
   return m;
 }
 

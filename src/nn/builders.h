@@ -19,9 +19,22 @@ Model BuildVgg16ConvOnly();
 /// kernel-decomposition path of Sec. 4.2.5).
 Model BuildAlexNetStyle();
 
+/// ResNet-18-style network (224x224 input): a 7x7/s2 stem, four stages of
+/// 3x3 body convolutions, and 1x1/s2 projection convolutions at each
+/// stage transition. The IR is a linear chain, so residual adds are not
+/// modeled — what this workload exercises is the kernel/stride mix the VGG
+/// builders lack: 1x1 and 7x7 kernels plus stride-2 downsampling inside the
+/// network (not just fused pooling).
+Model BuildResNet18Style();
+
 /// A small CIFAR-scale CNN (32x32 input) for fast tests and the quickstart
 /// example.
 Model BuildTinyCnn();
+
+/// One ResNet-style downsampling block at test scale: 1x1/s2 projection
+/// into two 3x3 body convolutions with a fused pool. Small enough for
+/// simulator-backed estimator-fidelity tests.
+Model BuildTinyResNetBlock();
 
 /// A single-conv model with the given geometry; `pad` defaults to "same" for
 /// odd kernels when pad < 0.

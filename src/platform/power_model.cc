@@ -10,6 +10,11 @@ const ProfileConstants& DefaultProfile() {
   return profile;
 }
 
+const PowerModel& DefaultPowerModel() {
+  static const PowerModel model{};
+  return model;
+}
+
 double PowerModel::TotalWatts(const FpgaSpec& spec, const ResourceUsage& usage,
                               double activity) const {
   HDNN_CHECK(activity > 0 && activity <= 1.0)

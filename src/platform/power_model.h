@@ -32,6 +32,11 @@ struct PowerModel {
                     double activity = 1.0) const;
 };
 
+/// The calibrated default model (the coefficients above). The DSE scores
+/// every candidate's power through this instance, so multi-objective
+/// exploration and the Table 4 substitute agree by construction.
+const PowerModel& DefaultPowerModel();
+
 }  // namespace hdnn
 
 #endif  // HDNN_PLATFORM_POWER_MODEL_H_

@@ -10,7 +10,9 @@ DesignFlowResult DesignFlow::Run(const Model& model, bool functional,
                                  std::uint64_t seed) const {
   DesignFlowResult result;
   const DseEngine dse(spec_);
-  result.dse = dse.Explore(model, dse_options);
+  DseFrontier frontier = dse.ExploreFrontier(model, dse_options);
+  result.dse = std::move(frontier.best);
+  result.frontier = std::move(frontier.points);
 
   const Compiler compiler(result.dse.config, spec_);
   result.compiled = compiler.Compile(model, result.dse.mapping);

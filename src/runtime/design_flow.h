@@ -16,7 +16,10 @@
 namespace hdnn {
 
 struct DesignFlowResult {
-  DseResult dse;
+  DseResult dse;  ///< the deployed (best-throughput) design point
+  /// Full Pareto frontier of Step 2 — the alternatives the DSE would trade
+  /// toward lower resource/power budgets (sorted by ascending objective).
+  std::vector<ParetoPoint> frontier;
   CompiledModel compiled;
   RunReport report;
 };

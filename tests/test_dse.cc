@@ -136,6 +136,43 @@ TEST(DseExploreTest, BestMappingMatchesPerLayerMinimum) {
   EXPECT_NEAR(total, brute, brute * 1e-9);
 }
 
+TEST(DseOptionsTest, InvalidOptionsThrowInsteadOfEmptySearch) {
+  const DseEngine dse(Vu9pSpec());
+  const Model m = BuildTinyCnn();
+
+  DseOptions bad_ni;
+  bad_ni.max_ni = 0;
+  EXPECT_THROW(dse.Explore(m, bad_ni), InvalidArgument);
+  EXPECT_THROW(dse.EnumerateCandidates(bad_ni), InvalidArgument);
+
+  DseOptions bad_pi;
+  bad_pi.max_pi = -2;
+  EXPECT_THROW(dse.Explore(m, bad_pi), InvalidArgument);
+  EXPECT_THROW(dse.ExploreFrontier(m, bad_pi), InvalidArgument);
+
+  DseOptions bad_tie;
+  bad_tie.tie_fraction = -0.1;
+  EXPECT_THROW(dse.Explore(m, bad_tie), InvalidArgument);
+
+  DseOptions bad_threads;
+  bad_threads.num_threads = -1;
+  EXPECT_THROW(dse.Explore(m, bad_threads), InvalidArgument);
+
+  AccelConfig cfg;
+  double cycles = 0;
+  EXPECT_THROW(dse.BestMapping(m, cfg, bad_ni, &cycles), InvalidArgument);
+}
+
+TEST(DseOptionsTest, ValidOptionsPassValidation) {
+  DseOptions opts;  // defaults
+  EXPECT_NO_THROW(opts.Validate());
+  opts.max_ni = 1;
+  opts.max_pi = 1;
+  opts.tie_fraction = 0;
+  opts.num_threads = 0;  // 0 = hardware concurrency, explicitly legal
+  EXPECT_NO_THROW(opts.Validate());
+}
+
 TEST(DseExploreTest, InfeasibleModelThrows) {
   // A model whose minimal working set exceeds any candidate's buffers.
   Model m("monster", FmapShape{4, 1000, 1000});

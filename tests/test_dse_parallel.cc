@@ -1,0 +1,201 @@
+// The parallel, memoized, multi-objective DSE subsystem:
+//   * thread-count determinism — Explore/ExploreFrontier are bit-identical
+//     for 1, 4 and 8 workers (the merge is an indexed gather, not a race);
+//   * Pareto properties — no frontier point dominates another, every point
+//     fits its platform, and the frontier contains the legacy single-
+//     objective winner on both paper platforms;
+//   * memo-cache correctness — warm (cached) and cold results are
+//     bit-identical, and the cache actually gets hits.
+#include <gtest/gtest.h>
+
+#include "dse/search.h"
+#include "nn/builders.h"
+#include "platform/fpga_spec.h"
+
+namespace hdnn {
+namespace {
+
+void ExpectSameResult(const DseResult& a, const DseResult& b) {
+  EXPECT_EQ(a.config, b.config);
+  EXPECT_EQ(a.mapping, b.mapping);
+  EXPECT_EQ(a.estimated_cycles, b.estimated_cycles);  // bit-exact
+  EXPECT_EQ(a.objective, b.objective);
+  EXPECT_EQ(a.power_watts, b.power_watts);
+  EXPECT_EQ(a.candidates_evaluated, b.candidates_evaluated);
+}
+
+void ExpectSameFrontier(const DseFrontier& a, const DseFrontier& b) {
+  ExpectSameResult(a.best, b.best);
+  EXPECT_EQ(a.candidates_evaluated, b.candidates_evaluated);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    const ParetoPoint& pa = a.points[i];
+    const ParetoPoint& pb = b.points[i];
+    EXPECT_EQ(pa.config, pb.config) << "point " << i;
+    EXPECT_EQ(pa.mapping, pb.mapping) << "point " << i;
+    EXPECT_EQ(pa.estimated_cycles, pb.estimated_cycles) << "point " << i;
+    EXPECT_EQ(pa.objective, pb.objective) << "point " << i;
+    EXPECT_EQ(pa.lut_utilization, pb.lut_utilization) << "point " << i;
+    EXPECT_EQ(pa.dsp_utilization, pb.dsp_utilization) << "point " << i;
+    EXPECT_EQ(pa.bram_utilization, pb.bram_utilization) << "point " << i;
+    EXPECT_EQ(pa.power_watts, pb.power_watts) << "point " << i;
+  }
+}
+
+TEST(DseParallelTest, ThreadCountDeterminism) {
+  for (const auto* spec : {&Vu9pSpec(), &PynqZ1Spec()}) {
+    const Model model = BuildVgg16ConvOnly();
+    DseOptions opts;
+    opts.num_threads = 1;
+    // Fresh engine per worker count: no shared cache can mask a race.
+    const DseFrontier serial = DseEngine(*spec).ExploreFrontier(model, opts);
+    for (int threads : {4, 8}) {
+      opts.num_threads = threads;
+      const DseFrontier parallel =
+          DseEngine(*spec).ExploreFrontier(model, opts);
+      SCOPED_TRACE(::testing::Message()
+                   << spec->name << " threads=" << threads);
+      ExpectSameFrontier(serial, parallel);
+    }
+  }
+}
+
+TEST(DseParallelTest, ExploreMatchesFrontierBest) {
+  for (int threads : {1, 4}) {
+    DseOptions opts;
+    opts.num_threads = threads;
+    const DseEngine engine(Vu9pSpec());
+    const DseResult best = engine.Explore(BuildTinyCnn(), opts);
+    const DseFrontier frontier =
+        engine.ExploreFrontier(BuildTinyCnn(), opts);
+    ExpectSameResult(best, frontier.best);
+  }
+}
+
+TEST(DseParallelTest, HardwareConcurrencyAutoSelection) {
+  DseOptions opts;
+  opts.num_threads = 0;  // hardware concurrency, whatever this host has
+  const DseFrontier auto_threads =
+      DseEngine(PynqZ1Spec()).ExploreFrontier(BuildTinyCnn(), opts);
+  opts.num_threads = 1;
+  const DseFrontier serial =
+      DseEngine(PynqZ1Spec()).ExploreFrontier(BuildTinyCnn(), opts);
+  ExpectSameFrontier(serial, auto_threads);
+}
+
+TEST(DseParallelTest, FrontierHasNoDominatedPoint) {
+  for (const auto* spec : {&Vu9pSpec(), &PynqZ1Spec()}) {
+    const DseFrontier f =
+        DseEngine(*spec).ExploreFrontier(BuildVgg16ConvOnly());
+    ASSERT_FALSE(f.points.empty()) << spec->name;
+    for (std::size_t i = 0; i < f.points.size(); ++i) {
+      for (std::size_t j = 0; j < f.points.size(); ++j) {
+        if (i == j) continue;
+        EXPECT_FALSE(Dominates(f.points[i], f.points[j]))
+            << spec->name << ": point " << i << " ("
+            << f.points[i].config.ToString() << ") dominates point " << j
+            << " (" << f.points[j].config.ToString() << ")";
+      }
+    }
+  }
+}
+
+TEST(DseParallelTest, FrontierPointsAreFeasibleAndSorted) {
+  for (const auto* spec : {&Vu9pSpec(), &PynqZ1Spec()}) {
+    const DseFrontier f =
+        DseEngine(*spec).ExploreFrontier(BuildVgg16ConvOnly());
+    for (std::size_t i = 0; i < f.points.size(); ++i) {
+      const ParetoPoint& p = f.points[i];
+      EXPECT_NO_THROW(p.config.Validate());
+      EXPECT_TRUE(FitsDeviceLimits(p.implementation, *spec))
+          << p.config.ToString();
+      EXPECT_TRUE(FitsPerDie(p.implementation, p.config, *spec))
+          << p.config.ToString();
+      EXPECT_GT(p.power_watts, 0);
+      if (i > 0) {
+        EXPECT_GE(p.objective, f.points[i - 1].objective) << "sort order";
+      }
+    }
+  }
+}
+
+TEST(DseParallelTest, FrontierContainsLegacyWinner) {
+  // Acceptance: multi-objective search must not lose the best-throughput
+  // design — the paper's published config stays on the frontier for both
+  // evaluation platforms.
+  for (const auto* spec : {&Vu9pSpec(), &PynqZ1Spec()}) {
+    const DseEngine engine(*spec);
+    const DseFrontier f = engine.ExploreFrontier(BuildVgg16ConvOnly());
+    bool found = false;
+    for (const ParetoPoint& p : f.points) {
+      if (p.config == f.best.config) {
+        found = true;
+        EXPECT_EQ(p.estimated_cycles, f.best.estimated_cycles);
+        EXPECT_EQ(p.mapping, f.best.mapping);
+      }
+    }
+    EXPECT_TRUE(found) << spec->name
+                       << ": legacy winner missing from the frontier";
+  }
+}
+
+TEST(DseParallelTest, MemoCacheWarmVsColdIdentical) {
+  const Model model = BuildResNet18Style();
+  DseEngine engine(Vu9pSpec());
+
+  DseOptions memo_opts;
+  memo_opts.use_memo = true;
+  const DseFrontier cold = engine.ExploreFrontier(model, memo_opts);
+  const auto stats_after_cold = engine.cache_stats();
+  EXPECT_GT(engine.cache_entries(), 0u);
+  // ResNet stages repeat layer geometries, so even a cold exploration hits.
+  EXPECT_GT(stats_after_cold.hits, 0);
+
+  const DseFrontier warm = engine.ExploreFrontier(model, memo_opts);
+  ExpectSameFrontier(cold, warm);
+
+  // A fresh engine with memoization disabled recomputes everything and must
+  // land on exactly the same bits.
+  DseOptions no_memo;
+  no_memo.use_memo = false;
+  DseEngine cold_engine(Vu9pSpec());
+  const DseFrontier recomputed = cold_engine.ExploreFrontier(model, no_memo);
+  ExpectSameFrontier(cold, recomputed);
+  EXPECT_EQ(cold_engine.cache_entries(), 0u);
+}
+
+TEST(DseParallelTest, MemoCacheSharesLayersAcrossModels) {
+  // vgg16_full extends vgg16_conv: exploring the conv-only body first must
+  // make the full model's conv layers pure cache hits.
+  DseEngine engine(Vu9pSpec());
+  engine.ExploreFrontier(BuildVgg16ConvOnly());
+  const auto before = engine.cache_stats();
+  const DseFrontier full = engine.ExploreFrontier(BuildVgg16());
+  const auto after = engine.cache_stats();
+  EXPECT_GT(after.hits, before.hits);
+
+  // And the shared-cache result matches a dedicated engine's.
+  const DseFrontier fresh = DseEngine(Vu9pSpec()).ExploreFrontier(BuildVgg16());
+  ExpectSameFrontier(fresh, full);
+}
+
+TEST(DseParallelTest, ResNetStyleExploresOnBothPlatforms) {
+  // The new workload (1x1/3x3/7x7 kernels, stride-2 downsampling) must be
+  // schedulable end-to-end on both paper platforms, with the stride-2
+  // layers mapped to Spatial mode (Winograd requires stride 1).
+  const Model model = BuildResNet18Style();
+  for (const auto* spec : {&Vu9pSpec(), &PynqZ1Spec()}) {
+    const DseResult r = DseEngine(*spec).Explore(model);
+    ASSERT_EQ(static_cast<int>(r.mapping.size()), model.num_layers());
+    for (int i = 0; i < model.num_layers(); ++i) {
+      if (model.layer(i).stride > 1) {
+        EXPECT_EQ(r.mapping[static_cast<std::size_t>(i)].mode,
+                  ConvMode::kSpatial)
+            << spec->name << " layer " << model.layer(i).name;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hdnn

@@ -1,0 +1,109 @@
+// Estimator-fidelity regression net: the Eq. 12-15 analytical latency model
+// must keep tracking the cycle-approximate simulator (the repo's stand-in
+// for the paper's Sec. 6.2 "4.27% / 4.03% error" measurement, promoted from
+// bench/estimation_error into ctest so model drift fails CI instead of only
+// skewing a bench report).
+//
+// Tolerances are pinned from the measured state of the model with ~2x
+// headroom. The additive control/burst penalty terms dominate sub-
+// ~1.5k-cycle layers (TinyCnn's 10-output FC simulates in ~170 cycles), so
+// the per-layer bound applies to layers of meaningful size and the
+// end-to-end bound covers everything — exactly how the paper reports it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compiler/compiler.h"
+#include "dse/search.h"
+#include "estimator/latency_model.h"
+#include "nn/builders.h"
+#include "runtime/runtime.h"
+#include "testing_util.h"
+
+namespace hdnn {
+namespace {
+
+using ::hdnn::testing::TestConfig;
+using ::hdnn::testing::TestSpec;
+
+struct FidelityReport {
+  double worst_large_layer_error = 0;  ///< layers with sim >= 1500 cycles
+  double end_to_end_error = 0;
+  int large_layers = 0;
+};
+
+FidelityReport MeasureFidelity(const Model& model, const AccelConfig& cfg,
+                               const FpgaSpec& spec) {
+  // The mapping the DSE would deploy on this config; the compiler may still
+  // override dataflows for legality, so fidelity is judged on the final
+  // plans (same as bench/estimation_error).
+  const DseEngine dse(spec);
+  double unused = 0;
+  const std::vector<LayerMapping> mapping =
+      dse.BestMapping(model, cfg, DseOptions{}, &unused);
+  const Compiler compiler(cfg, spec);
+  CompiledModel cm = compiler.Compile(model, mapping);
+  Runtime runtime(cfg, spec);
+  const RunReport rep =
+      runtime.Execute(model, cm, {}, {}, /*functional=*/false);
+
+  FidelityReport report;
+  double est_total = 0;
+  for (int i = 0; i < model.num_layers(); ++i) {
+    const LayerPlan& plan = cm.plans[static_cast<std::size_t>(i)];
+    const double est =
+        EstimateLayerLatency(model.layer(i), model.InputOf(i),
+                             plan.mapping.mode, plan.mapping.dataflow, cfg,
+                             spec)
+            .total;
+    const double sim = rep.layer_cycles[static_cast<std::size_t>(i)];
+    est_total += est;
+    EXPECT_GT(sim, 0) << model.layer(i).name;
+    if (sim >= 1500) {
+      ++report.large_layers;
+      report.worst_large_layer_error = std::max(
+          report.worst_large_layer_error, std::abs(est - sim) / sim);
+    }
+  }
+  report.end_to_end_error =
+      std::abs(est_total - rep.stats.total_cycles) / rep.stats.total_cycles;
+  return report;
+}
+
+TEST(EstimatorFidelityTest, TinyCnnTracksSimulator) {
+  const FidelityReport r =
+      MeasureFidelity(BuildTinyCnn(), TestConfig(4), TestSpec());
+  ASSERT_GE(r.large_layers, 3);  // the three CONV layers are in-regime
+  // Measured: worst large-layer error 16.7%, end-to-end 6.9%.
+  EXPECT_LE(r.worst_large_layer_error, 0.30);
+  EXPECT_LE(r.end_to_end_error, 0.15);
+}
+
+TEST(EstimatorFidelityTest, ResNetBlockTracksSimulator) {
+  const FidelityReport r =
+      MeasureFidelity(BuildTinyResNetBlock(), TestConfig(4), TestSpec());
+  ASSERT_EQ(r.large_layers, 3);  // 1x1/s2 projection + both 3x3 bodies
+  // Measured: worst layer error 9.9% (the stride-2 projection), end-to-end
+  // 0.02%.
+  EXPECT_LE(r.worst_large_layer_error, 0.20);
+  EXPECT_LE(r.end_to_end_error, 0.05);
+}
+
+TEST(EstimatorFidelityTest, EstimatedCyclesAreLayerSums) {
+  // DseResult.estimated_cycles must equal the sum of its per-layer model
+  // queries — the invariant every fidelity comparison above leans on.
+  const FpgaSpec spec = TestSpec();
+  const Model model = BuildTinyResNetBlock();
+  const DseResult r = DseEngine(spec).Explore(model);
+  double sum = 0;
+  for (int i = 0; i < model.num_layers(); ++i) {
+    const LayerMapping& m = r.mapping[static_cast<std::size_t>(i)];
+    sum += EstimateLayerLatency(model.layer(i), model.InputOf(i), m.mode,
+                                m.dataflow, r.config, spec)
+               .total;
+  }
+  EXPECT_DOUBLE_EQ(r.estimated_cycles, sum);
+}
+
+}  // namespace
+}  // namespace hdnn

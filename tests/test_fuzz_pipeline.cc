@@ -9,6 +9,7 @@
 
 #include "common/prng.h"
 #include "compiler/stream_check.h"
+#include "estimator/latency_model.h"
 #include "nn/builders.h"
 #include "testing_util.h"
 #include "winograd/decompose.h"
@@ -81,7 +82,170 @@ TEST_P(FuzzPipelineTest, RandomLayersMatchGolden) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipelineTest,
-                         ::testing::Range<std::uint64_t>(1, 13));
+                         ::testing::Range<std::uint64_t>(1, 19));
+
+// Kernel-7 Winograd decomposition (Sec. 4.2.5): 3x3 slice grids of 3x3 = 9
+// slices with per-slice offsets, partial-edge slices zero-padded — the
+// deepest decomposition geometry the ISA's WINO_OFFSET field addresses.
+class FuzzKernel7WinoTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzKernel7WinoTest, Kernel7DecompositionMatchesGolden) {
+  Prng prng(GetParam() * 7919);
+  for (int iter = 0; iter < 3; ++iter) {
+    const int c = static_cast<int>(prng.NextInt(1, 10));
+    const int k = static_cast<int>(prng.NextInt(1, 12));
+    const int h = static_cast<int>(prng.NextInt(7, 16));
+    const int w = static_cast<int>(prng.NextInt(7, 16));
+    const int pad = static_cast<int>(prng.NextInt(0, 3));
+    const bool relu = prng.NextInt(0, 1) != 0;
+
+    const Model m = BuildSingleConv(c, k, h, w, /*kernel=*/7, /*stride=*/1,
+                                    pad, relu);
+    ASSERT_EQ(NumKernelSlices(7, 7), 9);
+    const int pt = prng.NextInt(0, 1) ? 4 : 6;
+    SCOPED_TRACE(::testing::Message()
+                 << "seed=" << GetParam() << " iter=" << iter << " c=" << c
+                 << " k=" << k << " h=" << h << " w=" << w << " p=" << pad
+                 << " pt=" << pt);
+    // Decomposed kernels accumulate per group, so IS is the only legal flow.
+    auto r = RunEndToEnd(
+        m, TestConfig(pt), TestSpec(),
+        {LayerMapping{ConvMode::kWinograd, Dataflow::kInputStationary}},
+        /*seed=*/GetParam() * 131 + iter);
+    EXPECT_TRUE(CheckInstructionStream(r.compiled).ok());
+    EXPECT_EQ(r.sim_out, r.golden_out);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzKernel7WinoTest,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// Stride-2 with padding at the geometry edges: every kernel size against
+// pads from 0 to beyond "same", on fmap sizes where the last window only
+// survives because of (or is clipped by) the padding ring. Spatial mode
+// (stride-2 excludes Winograd), both dataflows.
+TEST(FuzzStride2PadEdgeTest, EdgeGeometriesMatchGolden) {
+  std::uint64_t seed = 1;
+  for (const int kernel : {3, 5, 7}) {
+    for (const int pad : {0, (kernel - 1) / 2, (kernel - 1) / 2 + 1}) {
+      for (const int hw : {kernel, kernel + 1, 2 * kernel + 1, 12, 13}) {
+        if (hw + 2 * pad < kernel) continue;
+        const Model m = BuildSingleConv(3, 8, hw, hw, kernel, /*stride=*/2,
+                                        pad, /*relu=*/true);
+        for (const Dataflow flow :
+             {Dataflow::kInputStationary, Dataflow::kWeightStationary}) {
+          SCOPED_TRACE(::testing::Message()
+                       << "kern=" << kernel << " pad=" << pad << " hw=" << hw
+                       << " flow=" << ToString(flow));
+          auto r = RunEndToEnd(m, TestConfig(4), TestSpec(),
+                               {LayerMapping{ConvMode::kSpatial, flow}},
+                               ++seed);
+          EXPECT_TRUE(CheckInstructionStream(r.compiled).ok());
+          EXPECT_EQ(r.sim_out, r.golden_out);
+        }
+      }
+    }
+  }
+}
+
+// Channel counts above one PI/PO block with shrunken buffers: forces
+// multi-group weight schedules (GK > 1) and channel blocking (CB > 1), the
+// partitioning paths a single-vector layer never reaches.
+class FuzzWideChannelTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzWideChannelTest, MultiBlockChannelsMatchGolden) {
+  Prng prng(GetParam() * 60013);
+  for (int iter = 0; iter < 3; ++iter) {
+    const int kernel = prng.NextInt(0, 1) ? 1 : 3;
+    // Well above one PI=PO=4 vector, odd counts included.
+    const int c = static_cast<int>(prng.NextInt(17, 40));
+    const int k = static_cast<int>(prng.NextInt(17, 40));
+    const int h = static_cast<int>(prng.NextInt(6, 12));
+    const int w = static_cast<int>(prng.NextInt(6, 12));
+    const bool relu = prng.NextInt(0, 1) != 0;
+    const Model m = BuildSingleConv(c, k, h, w, kernel, /*stride=*/1,
+                                    /*pad=*/-1, relu);
+
+    const ConvMode mode =
+        prng.NextInt(0, 1) ? ConvMode::kWinograd : ConvMode::kSpatial;
+    Dataflow flow = prng.NextInt(0, 1) ? Dataflow::kWeightStationary
+                                       : Dataflow::kInputStationary;
+    const int pt = prng.NextInt(0, 1) ? 4 : 6;
+    AccelConfig cfg = TestConfig(pt);
+    // A weight buffer this small cannot hold one K-row of c>16 channels:
+    // the compiler must split into K-groups and C-blocks.
+    cfg.input_buffer_vectors = 768;
+    cfg.weight_buffer_vectors = 144;
+    cfg.output_buffer_vectors = 512;
+
+    // Steer the forced mapping to a legal flow the way the DSE does
+    // (compiler rule: CB > 1 needs WS and one fmap group; slices need IS).
+    GroupCounts g;
+    try {
+      g = ComputeGroups(m.layer(0), m.InputOf(0), mode, cfg);
+    } catch (const CapacityError&) {
+      continue;  // does not fit the shrunken buffers at all
+    }
+    if (g.cb > 1 && (g.fmap_groups() != 1 || g.slices > 1)) continue;
+    if (g.cb > 1) flow = Dataflow::kWeightStationary;
+    if (g.slices > 1) flow = Dataflow::kInputStationary;
+
+    SCOPED_TRACE(::testing::Message()
+                 << "seed=" << GetParam() << " iter=" << iter << " c=" << c
+                 << " k=" << k << " h=" << h << " w=" << w
+                 << " kern=" << kernel << " mode=" << ToString(mode)
+                 << " flow=" << ToString(flow) << " pt=" << pt);
+    try {
+      auto r = RunEndToEnd(m, cfg, TestSpec(), {LayerMapping{mode, flow}},
+                           /*seed=*/GetParam() * 523 + iter);
+      EXPECT_TRUE(CheckInstructionStream(r.compiled).ok());
+      EXPECT_EQ(r.sim_out, r.golden_out);
+    } catch (const CapacityError&) {
+      // geometry does not fit the shrunken buffers — acceptable outcome
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzWideChannelTest,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+// Channel blocking proper (CB > 1): legal only for single-fmap-group
+// layers (H = W = 1, the canonicalised FC shape) under WS, with weight
+// buffers too small for one K-row of the full channel depth.
+class FuzzChannelBlockingTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzChannelBlockingTest, BlockedFcLayersMatchGolden) {
+  Prng prng(GetParam() * 104729);
+  for (int iter = 0; iter < 2; ++iter) {
+    const int c = static_cast<int>(prng.NextInt(200, 700));
+    const int k = static_cast<int>(prng.NextInt(4, 32));
+    const bool relu = prng.NextInt(0, 1) != 0;
+    const Model m = BuildSingleConv(c, k, 1, 1, /*kernel=*/1, /*stride=*/1,
+                                    /*pad=*/0, relu);
+    const int pt = prng.NextInt(0, 1) ? 4 : 6;
+    AccelConfig cfg = TestConfig(pt);
+    cfg.weight_buffer_vectors = 32;  // one K-row of c>128 cannot fit
+
+    const GroupCounts g = ComputeGroups(m.layer(0), m.InputOf(0),
+                                        ConvMode::kSpatial, cfg);
+    ASSERT_GT(g.cb, 1) << "c=" << c << ": geometry must exercise blocking";
+    ASSERT_EQ(g.fmap_groups(), 1);
+
+    SCOPED_TRACE(::testing::Message() << "seed=" << GetParam() << " iter="
+                                      << iter << " c=" << c << " k=" << k
+                                      << " pt=" << pt << " cb=" << g.cb);
+    auto r = RunEndToEnd(
+        m, cfg, TestSpec(),
+        {LayerMapping{ConvMode::kSpatial, Dataflow::kWeightStationary}},
+        /*seed=*/GetParam() * 811 + iter);
+    EXPECT_TRUE(CheckInstructionStream(r.compiled).ok());
+    EXPECT_EQ(r.sim_out, r.golden_out);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzChannelBlockingTest,
+                         ::testing::Range<std::uint64_t>(1, 7));
 
 class FuzzNetworkTest : public ::testing::TestWithParam<std::uint64_t> {};
 
@@ -123,7 +287,7 @@ TEST_P(FuzzNetworkTest, RandomThreeLayerNetsMatchGolden) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzNetworkTest,
-                         ::testing::Range<std::uint64_t>(1, 17));
+                         ::testing::Range<std::uint64_t>(1, 21));
 
 }  // namespace
 }  // namespace hdnn
