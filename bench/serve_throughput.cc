@@ -7,7 +7,13 @@
 //   * aggregate_effective_gops — modeled-accelerator throughput with the W
 //     workers as W parallel instances (paper Table 4 "effective" style);
 //     deterministic, so the speedup-vs-1-worker column is exact.
+//
+// The JSON goes to stdout AND to a file (default ./BENCH_serve_throughput.json,
+// override with argv[1]) so CI can upload it alongside the other BENCH_*.json
+// artifacts.
+#include <cstdarg>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -18,7 +24,32 @@
 
 using namespace hdnn;
 
-int main() {
+namespace {
+
+std::FILE* g_json = nullptr;
+
+/// printf to stdout and, when open, the JSON artifact file.
+void Emit(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  std::vprintf(fmt, args);
+  if (g_json != nullptr) std::vfprintf(g_json, fmt, copy);
+  va_end(copy);
+  va_end(args);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path =
+      argc > 1 ? argv[1] : "BENCH_serve_throughput.json";
+  g_json = std::fopen(json_path.c_str(), "w");
+  if (g_json == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+    return 1;
+  }
   const FpgaSpec& spec = PynqZ1Spec();
   const Model model = BuildTinyCnn();
 
@@ -40,13 +71,13 @@ int main() {
   const int batch_sizes[] = {1, 4, 8, 16};
   const int worker_counts[] = {1, 2, 4};
 
-  std::printf("{\n");
-  std::printf("  \"model\": \"%s\",\n", model.name().c_str());
-  std::printf("  \"platform\": \"%s\",\n", spec.name.c_str());
-  std::printf("  \"config\": \"%s\",\n", dse.config.ToString().c_str());
-  std::printf("  \"total_gop_per_item\": %.6f,\n",
-              static_cast<double>(model.TotalOps()) / 1e9);
-  std::printf("  \"cells\": [\n");
+  Emit("{\n");
+  Emit("  \"model\": \"%s\",\n", model.name().c_str());
+  Emit("  \"platform\": \"%s\",\n", spec.name.c_str());
+  Emit("  \"config\": \"%s\",\n", dse.config.ToString().c_str());
+  Emit("  \"total_gop_per_item\": %.6f,\n",
+       static_cast<double>(model.TotalOps()) / 1e9);
+  Emit("  \"cells\": [\n");
 
   bool first_cell = true;
   // One engine per worker count so the program cache is also exercised:
@@ -58,18 +89,18 @@ int main() {
           batch_pool.data(), static_cast<std::size_t>(batch));
       const BatchReport r = engine.ExecuteBatch(model, dse.config, dse.mapping,
                                                 weights, inputs);
-      std::printf("%s    {\"workers\": %d, \"batch\": %d, "
-                  "\"wall_seconds\": %.6f, \"host_items_per_s\": %.2f, "
-                  "\"sim_makespan_ms\": %.4f, "
-                  "\"aggregate_effective_gops\": %.3f, "
-                  "\"program_cache_hit\": %s}",
-                  first_cell ? "" : ",\n", workers, batch, r.wall_seconds,
-                  r.items_per_second, r.sim_makespan_seconds * 1e3,
-                  r.aggregate_effective_gops, r.cache_hit ? "true" : "false");
+      Emit("%s    {\"workers\": %d, \"batch\": %d, "
+           "\"wall_seconds\": %.6f, \"host_items_per_s\": %.2f, "
+           "\"sim_makespan_ms\": %.4f, "
+           "\"aggregate_effective_gops\": %.3f, "
+           "\"program_cache_hit\": %s}",
+           first_cell ? "" : ",\n", workers, batch, r.wall_seconds,
+           r.items_per_second, r.sim_makespan_seconds * 1e3,
+           r.aggregate_effective_gops, r.cache_hit ? "true" : "false");
       first_cell = false;
     }
   }
-  std::printf("\n  ],\n");
+  Emit("\n  ],\n");
 
   // Headline: aggregate throughput at the largest batch, 4 workers vs 1.
   double gops_w1 = 0, gops_w4 = 0;
@@ -83,10 +114,14 @@ int main() {
     gops_w4 = e4.ExecuteBatch(model, dse.config, dse.mapping, weights, inputs)
                   .aggregate_effective_gops;
   }
-  std::printf("  \"headline\": {\"batch\": %d, "
-              "\"gops_1_worker\": %.3f, \"gops_4_workers\": %.3f, "
-              "\"speedup_4v1\": %.3f}\n",
-              kMaxBatch, gops_w1, gops_w4, gops_w4 / gops_w1);
-  std::printf("}\n");
+  Emit("  \"headline\": {\"batch\": %d, "
+       "\"gops_1_worker\": %.3f, \"gops_4_workers\": %.3f, "
+       "\"speedup_4v1\": %.3f}\n",
+       kMaxBatch, gops_w1, gops_w4, gops_w4 / gops_w1);
+  Emit("}\n");
+  std::fclose(g_json);
+  g_json = nullptr;
+  // stderr: stdout must stay a single parseable JSON document.
+  std::fprintf(stderr, "wrote %s\n", json_path.c_str());
   return 0;
 }

@@ -48,12 +48,13 @@ int main() {
   }
 
   std::printf("\nDRAM map: weights @%lld (%lld words), bias @%lld, "
-              "fmap A @%lld, fmap B @%lld\n",
+              "%d fmap slots of %lld words @%lld\n",
               static_cast<long long>(cm.plans[0].wgt_dram_base),
               static_cast<long long>(cm.plans[0].wgt_dram_words),
               static_cast<long long>(cm.plans[0].bias_dram_base),
-              static_cast<long long>(cm.fmap_a_base),
-              static_cast<long long>(cm.fmap_b_base));
+              cm.fmap_slots,
+              static_cast<long long>(cm.fmap_region_words),
+              static_cast<long long>(cm.fmap_base));
   std::printf("output fmap: %lld x %lld x %lld (after fused 2x2 max-pool)\n",
               static_cast<long long>(rep.output.shape().dim(0)),
               static_cast<long long>(rep.output.shape().dim(1)),

@@ -97,6 +97,10 @@ class Codegen {
   }
 
  private:
+  /// Tensor index of layer i's input: 0 is the model input, t = li + 1 is
+  /// the output of layer li.
+  int InputTensorOf(int i) const { return model_.input_index(i) + 1; }
+
   void PlanLayers(CompiledModel& cm) {
     const int chan_quantum = Lcm(cfg_.pi, cfg_.po);
     for (int i = 0; i < model_.num_layers(); ++i) {
@@ -127,23 +131,49 @@ class Codegen {
         // group, which requires the IS loop order.
         plan.mapping.dataflow = Dataflow::kInputStationary;
       }
-      plan.input_layout = (plan.mapping.mode == ConvMode::kWinograd ||
-                           layer.is_fc || plan.groups.cb > 1)
-                              ? ConvMode::kWinograd
-                              : ConvMode::kSpatial;
       plan.cp_in = static_cast<int>(
           RoundUp<std::int64_t>(plan.in_shape.channels, chan_quantum));
       plan.cp_out = static_cast<int>(
           RoundUp<std::int64_t>(layer.out_channels, chan_quantum));
       cm.plans.push_back(plan);
     }
-    // Output layouts: what the NEXT layer wants to read; the last layer
-    // writes WINO (channel-outermost == flat), convenient for the host.
+
+    // Tensor layouts. A tensor (model input or layer output) has ONE DRAM
+    // layout that every reader must agree on: WINO (channel-outermost) when
+    // any consumer's LOAD path requires it (Winograd mode, FC flattening,
+    // channel blocking), WINO for tensors nothing LOADs (the final output —
+    // host convention — and residual-only tensors), SPAT otherwise.
+    const int num_tensors = model_.num_layers() + 1;
+    std::vector<bool> has_main_consumer(
+        static_cast<std::size_t>(num_tensors), false);
+    std::vector<bool> wino_tensor(static_cast<std::size_t>(num_tensors),
+                                  false);
     for (int i = 0; i < model_.num_layers(); ++i) {
-      cm.plans[static_cast<std::size_t>(i)].output_layout =
-          (i + 1 < model_.num_layers())
-              ? cm.plans[static_cast<std::size_t>(i + 1)].input_layout
-              : ConvMode::kWinograd;
+      const LayerPlan& plan = cm.plans[static_cast<std::size_t>(i)];
+      const bool wants_wino = plan.mapping.mode == ConvMode::kWinograd ||
+                              model_.layer(i).is_fc || plan.groups.cb > 1;
+      const std::size_t t = static_cast<std::size_t>(InputTensorOf(i));
+      has_main_consumer[t] = true;
+      if (wants_wino) wino_tensor[t] = true;
+    }
+    for (int t = 0; t < num_tensors; ++t) {
+      if (!has_main_consumer[static_cast<std::size_t>(t)]) {
+        wino_tensor[static_cast<std::size_t>(t)] = true;
+      }
+    }
+    for (int i = 0; i < model_.num_layers(); ++i) {
+      LayerPlan& plan = cm.plans[static_cast<std::size_t>(i)];
+      plan.input_layout =
+          wino_tensor[static_cast<std::size_t>(InputTensorOf(i))]
+              ? ConvMode::kWinograd
+              : ConvMode::kSpatial;
+      plan.output_layout = wino_tensor[static_cast<std::size_t>(i + 1)]
+                               ? ConvMode::kWinograd
+                               : ConvMode::kSpatial;
+      const int res = model_.residual_index(i);
+      if (res >= 0) {
+        plan.res_wino = wino_tensor[static_cast<std::size_t>(res + 1)];
+      }
     }
   }
 
@@ -157,18 +187,86 @@ class Codegen {
       plan.bias_dram_base = offset;
       offset += BiasImageWords(model_.layer(i), cfg_);
     }
+
+    // Liveness-interval fmap allocation over uniform slots. Tensor t is
+    // defined by layer def(t) = t - 1 (the model input by -1) and stays
+    // live through its last consumer: a tensor read by layer k must survive
+    // layer k entirely, because layer k's SAVEs can overlap its remaining
+    // LOADs; a tensor whose last read is layer k may be overwritten by any
+    // layer > k, because the SAVE -> LOAD_INP layer barrier orders layer
+    // k+1's writes after all of layer k's reads. Two tensors may share a
+    // slot iff their [def, last_use] intervals are disjoint — for a chain
+    // this reproduces the historical even/odd ping-pong exactly.
+    const int num_tensors = model_.num_layers() + 1;
+    std::vector<int> last_use(static_cast<std::size_t>(num_tensors));
+    for (int t = 0; t < num_tensors; ++t) {
+      last_use[static_cast<std::size_t>(t)] = t - 1;  // def(t)
+    }
+    std::vector<std::int64_t> tensor_words(
+        static_cast<std::size_t>(num_tensors), 0);
+    for (int i = 0; i < model_.num_layers(); ++i) {
+      const LayerPlan& plan = cm.plans[static_cast<std::size_t>(i)];
+      const std::size_t in_t = static_cast<std::size_t>(InputTensorOf(i));
+      last_use[in_t] = std::max(last_use[in_t], i);
+      // A tensor's slot must hold the larger of its producer's padded view
+      // and each consumer's padded view (FC consumers view the same
+      // elements flattened with a different channel padding).
+      tensor_words[in_t] =
+          std::max(tensor_words[in_t], static_cast<std::int64_t>(plan.cp_in) *
+                                           plan.in_shape.height *
+                                           plan.in_shape.width);
+      tensor_words[static_cast<std::size_t>(i + 1)] = std::max(
+          tensor_words[static_cast<std::size_t>(i + 1)],
+          static_cast<std::int64_t>(plan.cp_out) * plan.out_shape.height *
+              plan.out_shape.width);
+      const int res = model_.residual_index(i);
+      if (res >= 0) {
+        const std::size_t res_t = static_cast<std::size_t>(res + 1);
+        last_use[res_t] = std::max(last_use[res_t], i);
+      }
+    }
     std::int64_t region = 0;
-    for (const LayerPlan& plan : cm.plans) {
-      region = std::max(region, static_cast<std::int64_t>(plan.cp_in) *
-                                    plan.in_shape.height * plan.in_shape.width);
-      region = std::max(region, static_cast<std::int64_t>(plan.cp_out) *
-                                    plan.out_shape.height *
-                                    plan.out_shape.width);
+    for (const std::int64_t words : tensor_words) {
+      region = std::max(region, words);
+    }
+
+    // First-fit over uniform slots: slot s is reusable for tensor t when
+    // its current occupant's interval ended before t's begins.
+    std::vector<int> slot_last_use;  // per slot, of the current occupant
+    std::vector<std::int64_t> tensor_base(
+        static_cast<std::size_t>(num_tensors), 0);
+    for (int t = 0; t < num_tensors; ++t) {
+      const int def = t - 1;
+      int slot = -1;
+      for (std::size_t s = 0; s < slot_last_use.size(); ++s) {
+        if (slot_last_use[s] < def) {
+          slot = static_cast<int>(s);
+          break;
+        }
+      }
+      if (slot < 0) {
+        slot = static_cast<int>(slot_last_use.size());
+        slot_last_use.push_back(0);
+      }
+      slot_last_use[static_cast<std::size_t>(slot)] =
+          last_use[static_cast<std::size_t>(t)];
+      tensor_base[static_cast<std::size_t>(t)] = offset + slot * region;
+    }
+
+    for (int i = 0; i < model_.num_layers(); ++i) {
+      LayerPlan& plan = cm.plans[static_cast<std::size_t>(i)];
+      plan.in_dram_base =
+          tensor_base[static_cast<std::size_t>(InputTensorOf(i))];
+      plan.out_dram_base = tensor_base[static_cast<std::size_t>(i + 1)];
+      const int res = model_.residual_index(i);
+      if (res >= 0) {
+        plan.res_dram_base = tensor_base[static_cast<std::size_t>(res + 1)];
+      }
     }
     cm.fmap_region_words = region;
-    cm.fmap_a_base = offset;
-    cm.fmap_b_base = offset + region;
-    cm.total_dram_words = offset + 2 * region;
+    cm.fmap_base = offset;
+    cm.fmap_slots = static_cast<int>(slot_last_use.size());
+    cm.total_dram_words = offset + cm.fmap_slots * region;
   }
 
   // --- Instruction emission helpers -------------------------------------
@@ -261,7 +359,9 @@ class Codegen {
     f.ic_vecs = static_cast<std::uint16_t>(CeilDiv(block.c_count, cfg_.pi));
     f.oc_vecs = static_cast<std::uint16_t>(CeilDiv(block.k_count, cfg_.po));
     f.stride = static_cast<std::uint8_t>(layer.stride);
-    f.relu = layer.relu;
+    // A residual layer's ReLU applies to the sum, so COMP emits the raw
+    // requantised convolution and SAVE_RES rectifies after the add.
+    f.relu = layer.relu && !layer.has_residual();
     f.quan = static_cast<std::uint8_t>(plan.quan_shift);
     f.wino = wino;
     f.wino_offset = static_cast<std::uint8_t>(block.slice);
@@ -302,18 +402,31 @@ class Codegen {
     f.out_h = static_cast<std::uint16_t>(out.height);
     f.out_w = static_cast<std::uint16_t>(out.width);
     f.oc_pitch = static_cast<std::uint16_t>(plan.cp_out);
-    const std::int64_t region = cm.output_region(li);
     const int pr0 = geom.oh0 / pool;
     const int pc0 = geom.ow0 / pool;
-    if (plan.output_layout == ConvMode::kWinograd) {
-      f.dram_base = static_cast<std::uint32_t>(
-          region + static_cast<std::int64_t>(block.k0) * out.height * out.width +
-          static_cast<std::int64_t>(pr0) * out.width + pc0);
-    } else {
-      f.dram_base = static_cast<std::uint32_t>(
-          region +
-          (static_cast<std::int64_t>(pr0) * out.width + pc0) * plan.cp_out +
-          block.k0);
+    // Folds the k-group and group-origin offsets into a tensor base, per
+    // layout — shared by the destination and the residual source, which has
+    // this layer's exact conv-out geometry (model validation) and the same
+    // padded channel count, so the fold is identical.
+    auto fold_origin = [&](std::int64_t base, bool wino) {
+      return static_cast<std::uint32_t>(
+          wino ? base +
+                     static_cast<std::int64_t>(block.k0) * out.height *
+                         out.width +
+                     static_cast<std::int64_t>(pr0) * out.width + pc0
+               : base +
+                     (static_cast<std::int64_t>(pr0) * out.width + pc0) *
+                         plan.cp_out +
+                     block.k0);
+    };
+    f.dram_base = fold_origin(cm.output_region(li),
+                              plan.output_layout == ConvMode::kWinograd);
+    if (layer.has_residual()) {
+      HDNN_INTERNAL(plan.res_dram_base >= 0) << "residual slot unassigned";
+      f.res_add = true;
+      f.res_wino = plan.res_wino;
+      f.relu = layer.relu;
+      f.res_dram_base = fold_origin(plan.res_dram_base, plan.res_wino);
     }
     Emit(cm, f);
   }
@@ -336,7 +449,7 @@ class Codegen {
     // kWaitData0 on the next layer's first LOAD_INP).
     for (int i = plan.first_instr + plan.num_instrs - 1; i >= plan.first_instr;
          --i) {
-      if (PeekOpcode(cm.program[static_cast<std::size_t>(i)]) == Opcode::kSave) {
+      if (IsSaveOpcode(PeekOpcode(cm.program[static_cast<std::size_t>(i)]))) {
         auto f = std::get<SaveFields>(
             Decode(cm.program[static_cast<std::size_t>(i)]));
         f.dept |= kEmitData;

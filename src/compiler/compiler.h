@@ -1,7 +1,15 @@
 // The HybridDNN compiler (paper Fig. 1, Step 3): lowers a DNN model plus a
 // per-layer mapping strategy (CONV mode + dataflow, chosen by the DSE) into
 // the 128-bit instruction stream executed by the accelerator, together with
-// the DRAM memory map for weights, biases and the two feature-map regions.
+// the DRAM memory map for weights, biases and the feature-map slots.
+//
+// Feature maps live in uniform DRAM slots assigned by a liveness-interval
+// allocator: every tensor (the model input plus each layer output) is live
+// from its defining layer through its last consumer (input edge or residual
+// edge), and two tensors share a slot only when their intervals are
+// disjoint. For linear chains this degenerates to exactly the historical
+// two-region even/odd ping-pong (bit-identical addresses); residual models
+// get a third (or more) slot wherever a skip tensor outlives the next layer.
 //
 // Loop structures (paper Fig. 4):
 //   IS:  for each fmap group { LOAD_INP; for each weight block
@@ -42,6 +50,10 @@ struct LayerPlan {
   std::int64_t wgt_dram_base = 0;   ///< start of this layer's weight image
   std::int64_t wgt_dram_words = 0;
   std::int64_t bias_dram_base = 0;  ///< start of this layer's bias image
+  std::int64_t in_dram_base = 0;    ///< fmap slot holding this layer's input
+  std::int64_t out_dram_base = 0;   ///< fmap slot this layer writes
+  std::int64_t res_dram_base = -1;  ///< residual-source slot (-1 = none)
+  bool res_wino = false;            ///< residual source layout is WINO
   int first_instr = 0;  ///< index of this layer's first instruction
   int num_instrs = 0;
 };
@@ -52,17 +64,19 @@ struct CompiledModel {
   int base_shift = 6;  ///< feature fraction bits (Q5.6)
   std::vector<Instruction> program;  ///< END-terminated
   std::vector<LayerPlan> plans;
-  std::int64_t fmap_region_words = 0;  ///< size of each ping-pong region
-  std::int64_t fmap_a_base = 0;
-  std::int64_t fmap_b_base = 0;
+  std::int64_t fmap_region_words = 0;  ///< uniform fmap slot size
+  std::int64_t fmap_base = 0;          ///< first fmap slot address
+  int fmap_slots = 0;                  ///< live slots the allocator needed
   std::int64_t total_dram_words = 0;
 
-  /// Layer i reads region A when i is even, B when odd.
+  /// DRAM base of the fmap slot layer `layer` reads its input from (for
+  /// layer 0 this is where the host stages the model input).
   std::int64_t input_region(int layer) const {
-    return (layer % 2 == 0) ? fmap_a_base : fmap_b_base;
+    return plans[static_cast<std::size_t>(layer)].in_dram_base;
   }
+  /// DRAM base of the fmap slot layer `layer` writes its output to.
   std::int64_t output_region(int layer) const {
-    return (layer % 2 == 0) ? fmap_b_base : fmap_a_base;
+    return plans[static_cast<std::size_t>(layer)].out_dram_base;
   }
 };
 

@@ -170,6 +170,33 @@ class Checker {
     if (f.dram_base >= cm_.total_dram_words) {
       Violation("SAVE writes past the DRAM map");
     }
+    if (f.res_add) {
+      if (f.pool != 1) {
+        Violation("SAVE_RES carries a fused max-pool");
+      }
+      if (f.res_dram_base >= cm_.total_dram_words) {
+        Violation("SAVE_RES reads its residual past the DRAM map");
+      }
+      // The residual stream mirrors the written group element for element,
+      // so the farthest residual read is the farthest written position.
+      const std::int64_t last_ch =
+          static_cast<std::int64_t>(f.oc_vecs) * cm_.cfg.po - 1;
+      const std::int64_t last =
+          f.res_wino
+              ? f.res_dram_base +
+                    last_ch * static_cast<std::int64_t>(f.out_h) * f.out_w +
+                    static_cast<std::int64_t>(f.rows - 1) * f.out_w + f.cols - 1
+              : f.res_dram_base +
+                    (static_cast<std::int64_t>(f.rows - 1) * f.out_w +
+                     f.cols - 1) *
+                        f.oc_pitch +
+                    last_ch;
+      if (last >= cm_.total_dram_words) {
+        Violation("SAVE_RES residual read exceeds the DRAM map");
+      }
+    } else if (f.relu) {
+      Violation("SAVE without a residual add carries a ReLU");
+    }
   }
 
   const CompiledModel& cm_;

@@ -52,20 +52,23 @@ int ResolveThreads(int num_threads) {
 }
 
 /// Everything the latency model reads from a model, flattened: input
-/// geometry and the per-layer fields of every layer (is_fc included because
-/// it changes the canonical input shape of the next layer). Names and relu
-/// are deliberately absent — two models differing only there score
-/// identically.
+/// geometry, the per-layer fields of every layer (is_fc included because
+/// it changes the canonical input shape of the next layer), and the graph
+/// edges (input + residual indices — a skip edge changes a layer's input
+/// shape source and adds SAVE-stage traffic). Names and relu are
+/// deliberately absent — two models differing only there score identically.
 std::vector<int> GeometrySignature(const Model& model) {
   std::vector<int> sig;
-  sig.reserve(4 + 8 * static_cast<std::size_t>(model.num_layers()));
+  sig.reserve(4 + 10 * static_cast<std::size_t>(model.num_layers()));
   const FmapShape& in = model.input();
   sig.insert(sig.end(), {in.channels, in.height, in.width,
                          model.num_layers()});
-  for (const ConvLayer& l : model.layers()) {
+  for (int i = 0; i < model.num_layers(); ++i) {
+    const ConvLayer& l = model.layer(i);
     sig.insert(sig.end(),
                {l.in_channels, l.out_channels, l.kernel_h, l.kernel_w,
-                l.stride, l.pad, l.pool, static_cast<int>(l.is_fc)});
+                l.stride, l.pad, l.pool, static_cast<int>(l.is_fc),
+                model.input_index(i), model.residual_index(i)});
   }
   return sig;
 }

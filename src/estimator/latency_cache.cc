@@ -30,6 +30,7 @@ LayerLatencyKey MakeLatencyKey(const ConvLayer& layer, const FmapShape& in,
   key.stride = layer.stride;
   key.pad = layer.pad;
   key.pool = layer.pool;
+  key.residual = layer.has_residual() ? 1 : 0;
   key.in_height = in.height;
   key.in_width = in.width;
   key.mode = mode;
@@ -46,7 +47,7 @@ LayerLatencyKey MakeLatencyKey(const ConvLayer& layer, const FmapShape& in,
 std::size_t LayerLatencyKeyHash::operator()(const LayerLatencyKey& k) const {
   std::uint64_t h = 0x243f6a8885a308d3ULL;
   for (int v : {k.in_channels, k.out_channels, k.kernel_h, k.kernel_w,
-                k.stride, k.pad, k.pool, k.in_height, k.in_width,
+                k.stride, k.pad, k.pool, k.residual, k.in_height, k.in_width,
                 static_cast<int>(k.mode), k.pi, k.po, k.pt, k.ni,
                 k.input_buffer_vectors, k.weight_buffer_vectors,
                 k.output_buffer_vectors}) {

@@ -29,7 +29,8 @@ namespace hdnn {
 /// shape, mode, config). The FpgaSpec is deliberately absent: a cache belongs
 /// to one DseEngine, whose spec is fixed. NI is part of the key because the
 /// per-instance DRAM bandwidth depends on it (Eqs. 8-11); relu/is_fc/name are
-/// absent because they do not enter the latency model.
+/// absent because they do not enter the latency model. `residual` is present
+/// because a fused residual add doubles the SAVE stage's DRAM traffic.
 struct LayerLatencyKey {
   int in_channels = 0;
   int out_channels = 0;
@@ -38,6 +39,7 @@ struct LayerLatencyKey {
   int stride = 0;
   int pad = 0;
   int pool = 0;
+  int residual = 0;  ///< 1 when the layer fuses a residual add
   int in_height = 0;
   int in_width = 0;
   ConvMode mode = ConvMode::kSpatial;

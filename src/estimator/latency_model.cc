@@ -241,6 +241,12 @@ LatencyBreakdown EstimateLayerLatency(const ConvLayer& layer,
   lb.t_ldi = Cp * H * W * halo /
              std::min(bw, static_cast<double>(cfg.pi) * cfg.pt);
   lb.t_sv = Kp * OHt * OWt / std::min(bw, static_cast<double>(cfg.po) * cfg.pt);
+  // A fused residual add streams the skip tensor back in through the SAVE
+  // stage: one extra DRAM read per written element (real positions only —
+  // residual layers cannot pool, so reads = Kp * OH * OW).
+  if (layer.has_residual()) {
+    lb.t_sv += Kp * OH * OW / std::min(bw, static_cast<double>(cfg.po) * cfg.pt);
+  }
 
   const double ng = groups.fmap_groups();
   const double gk = static_cast<double>(groups.gk) * groups.cb;
@@ -265,6 +271,8 @@ LatencyBreakdown EstimateLayerLatency(const ConvLayer& layer,
   lb.penalty = t_ldi_g + t_ldw_g + t_sv_g +
                n_groups_total * kGroupOverheadCycles +
                (ng + ng * gk) * kBurstOverheadCycles;
+  // Each residual SAVE issues a second DRAM transaction for the skip read.
+  if (layer.has_residual()) lb.penalty += ng * gk * kBurstOverheadCycles;
   lb.total = body + lb.penalty;
   return lb;
 }

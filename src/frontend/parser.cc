@@ -44,6 +44,26 @@ int GetInt(const std::map<std::string, std::string>& kv,
   }
 }
 
+std::string GetStr(const std::map<std::string, std::string>& kv,
+                   const std::string& key) {
+  const auto it = kv.find(key);
+  return it == kv.end() ? std::string() : it->second;
+}
+
+/// Rejects attribute keys the directive does not understand — a typo like
+/// `ad=skip` must not silently drop a graph edge.
+void CheckKnownKeys(const std::map<std::string, std::string>& kv,
+                    std::initializer_list<const char*> known, int line_no) {
+  for (const auto& [key, value] : kv) {
+    bool ok = false;
+    for (const char* k : known) ok = ok || key == k;
+    if (!ok) {
+      throw ParseError("line " + std::to_string(line_no) +
+                       ": unknown attribute '" + key + "'");
+    }
+  }
+}
+
 }  // namespace
 
 Model ParseModelText(const std::string& text) {
@@ -93,14 +113,37 @@ Model ParseModelText(const std::string& text) {
                                           : head + std::to_string(anon_counter);
       ++anon_counter;
       if (head == "fc") {
-        model.AppendFullyConnected(name, out,
-                                   GetInt(kv, "relu", 0, line_no) != 0);
+        CheckKnownKeys(kv, {"name", "out", "relu"}, line_no);
+        const bool relu = GetInt(kv, "relu", 0, line_no) != 0;
+        try {
+          model.AppendFullyConnected(name, out, relu);
+        } catch (const Error& e) {
+          throw ParseError("line " + std::to_string(line_no) + ": " +
+                           e.what());
+        }
       } else {
+        CheckKnownKeys(
+            kv, {"name", "out", "in", "k", "s", "p", "relu", "pool", "from",
+                 "add"},
+            line_no);
         ConvLayer l;
         l.name = name;
-        const FmapShape cur = model.num_layers() == 0
-                                  ? input
-                                  : model.OutputOf(model.num_layers() - 1);
+        l.from = GetStr(kv, "from");
+        l.add = GetStr(kv, "add");
+        // Default in-channel count comes from the producer this layer's
+        // input edge names (the chain-previous layer when from= is absent).
+        FmapShape cur = input;
+        if (!l.from.empty()) {
+          const int producer = model.IndexOf(l.from);
+          if (producer < 0) {
+            throw ParseError("line " + std::to_string(line_no) +
+                             ": from= references unknown layer '" + l.from +
+                             "'");
+          }
+          cur = model.OutputOf(producer);
+        } else if (model.num_layers() > 0) {
+          cur = model.OutputOf(model.num_layers() - 1);
+        }
         l.in_channels = GetInt(kv, "in", cur.channels, line_no);
         l.out_channels = out;
         l.kernel_h = l.kernel_w = GetInt(kv, "k", 3, line_no);
@@ -140,6 +183,8 @@ std::string WriteModelText(const Model& model) {
           << " k=" << l.kernel_h << " s=" << l.stride << " p=" << l.pad
           << " relu=" << (l.relu ? 1 : 0);
       if (l.pool > 1) out << " pool=" << l.pool;
+      if (!l.from.empty()) out << " from=" << l.from;
+      if (!l.add.empty()) out << " add=" << l.add;
       out << "\n";
     }
   }

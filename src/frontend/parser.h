@@ -7,6 +7,16 @@
 //   conv name=conv1_2 out=64 k=3 s=1 p=1 relu=1 pool=2
 //   fc name=fc6 out=4096 relu=1
 //
+// Graph edges (residual networks):
+//   conv name=b1a out=64
+//   conv name=b1p out=64 k=1 from=conv1   # branch: input is conv1's output
+//   conv name=b1b out=64 relu=1 add=b1p   # element-wise add before the ReLU
+//
+// `from=` names the producer layer (default: the previous line); `add=`
+// names a residual source whose output is added element-wise before the
+// fused ReLU. Both may only reference earlier layers; duplicate layer names
+// and unknown attributes are rejected with line-numbered errors.
+//
 // '#' starts a comment. `k`/`s`/`p` may be omitted (default 3/1/same).
 // ParseModelText(WriteModelText(m)) reproduces m (round-trip tested).
 #ifndef HDNN_FRONTEND_PARSER_H_

@@ -39,12 +39,17 @@ std::string DisassembleComp(const CompFields& f) {
 
 std::string DisassembleSave(const SaveFields& f) {
   std::ostringstream out;
-  out << "SAVE dept=0x" << std::hex << int{f.dept} << std::dec
+  out << (f.res_add ? "SAVE_RES" : "SAVE") << " dept=0x" << std::hex
+      << int{f.dept} << std::dec
       << " buff=" << int{f.buff_id} << " base=" << f.buff_base
       << " dram=" << f.dram_base << " rows=" << int{f.rows}
       << " cols=" << f.cols << " ocv=" << f.oc_vecs
       << " layout=" << static_cast<int>(f.layout) << " pool=" << int{f.pool}
       << " oh=" << f.out_h << " ow=" << f.out_w << " ocp=" << f.oc_pitch;
+  if (f.res_add) {
+    out << " rdram=" << f.res_dram_base << " rwino=" << (f.res_wino ? 1 : 0)
+        << " relu=" << (f.relu ? 1 : 0);
+  }
   return out.str();
 }
 
@@ -149,7 +154,7 @@ Instruction AssembleComp(const KvScanner& kv) {
   return Encode(f);
 }
 
-Instruction AssembleSave(const KvScanner& kv) {
+Instruction AssembleSave(const KvScanner& kv, bool res_add) {
   SaveFields f;
   f.dept = static_cast<std::uint8_t>(kv.Get("dept"));
   f.buff_id = static_cast<std::uint8_t>(kv.Get("buff"));
@@ -163,6 +168,12 @@ Instruction AssembleSave(const KvScanner& kv) {
   f.out_h = static_cast<std::uint16_t>(kv.Get("oh", 1));
   f.out_w = static_cast<std::uint16_t>(kv.Get("ow", 1));
   f.oc_pitch = static_cast<std::uint16_t>(kv.Get("ocp", 1));
+  f.res_add = res_add;
+  if (res_add) {
+    f.res_dram_base = static_cast<std::uint32_t>(kv.Get("rdram"));
+    f.res_wino = kv.Get("rwino") != 0;
+    f.relu = kv.Get("relu") != 0;
+  }
   return Encode(f);
 }
 
@@ -201,7 +212,8 @@ Instruction AssembleLine(const std::string& line) {
   if (mnemonic == "LOAD_WGT") return AssembleLoad(Opcode::kLoadWgt, kv);
   if (mnemonic == "LOAD_BIAS") return AssembleLoad(Opcode::kLoadBias, kv);
   if (mnemonic == "COMP") return AssembleComp(kv);
-  if (mnemonic == "SAVE") return AssembleSave(kv);
+  if (mnemonic == "SAVE") return AssembleSave(kv, /*res_add=*/false);
+  if (mnemonic == "SAVE_RES") return AssembleSave(kv, /*res_add=*/true);
   if (mnemonic == "NOP" || mnemonic == "END") {
     CtrlFields f;
     f.op = mnemonic == "NOP" ? Opcode::kNop : Opcode::kEnd;

@@ -63,6 +63,25 @@ constexpr int kOutWPos = 13;
 constexpr int kOcPitchPos = 0, kOcPitchBits = 13;
 }  // namespace save
 
+// SAVE_RES payload: the legacy SAVE layout is fully packed, so the residual
+// variant narrows the geometry fields (residual layers are conv-scale, never
+// FC-scale, and cannot fuse a pool) to fit the 28-bit residual source
+// address plus its layout flag and the deferred-ReLU flag.
+namespace save_res {
+constexpr int kBuffBasePos = 112, kBuffBaseBits = 4;
+constexpr int kDramBasePos = 84, kDramBaseBits = 28;
+constexpr int kResDramBasePos = 56, kResDramBaseBits = 28;
+constexpr int kRowsPos = 50, kRowsBits = 6;
+constexpr int kColsPos = 41, kColsBits = 9;
+constexpr int kOcVecsPos = 34, kOcVecsBits = 7;
+constexpr int kLayoutPos = 32, kLayoutBits = 2;
+constexpr int kResWinoPos = 31;
+constexpr int kReluPos = 30;
+constexpr int kOutHPos = 20, kDimBits = 10;
+constexpr int kOutWPos = 10;
+constexpr int kOcPitchPos = 0, kOcPitchBits = 10;
+}  // namespace save_res
+
 void EncodeHeader(Word128& w, Opcode op, std::uint8_t dept,
                   std::uint8_t buff_id) {
   SetField(w, kOpcodePos, kOpcodeBits, static_cast<std::uint64_t>(op));
@@ -188,41 +207,107 @@ CompFields DecodeComp(const Word128& w) {
   return f;
 }
 
+/// One range check per narrowed SAVE_RES field: residual layers always fit
+/// (conv-scale geometry), and a violation must fail loudly at compile time
+/// of the model rather than silently truncate an address.
+void CheckFits(std::uint64_t value, int bits, const char* what) {
+  HDNN_CHECK(value < (1ull << bits))
+      << "SAVE_RES field " << what << " = " << value << " exceeds " << bits
+      << " bits";
+}
+
 Instruction EncodeSave(const SaveFields& f) {
   Word128 w;
-  EncodeHeader(w, Opcode::kSave, f.dept, f.buff_id);
-  SetField(w, save::kBuffBasePos, save::kBuffBaseBits, f.buff_base);
-  SetField(w, save::kDramBasePos, save::kDramBaseBits, f.dram_base);
-  SetField(w, save::kRowsPos, save::kRowsBits, f.rows);
-  SetField(w, save::kColsPos, save::kColsBits, f.cols);
-  SetField(w, save::kOcVecsPos, save::kOcVecsBits, f.oc_vecs);
-  SetField(w, save::kLayoutPos, save::kLayoutBits,
+  if (!f.res_add) {
+    HDNN_CHECK(!f.relu)
+        << "SAVE without a residual add cannot carry a ReLU (COMP fuses it)";
+    EncodeHeader(w, Opcode::kSave, f.dept, f.buff_id);
+    SetField(w, save::kBuffBasePos, save::kBuffBaseBits, f.buff_base);
+    SetField(w, save::kDramBasePos, save::kDramBaseBits, f.dram_base);
+    SetField(w, save::kRowsPos, save::kRowsBits, f.rows);
+    SetField(w, save::kColsPos, save::kColsBits, f.cols);
+    SetField(w, save::kOcVecsPos, save::kOcVecsBits, f.oc_vecs);
+    SetField(w, save::kLayoutPos, save::kLayoutBits,
+             static_cast<std::uint64_t>(f.layout));
+    SetField(w, save::kPoolPos, save::kPoolBits, f.pool);
+    SetField(w, save::kOutHPos, save::kDimBits, f.out_h);
+    SetField(w, save::kOutWPos, save::kDimBits, f.out_w);
+    SetField(w, save::kOcPitchPos, save::kOcPitchBits, f.oc_pitch);
+    return w;
+  }
+  HDNN_CHECK(f.pool == 1) << "SAVE_RES cannot fuse a max-pool";
+  CheckFits(f.buff_base, save_res::kBuffBaseBits, "buff_base");
+  CheckFits(f.dram_base, save_res::kDramBaseBits, "dram_base");
+  CheckFits(f.res_dram_base, save_res::kResDramBaseBits, "res_dram_base");
+  CheckFits(f.rows, save_res::kRowsBits, "rows");
+  CheckFits(f.cols, save_res::kColsBits, "cols");
+  CheckFits(f.oc_vecs, save_res::kOcVecsBits, "oc_vecs");
+  CheckFits(f.out_h, save_res::kDimBits, "out_h");
+  CheckFits(f.out_w, save_res::kDimBits, "out_w");
+  CheckFits(f.oc_pitch, save_res::kOcPitchBits, "oc_pitch");
+  EncodeHeader(w, Opcode::kSaveRes, f.dept, f.buff_id);
+  SetField(w, save_res::kBuffBasePos, save_res::kBuffBaseBits, f.buff_base);
+  SetField(w, save_res::kDramBasePos, save_res::kDramBaseBits, f.dram_base);
+  SetField(w, save_res::kResDramBasePos, save_res::kResDramBaseBits,
+           f.res_dram_base);
+  SetField(w, save_res::kRowsPos, save_res::kRowsBits, f.rows);
+  SetField(w, save_res::kColsPos, save_res::kColsBits, f.cols);
+  SetField(w, save_res::kOcVecsPos, save_res::kOcVecsBits, f.oc_vecs);
+  SetField(w, save_res::kLayoutPos, save_res::kLayoutBits,
            static_cast<std::uint64_t>(f.layout));
-  SetField(w, save::kPoolPos, save::kPoolBits, f.pool);
-  SetField(w, save::kOutHPos, save::kDimBits, f.out_h);
-  SetField(w, save::kOutWPos, save::kDimBits, f.out_w);
-  SetField(w, save::kOcPitchPos, save::kOcPitchBits, f.oc_pitch);
+  SetField(w, save_res::kResWinoPos, 1, f.res_wino ? 1 : 0);
+  SetField(w, save_res::kReluPos, 1, f.relu ? 1 : 0);
+  SetField(w, save_res::kOutHPos, save_res::kDimBits, f.out_h);
+  SetField(w, save_res::kOutWPos, save_res::kDimBits, f.out_w);
+  SetField(w, save_res::kOcPitchPos, save_res::kOcPitchBits, f.oc_pitch);
   return w;
 }
 
-SaveFields DecodeSave(const Word128& w) {
+SaveFields DecodeSave(const Word128& w, Opcode op) {
   SaveFields f;
   f.dept = static_cast<std::uint8_t>(GetField(w, kDeptPos, kDeptBits));
   f.buff_id = static_cast<std::uint8_t>(GetField(w, kBuffIdPos, kBuffIdBits));
-  f.buff_base =
-      static_cast<std::uint16_t>(GetField(w, save::kBuffBasePos, save::kBuffBaseBits));
-  f.dram_base =
-      static_cast<std::uint32_t>(GetField(w, save::kDramBasePos, save::kDramBaseBits));
-  f.rows = static_cast<std::uint8_t>(GetField(w, save::kRowsPos, save::kRowsBits));
-  f.cols = static_cast<std::uint16_t>(GetField(w, save::kColsPos, save::kColsBits));
-  f.oc_vecs =
-      static_cast<std::uint16_t>(GetField(w, save::kOcVecsPos, save::kOcVecsBits));
-  f.layout = static_cast<SaveLayout>(GetField(w, save::kLayoutPos, save::kLayoutBits));
-  f.pool = static_cast<std::uint8_t>(GetField(w, save::kPoolPos, save::kPoolBits));
-  f.out_h = static_cast<std::uint16_t>(GetField(w, save::kOutHPos, save::kDimBits));
-  f.out_w = static_cast<std::uint16_t>(GetField(w, save::kOutWPos, save::kDimBits));
-  f.oc_pitch =
-      static_cast<std::uint16_t>(GetField(w, save::kOcPitchPos, save::kOcPitchBits));
+  if (op == Opcode::kSave) {
+    f.buff_base = static_cast<std::uint16_t>(
+        GetField(w, save::kBuffBasePos, save::kBuffBaseBits));
+    f.dram_base = static_cast<std::uint32_t>(
+        GetField(w, save::kDramBasePos, save::kDramBaseBits));
+    f.rows = static_cast<std::uint8_t>(GetField(w, save::kRowsPos, save::kRowsBits));
+    f.cols = static_cast<std::uint16_t>(GetField(w, save::kColsPos, save::kColsBits));
+    f.oc_vecs =
+        static_cast<std::uint16_t>(GetField(w, save::kOcVecsPos, save::kOcVecsBits));
+    f.layout = static_cast<SaveLayout>(GetField(w, save::kLayoutPos, save::kLayoutBits));
+    f.pool = static_cast<std::uint8_t>(GetField(w, save::kPoolPos, save::kPoolBits));
+    f.out_h = static_cast<std::uint16_t>(GetField(w, save::kOutHPos, save::kDimBits));
+    f.out_w = static_cast<std::uint16_t>(GetField(w, save::kOutWPos, save::kDimBits));
+    f.oc_pitch =
+        static_cast<std::uint16_t>(GetField(w, save::kOcPitchPos, save::kOcPitchBits));
+    return f;
+  }
+  f.res_add = true;
+  f.pool = 1;
+  f.buff_base = static_cast<std::uint16_t>(
+      GetField(w, save_res::kBuffBasePos, save_res::kBuffBaseBits));
+  f.dram_base = static_cast<std::uint32_t>(
+      GetField(w, save_res::kDramBasePos, save_res::kDramBaseBits));
+  f.res_dram_base = static_cast<std::uint32_t>(
+      GetField(w, save_res::kResDramBasePos, save_res::kResDramBaseBits));
+  f.rows = static_cast<std::uint8_t>(
+      GetField(w, save_res::kRowsPos, save_res::kRowsBits));
+  f.cols = static_cast<std::uint16_t>(
+      GetField(w, save_res::kColsPos, save_res::kColsBits));
+  f.oc_vecs = static_cast<std::uint16_t>(
+      GetField(w, save_res::kOcVecsPos, save_res::kOcVecsBits));
+  f.layout = static_cast<SaveLayout>(
+      GetField(w, save_res::kLayoutPos, save_res::kLayoutBits));
+  f.res_wino = GetField(w, save_res::kResWinoPos, 1) != 0;
+  f.relu = GetField(w, save_res::kReluPos, 1) != 0;
+  f.out_h = static_cast<std::uint16_t>(
+      GetField(w, save_res::kOutHPos, save_res::kDimBits));
+  f.out_w = static_cast<std::uint16_t>(
+      GetField(w, save_res::kOutWPos, save_res::kDimBits));
+  f.oc_pitch = static_cast<std::uint16_t>(
+      GetField(w, save_res::kOcPitchPos, save_res::kOcPitchBits));
   return f;
 }
 
@@ -242,6 +327,8 @@ const char* OpcodeName(Opcode op) {
       return "COMP";
     case Opcode::kSave:
       return "SAVE";
+    case Opcode::kSaveRes:
+      return "SAVE_RES";
     case Opcode::kEnd:
       return "END";
   }
@@ -265,7 +352,9 @@ const char* SaveLayoutName(SaveLayout layout) {
 Opcode OpcodeOf(const InstrFields& fields) {
   if (const auto* l = std::get_if<LoadFields>(&fields)) return l->op;
   if (std::holds_alternative<CompFields>(fields)) return Opcode::kComp;
-  if (std::holds_alternative<SaveFields>(fields)) return Opcode::kSave;
+  if (const auto* s = std::get_if<SaveFields>(&fields)) {
+    return s->res_add ? Opcode::kSaveRes : Opcode::kSave;
+  }
   return std::get<CtrlFields>(fields).op;
 }
 
@@ -290,6 +379,7 @@ Opcode PeekOpcode(const Instruction& instr) {
     case 3:
     case 4:
     case 5:
+    case 6:
     case 7:
       return static_cast<Opcode>(raw);
     default:
@@ -307,7 +397,8 @@ InstrFields Decode(const Instruction& instr) {
     case Opcode::kComp:
       return DecodeComp(instr);
     case Opcode::kSave:
-      return DecodeSave(instr);
+    case Opcode::kSaveRes:
+      return DecodeSave(instr, op);
     case Opcode::kNop:
     case Opcode::kEnd: {
       CtrlFields f;

@@ -27,8 +27,14 @@ enum class Opcode : std::uint8_t {
   kLoadBias = 3,
   kComp = 4,
   kSave = 5,
+  kSaveRes = 6,  ///< SAVE with a fused residual add (see SaveFields)
   kEnd = 7,
 };
+
+/// SAVE and SAVE_RES execute on the same module and share SaveFields.
+inline bool IsSaveOpcode(Opcode op) {
+  return op == Opcode::kSave || op == Opcode::kSaveRes;
+}
 
 const char* OpcodeName(Opcode op);
 
@@ -106,9 +112,12 @@ struct CompFields {
   friend bool operator==(const CompFields&, const CompFields&) = default;
 };
 
-/// Payload of SAVE: moves one output group to DRAM, applying the layout
-/// transform the *next* layer's CONV mode requires (paper Fig. 5) and the
-/// optional fused max-pool (POOL_SIZE).
+/// Payload of SAVE / SAVE_RES: moves one output group to DRAM, applying the
+/// layout transform the consumer layer's CONV mode requires (paper Fig. 5)
+/// and the optional fused max-pool (POOL_SIZE). SAVE_RES additionally reads
+/// a residual tensor from DRAM and fuses `sat(out + res)` (+ ReLU) before
+/// the pool / layout transform — the element-wise skip connection of
+/// residual networks, executed entirely in the SAVE stage.
 enum class SaveLayout : std::uint8_t {
   kSpatToSpat = 0,
   kSpatToWino = 1,
@@ -118,6 +127,14 @@ enum class SaveLayout : std::uint8_t {
 
 const char* SaveLayoutName(SaveLayout layout);
 
+/// Plain SAVE (res_add == false) encodes as opcode 5 with the legacy layout
+/// — its 116 payload bits are fully allocated, so the residual variant is a
+/// distinct opcode (6) with narrower geometry fields making room for the
+/// residual source address:
+///   buff_base 4, dram_base 28, res_dram_base 28, rows 6, cols 9,
+///   oc_vecs 7, layout 2, res_wino 1, relu 1, out_h 10, out_w 10,
+///   oc_pitch 10  (= 116 bits; no fused pool — residual layers cannot pool).
+/// Encode() checks the tighter limits and rejects values that do not fit.
 struct SaveFields {
   std::uint8_t dept = 0;
   std::uint8_t buff_id = 0;      ///< source output-buffer half
@@ -131,6 +148,12 @@ struct SaveFields {
   std::uint16_t out_h = 1;       ///< total output height after pooling
   std::uint16_t out_w = 1;       ///< total output width after pooling
   std::uint16_t oc_pitch = 1;    ///< total output channels, padded (13 bits)
+  // Residual-add extension (SAVE_RES only).
+  bool res_add = false;          ///< fuse an element-wise residual add
+  bool res_wino = false;         ///< residual source DRAM layout is WINO
+  bool relu = false;             ///< ReLU after the add (COMP defers it here)
+  std::uint32_t res_dram_base = 0;  ///< residual source word address
+                                    ///< (k0 and group origin folded in)
 
   friend bool operator==(const SaveFields&, const SaveFields&) = default;
 };

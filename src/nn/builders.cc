@@ -124,6 +124,67 @@ Model BuildResNet18Style() {
   return m;
 }
 
+Model BuildResNet18() {
+  Model m("resnet18", FmapShape{3, 224, 224});
+
+  ConvLayer stem;
+  stem.name = "conv1";
+  stem.in_channels = 3;
+  stem.out_channels = 64;
+  stem.kernel_h = stem.kernel_w = 7;
+  stem.stride = 2;
+  stem.pad = 3;  // (224 + 6 - 7)/2 + 1 = 112
+  stem.relu = true;
+  stem.pool = 2;  // stands in for the 3x3/s2 max-pool -> 56x56
+  m.Append(stem);
+
+  // One basic block: two 3x3 convolutions; the second adds the skip tensor
+  // before its ReLU. Identity blocks skip from the block input; downsampling
+  // blocks skip through a 1x1/s2 projection (no ReLU on the projection — the
+  // sum is rectified, matching the reference network).
+  std::string prev = "conv1";
+  auto append_block = [&m, &prev](const std::string& name, int in_c, int out_c,
+                                  int stride) {
+    std::string skip = prev;
+    ConvLayer a;
+    a.name = name + "a";
+    a.in_channels = in_c;
+    a.out_channels = out_c;
+    a.stride = stride;
+    a.relu = true;
+    a.from = prev;
+    m.Append(a);
+    if (stride != 1 || in_c != out_c) {
+      ConvLayer proj;
+      proj.name = name + "p";
+      proj.in_channels = in_c;
+      proj.out_channels = out_c;
+      proj.kernel_h = proj.kernel_w = 1;
+      proj.stride = stride;
+      proj.pad = 0;
+      proj.from = prev;
+      m.Append(proj);
+      skip = proj.name;
+    }
+    ConvLayer b = Conv3x3(name + "b", out_c, out_c, false);
+    b.from = name + "a";
+    b.add = skip;
+    m.Append(b);
+    prev = b.name;
+  };
+
+  append_block("conv2_1", 64, 64, 1);     // 56x56
+  append_block("conv2_2", 64, 64, 1);
+  append_block("conv3_1", 64, 128, 2);    // 28x28
+  append_block("conv3_2", 128, 128, 1);
+  append_block("conv4_1", 128, 256, 2);   // 14x14
+  append_block("conv4_2", 256, 256, 1);
+  append_block("conv5_1", 256, 512, 2);   // 7x7
+  append_block("conv5_2", 512, 512, 1);
+  m.AppendFullyConnected("fc", 1000, /*relu=*/false);
+  return m;
+}
+
 Model BuildTinyCnn() {
   Model m("tiny_cnn", FmapShape{3, 32, 32});
   m.Append(Conv3x3("conv1", 3, 16, true));
@@ -146,6 +207,29 @@ Model BuildTinyResNetBlock() {
   m.Append(proj);  // -> 128 x 14 x 14
   m.Append(Conv3x3("body1", 128, 128, false));
   m.Append(Conv3x3("body2", 128, 128, true));  // pool -> 128 x 7 x 7
+  return m;
+}
+
+Model BuildTinyResidualBlock() {
+  Model m("tiny_residual_block", FmapShape{16, 14, 14});
+  m.Append(Conv3x3("stem", 16, 16, false));  // named branch point
+  ConvLayer a = Conv3x3("bodya", 16, 32, false);
+  a.stride = 2;  // -> 32 x 7 x 7
+  m.Append(a);
+  ConvLayer proj;
+  proj.name = "proj";
+  proj.in_channels = 16;
+  proj.out_channels = 32;
+  proj.kernel_h = proj.kernel_w = 1;
+  proj.stride = 2;
+  proj.pad = 0;
+  proj.from = "stem";
+  m.Append(proj);
+  ConvLayer b = Conv3x3("bodyb", 32, 32, false);
+  b.relu = true;
+  b.from = "bodya";
+  b.add = "proj";
+  m.Append(b);
   return m;
 }
 

@@ -21,11 +21,18 @@ Model BuildAlexNetStyle();
 
 /// ResNet-18-style network (224x224 input): a 7x7/s2 stem, four stages of
 /// 3x3 body convolutions, and 1x1/s2 projection convolutions at each
-/// stage transition. The IR is a linear chain, so residual adds are not
-/// modeled — what this workload exercises is the kernel/stride mix the VGG
-/// builders lack: 1x1 and 7x7 kernels plus stride-2 downsampling inside the
-/// network (not just fused pooling).
+/// stage transition. A linear chain: residual adds are approximated away —
+/// kept for chain-determinism tests and as the pre-graph-IR baseline. New
+/// code should prefer BuildResNet18, which models the skips.
 Model BuildResNet18Style();
+
+/// True ResNet-18 (224x224 input): a 7x7/s2 stem (fused 2x2 pool standing in
+/// for the 3x3/s2 max-pool), four stages of two basic blocks each, with real
+/// residual edges — identity skips inside stages, 1x1/s2 projection skips at
+/// stage transitions — and the final FC. The second conv of every block
+/// carries `add=<skip source>`; its ReLU applies after the element-wise add
+/// (fused into the accelerator's SAVE stage).
+Model BuildResNet18();
 
 /// A small CIFAR-scale CNN (32x32 input) for fast tests and the quickstart
 /// example.
@@ -35,6 +42,12 @@ Model BuildTinyCnn();
 /// into two 3x3 body convolutions with a fused pool. Small enough for
 /// simulator-backed estimator-fidelity tests.
 Model BuildTinyResNetBlock();
+
+/// One true residual downsampling block at test scale: a 3x3 stem, then a
+/// stride-2 basic block whose second conv adds the 1x1/s2 projection of the
+/// stem output before its ReLU. The smallest model that exercises the whole
+/// residual path (branching input edges, projection skip, fused SAVE add).
+Model BuildTinyResidualBlock();
 
 /// A single-conv model with the given geometry; `pad` defaults to "same" for
 /// odd kernels when pad < 0.

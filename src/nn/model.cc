@@ -4,22 +4,73 @@
 
 namespace hdnn {
 
+int Model::IndexOf(const std::string& name) const {
+  const auto it = name_to_index_.find(name);
+  return it == name_to_index_.end() ? -1 : it->second;
+}
+
+int Model::ResolveEdge(const std::string& edge, const std::string& layer_name,
+                       const char* kind, int fallback) const {
+  if (edge.empty()) return fallback;
+  const int idx = IndexOf(edge);
+  HDNN_CHECK(idx >= 0) << layer_name << ": " << kind << " edge references "
+                       << "unknown layer '" << edge
+                       << "' (edges may only point at earlier layers)";
+  return idx;
+}
+
 void Model::Append(ConvLayer layer) {
   layer.Validate();
-  const FmapShape in = layers_.empty() ? input_ : OutputOf(num_layers() - 1);
+  HDNN_CHECK(!layer.name.empty()) << "layer needs a name";
+  HDNN_CHECK(IndexOf(layer.name) < 0)
+      << "duplicate layer name '" << layer.name << "'";
+
+  const int producer =
+      ResolveEdge(layer.from, layer.name, "input", num_layers() - 1);
+  const FmapShape raw_in =
+      producer < 0 ? input_ : out_shape_[static_cast<std::size_t>(producer)];
+  const FmapShape in = Canonical(raw_in, layer);
   HDNN_CHECK(in.channels == layer.in_channels)
       << layer.name << ": expects " << layer.in_channels
-      << " input channels but previous layer produces " << in.channels;
-  layer.Output(in);  // validates geometry
+      << " input channels but its producer provides " << in.channels;
+
+  const FmapShape conv_out = layer.ConvOutput(in);
+  const FmapShape out = layer.Output(in);  // validates pool tiling
+
+  int residual = -1;
+  if (layer.has_residual()) {
+    residual = ResolveEdge(layer.add, layer.name, "residual", -1);
+    HDNN_CHECK(layer.pool == 1)
+        << layer.name << ": residual add into a pooled layer is unsupported "
+        << "(the add happens before the fused max-pool; drop pool=" << layer.pool
+        << " or move the pool to a following layer)";
+    const ConvLayer& src = layers_[static_cast<std::size_t>(residual)];
+    HDNN_CHECK(!src.is_fc)
+        << layer.name << ": residual source '" << src.name
+        << "' is an FC layer, which is unsupported";
+    const FmapShape src_out = out_shape_[static_cast<std::size_t>(residual)];
+    HDNN_CHECK(src_out == conv_out)
+        << layer.name << ": residual source '" << src.name << "' produces "
+        << src_out.channels << "x" << src_out.height << "x" << src_out.width
+        << " but the layer outputs " << conv_out.channels << "x"
+        << conv_out.height << "x" << conv_out.width;
+  }
+
+  name_to_index_[layer.name] = num_layers();
+  input_index_.push_back(producer);
+  residual_index_.push_back(residual);
+  out_shape_.push_back(out);
   layers_.push_back(std::move(layer));
 }
 
 void Model::AppendFullyConnected(const std::string& name, int out_features,
                                  bool relu) {
   const FmapShape in =
-      layers_.empty() ? input_ : OutputOf(num_layers() - 1);
+      layers_.empty() ? input_ : out_shape_.back();
   ConvLayer fc;
   fc.name = name;
+  // Flattening is implicit: the compiler lays out the previous activation as
+  // a C*H*W x 1 x 1 feature map (see Canonical()).
   fc.in_channels = static_cast<int>(in.elements());
   fc.out_channels = out_features;
   fc.kernel_h = 1;
@@ -28,29 +79,15 @@ void Model::AppendFullyConnected(const std::string& name, int out_features,
   fc.pad = 0;
   fc.relu = relu;
   fc.is_fc = true;
-  fc.Validate();
-  // Flattening is implicit: the compiler lays out the previous activation as
-  // a C*H*W x 1 x 1 feature map; record the canonical geometry here.
-  ConvLayer& self = fc;
-  if (in.height != 1 || in.width != 1) {
-    // Insert an implicit flatten by treating the FC input as channels.
-    self.in_channels = static_cast<int>(in.elements());
-  }
-  // Model::Append would reject the channel mismatch, so push directly after
-  // performing the same validation on the flattened geometry.
-  const FmapShape flat{self.in_channels, 1, 1};
-  self.Output(flat);
-  layers_.push_back(std::move(fc));
+  Append(std::move(fc));
 }
 
 FmapShape Model::InputOf(int i) const {
-  HDNN_CHECK(i >= 0 && i < num_layers()) << "layer index " << i;
-  FmapShape shape = input_;
-  for (int l = 0; l < i; ++l) {
-    shape = layers_[static_cast<std::size_t>(l)].Output(
-        Canonical(shape, layers_[static_cast<std::size_t>(l)]));
-  }
-  return Canonical(shape, layers_[static_cast<std::size_t>(i)]);
+  CheckIndex(i);
+  const int producer = input_index_[static_cast<std::size_t>(i)];
+  const FmapShape raw =
+      producer < 0 ? input_ : out_shape_[static_cast<std::size_t>(producer)];
+  return Canonical(raw, layers_[static_cast<std::size_t>(i)]);
 }
 
 FmapShape Model::OutputShape() const {
@@ -77,8 +114,14 @@ std::string Model::Summary() const {
         << o.channels << "x" << o.height << "x" << o.width << "  k="
         << l.kernel_h << "x" << l.kernel_w << " s=" << l.stride
         << " p=" << l.pad << (l.relu ? " relu" : "")
-        << (l.pool > 1 ? " pool" + std::to_string(l.pool) : "") << "  "
-        << l.Macs(in) << " MACs\n";
+        << (l.pool > 1 ? " pool" + std::to_string(l.pool) : "");
+    const int producer = input_index_[static_cast<std::size_t>(i)];
+    if (producer != i - 1) {
+      out << " from=" << (producer < 0 ? std::string("<input>")
+                                       : layer(producer).name);
+    }
+    if (l.has_residual()) out << " add=" << l.add;
+    out << "  " << l.Macs(in) << " MACs\n";
   }
   out << "  total: " << TotalMacs() << " MACs (" << TotalOps() << " ops)\n";
   return out.str();

@@ -1,14 +1,19 @@
 // DNN intermediate representation.
 //
 // HybridDNN's accelerator executes "CONV or FC layers" (paper Table 2), with
-// ReLU and max-pooling fused into the COMP and SAVE stages. The IR therefore
-// is a linear sequence of convolution stages, each optionally followed by a
-// fused ReLU and a fused max-pool. Fully-connected layers are canonicalised
-// to 1x1 convolutions on 1x1 feature maps.
+// ReLU and max-pooling fused into the COMP and SAVE stages. The IR is a
+// topologically-ordered DAG of convolution stages: every layer has an
+// explicit input edge (`from`, defaulting to the previously appended layer)
+// and an optional residual edge (`add`), an element-wise integer addition
+// fused into the SAVE stage before the ReLU. Fully-connected layers are
+// canonicalised to 1x1 convolutions on 1x1 feature maps. Append order is the
+// topological order: edges may only reference layers appended earlier, so
+// the compiler and simulator execute layers in index order.
 #ifndef HDNN_NN_MODEL_H_
 #define HDNN_NN_MODEL_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -28,7 +33,8 @@ struct FmapShape {
   friend bool operator==(const FmapShape&, const FmapShape&) = default;
 };
 
-/// One accelerator-executable stage: CONV (+ ReLU) (+ max-pool).
+/// One accelerator-executable stage: CONV (+ residual add) (+ ReLU)
+/// (+ max-pool).
 struct ConvLayer {
   std::string name;
   int in_channels = 0;
@@ -37,9 +43,14 @@ struct ConvLayer {
   int kernel_w = 3;
   int stride = 1;
   int pad = 1;           ///< symmetric zero padding
-  bool relu = false;     ///< fused ReLU after requantisation
+  bool relu = false;     ///< fused ReLU after requantisation (after the
+                         ///< residual add when one is present)
   int pool = 1;          ///< fused max-pool window (1 = none); stride == window
   bool is_fc = false;    ///< true if canonicalised from a fully-connected layer
+  std::string from;      ///< producer layer name; "" = previously appended
+  std::string add;       ///< residual-source layer name; "" = no residual
+
+  bool has_residual() const { return !add.empty(); }
 
   void Validate() const {
     HDNN_CHECK(in_channels > 0 && out_channels > 0)
@@ -49,6 +60,24 @@ struct ConvLayer {
     HDNN_CHECK(pad >= 0) << name << ": bad pad";
     HDNN_CHECK(pool == 1 || pool == 2 || pool == 3 || pool == 4)
         << name << ": unsupported pool window " << pool;
+    if (is_fc) {
+      // FC layers are canonicalised to 1x1 convolutions on 1x1 fmaps; any
+      // other geometry means the layer was constructed inconsistently and
+      // the compiler's FC handling (WINO layout, flattening) would misread
+      // it.
+      HDNN_CHECK(kernel_h == 1 && kernel_w == 1)
+          << name << ": FC layer must have a 1x1 kernel, got " << kernel_h
+          << "x" << kernel_w;
+      HDNN_CHECK(stride == 1) << name << ": FC layer must have stride 1";
+      HDNN_CHECK(pad == 0) << name << ": FC layer must have pad 0";
+      HDNN_CHECK(pool == 1) << name << ": FC layer cannot fuse a max-pool";
+      HDNN_CHECK(!has_residual())
+          << name << ": residual adds into FC layers are unsupported";
+      // FC layers always consume the previously appended layer (the text
+      // writer has no fc from= form, so a branching FC could not round-trip).
+      HDNN_CHECK(from.empty())
+          << name << ": FC layers cannot carry a from= edge";
+    }
   }
 
   /// Output geometry of the convolution itself (before pooling).
@@ -88,7 +117,8 @@ struct ConvLayer {
   friend bool operator==(const ConvLayer&, const ConvLayer&) = default;
 };
 
-/// A linear DNN: input geometry plus a sequence of ConvLayers.
+/// A DNN as a topologically-ordered DAG: input geometry plus ConvLayers in
+/// append order, with resolved input/residual edges and cached shapes.
 class Model {
  public:
   Model() = default;
@@ -104,7 +134,8 @@ class Model {
     return layers_[static_cast<std::size_t>(i)];
   }
 
-  /// Appends a layer; validates it against the running output shape.
+  /// Appends a layer; resolves its edges against the layers already present
+  /// and validates names, channels and residual geometry.
   void Append(ConvLayer layer);
 
   /// Appends a fully-connected layer as a 1x1 conv. Requires the running
@@ -112,13 +143,31 @@ class Model {
   void AppendFullyConnected(const std::string& name, int out_features,
                             bool relu);
 
-  /// Input shape of layer i (output of layer i-1).
+  /// Index of the layer producing layer i's input; -1 = the model input.
+  int input_index(int i) const {
+    CheckIndex(i);
+    return input_index_[static_cast<std::size_t>(i)];
+  }
+
+  /// Index of layer i's residual-source layer; -1 = no residual edge.
+  int residual_index(int i) const {
+    CheckIndex(i);
+    return residual_index_[static_cast<std::size_t>(i)];
+  }
+
+  /// Index of the named layer, or -1 when absent.
+  int IndexOf(const std::string& name) const;
+
+  /// Input shape of layer i (the producer's output, canonicalised for FC).
   FmapShape InputOf(int i) const;
 
   /// Output shape of layer i.
-  FmapShape OutputOf(int i) const { return layer(i).Output(InputOf(i)); }
+  FmapShape OutputOf(int i) const {
+    CheckIndex(i);
+    return out_shape_[static_cast<std::size_t>(i)];
+  }
 
-  /// Final output shape.
+  /// Final output shape (of the last appended layer).
   FmapShape OutputShape() const;
 
   /// Total MAC / op counts over all layers.
@@ -133,9 +182,23 @@ class Model {
   /// channels (C*H*W) x 1 x 1.
   static FmapShape Canonical(const FmapShape& shape, const ConvLayer& next);
 
+  void CheckIndex(int i) const {
+    HDNN_CHECK(i >= 0 && i < num_layers()) << "layer index " << i;
+  }
+
+  /// Resolves an edge name to a layer index; "" resolves to `fallback`.
+  int ResolveEdge(const std::string& edge, const std::string& layer_name,
+                  const char* kind, int fallback) const;
+
   std::string name_;
   FmapShape input_{};
   std::vector<ConvLayer> layers_;
+  // Derived graph structure, maintained by Append (append order is the
+  // topological order, so every edge points at a smaller index).
+  std::vector<int> input_index_;     ///< per layer; -1 = model input
+  std::vector<int> residual_index_;  ///< per layer; -1 = none
+  std::vector<FmapShape> out_shape_; ///< cached post-pool output shapes
+  std::map<std::string, int> name_to_index_;
 };
 
 }  // namespace hdnn

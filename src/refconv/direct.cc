@@ -101,6 +101,25 @@ Tensor<std::int16_t> Conv2dDirectQ(const Tensor<std::int16_t>& input,
   return out;
 }
 
+Tensor<std::int16_t> AddResidualQ(const Tensor<std::int16_t>& conv,
+                                  const Tensor<std::int16_t>& skip,
+                                  int feature_bits, bool relu) {
+  HDNN_CHECK(conv.shape() == skip.shape())
+      << "residual shapes differ: " << conv.shape().ToString() << " vs "
+      << skip.shape().ToString();
+  const std::int64_t hi = (std::int64_t{1} << (feature_bits - 1)) - 1;
+  const std::int64_t lo = -(std::int64_t{1} << (feature_bits - 1));
+  Tensor<std::int16_t> out(conv.shape());
+  for (std::int64_t i = 0; i < conv.elements(); ++i) {
+    std::int64_t v = static_cast<std::int64_t>(conv.flat(i)) +
+                     static_cast<std::int64_t>(skip.flat(i));
+    v = std::min(hi, std::max(lo, v));
+    if (relu && v < 0) v = 0;
+    out.flat(i) = static_cast<std::int16_t>(v);
+  }
+  return out;
+}
+
 Tensor<std::int16_t> RunLayerQ(const ConvLayer& layer,
                                const Tensor<std::int16_t>& input,
                                const Tensor<std::int8_t>& weights,

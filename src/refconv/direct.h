@@ -39,6 +39,14 @@ Tensor<std::int16_t> RunLayerQ(const ConvLayer& layer,
                                const Tensor<std::int32_t>& bias, int shift,
                                int feature_bits);
 
+/// Golden element-wise residual add, matching the accelerator's SAVE_RES
+/// stage bit-for-bit: out = relu?( sat_{feature_bits}(conv + skip) ). `conv`
+/// must be the un-rectified convolution output (the accelerator defers the
+/// ReLU of a residual layer past the add). Shapes must match exactly.
+Tensor<std::int16_t> AddResidualQ(const Tensor<std::int16_t>& conv,
+                                  const Tensor<std::int16_t>& skip,
+                                  int feature_bits, bool relu);
+
 }  // namespace hdnn
 
 #endif  // HDNN_REFCONV_DIRECT_H_

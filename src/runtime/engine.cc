@@ -29,7 +29,8 @@ std::uint64_t ModelStructuralHash(const Model& model,
   HashMix(h, static_cast<std::uint64_t>(model.input().height));
   HashMix(h, static_cast<std::uint64_t>(model.input().width));
   HashMix(h, static_cast<std::uint64_t>(model.num_layers()));
-  for (const ConvLayer& layer : model.layers()) {
+  for (int i = 0; i < model.num_layers(); ++i) {
+    const ConvLayer& layer = model.layer(i);
     HashMix(h, static_cast<std::uint64_t>(layer.in_channels));
     HashMix(h, static_cast<std::uint64_t>(layer.out_channels));
     HashMix(h, static_cast<std::uint64_t>(layer.kernel_h));
@@ -39,6 +40,12 @@ std::uint64_t ModelStructuralHash(const Model& model,
     HashMix(h, static_cast<std::uint64_t>(layer.relu));
     HashMix(h, static_cast<std::uint64_t>(layer.pool));
     HashMix(h, static_cast<std::uint64_t>(layer.is_fc));
+    // Graph edges: a skip connection changes the compiled program (SAVE_RES
+    // emission, DRAM slot assignment), so two models identical layer-wise
+    // but wired differently must not share a cache entry. +1 keeps the
+    // "model input" / "no edge" sentinel (-1) distinct from layer 0.
+    HashMix(h, static_cast<std::uint64_t>(model.input_index(i) + 1));
+    HashMix(h, static_cast<std::uint64_t>(model.residual_index(i) + 1));
   }
   for (const LayerMapping& m : mapping) {
     HashMix(h, static_cast<std::uint64_t>(m.mode));

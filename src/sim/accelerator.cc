@@ -32,6 +32,7 @@ ModuleId ModuleOf(Opcode op) {
     case Opcode::kComp:
       return kModComp;
     case Opcode::kSave:
+    case Opcode::kSaveRes:
       return kModSave;
     default:
       throw InternalError("control opcode has no module");
@@ -623,11 +624,16 @@ Accelerator::ExecResult Accelerator::ExecSave(const SaveFields& f) {
   HDNN_CHECK(f.rows % pool == 0 && f.cols % pool == 0)
       << "SAVE pool window " << pool << " does not tile " << int{f.rows} << "x"
       << f.cols;
+  HDNN_CHECK(!f.res_add || pool == 1) << "SAVE_RES cannot fuse a max-pool";
   const int prows = f.rows / pool;
   const int pcols = f.cols / pool;
   const int half = f.buff_id & 1;
   const std::int64_t half_base =
       static_cast<std::int64_t>(half) * cfg_.output_buffer_vectors;
+  // Saturation bounds of the residual sum: both operands are requantised
+  // features, and the sum re-saturates to the same width before the ReLU.
+  const std::int64_t feat_max = (1ll << (cfg_.data_width - 1)) - 1;
+  const std::int64_t feat_min = -(1ll << (cfg_.data_width - 1));
 
   if (functional_)
   for (int kv = 0; kv < f.oc_vecs; ++kv) {
@@ -647,6 +653,23 @@ Accelerator::ExecResult Accelerator::ExecSave(const SaveFields& f) {
                             (half_base + vec) * cfg_.po + lane)]);
             }
           }
+          std::int64_t value = best;
+          if (f.res_add) {
+            std::int64_t raddr;
+            if (f.res_wino) {
+              raddr = f.res_dram_base +
+                      ch * static_cast<std::int64_t>(f.out_h) * f.out_w +
+                      static_cast<std::int64_t>(pr) * f.out_w + pc;
+            } else {
+              raddr = f.res_dram_base +
+                      (static_cast<std::int64_t>(pr) * f.out_w + pc) *
+                          f.oc_pitch +
+                      ch;
+            }
+            value += dram_.Read(raddr);
+            value = std::min(feat_max, std::max(feat_min, value));
+            if (f.relu && value < 0) value = 0;
+          }
           std::int64_t addr;
           if (dst_wino) {
             addr = f.dram_base +
@@ -657,7 +680,7 @@ Accelerator::ExecResult Accelerator::ExecSave(const SaveFields& f) {
                    (static_cast<std::int64_t>(pr) * f.out_w + pc) * f.oc_pitch +
                    ch;
           }
-          dram_.Write(addr, static_cast<std::int16_t>(best));
+          dram_.Write(addr, static_cast<std::int16_t>(value));
         }
       }
     }
@@ -666,8 +689,13 @@ Accelerator::ExecResult Accelerator::ExecSave(const SaveFields& f) {
   ExecResult res;
   res.dram_words =
       static_cast<std::int64_t>(prows) * pcols * f.oc_vecs * cfg_.po;
-  res.port_cycles = static_cast<double>(res.dram_words) / bw_elems_per_cycle_ +
-                    kBurstOverheadCycles;
+  // The residual operand streams in through the same fmap port: one extra
+  // read word per written word, plus its own burst setup.
+  res.res_read_words = f.res_add ? res.dram_words : 0;
+  res.port_cycles =
+      static_cast<double>(res.dram_words + res.res_read_words) /
+          bw_elems_per_cycle_ +
+      kBurstOverheadCycles * (f.res_add ? 2.0 : 1.0);
   res.busy_cycles =
       static_cast<double>(f.rows) * slab_cols * f.oc_vecs / cfg_.pt;
   res.uses_port = true;
@@ -781,6 +809,7 @@ SimStats Accelerator::Run(const std::vector<Instruction>& program) {
         }
         break;
       case Opcode::kSave:
+      case Opcode::kSaveRes:
         if (dept & kWaitData0) {
           if (tok_out.Empty()) return false;
           start = std::max(start, tok_out.FrontTime());
@@ -830,6 +859,7 @@ SimStats Accelerator::Run(const std::vector<Instruction>& program) {
         if (dept & kWaitCredit) start = cred_out.PopAfter(start);
         break;
       case Opcode::kSave:
+      case Opcode::kSaveRes:
         if (dept & kWaitData0) start = tok_out.PopAfter(start);
         break;
       default:
@@ -852,6 +882,7 @@ SimStats Accelerator::Run(const std::vector<Instruction>& program) {
         res = ExecComp(std::get<CompFields>(f));
         break;
       case Opcode::kSave:
+      case Opcode::kSaveRes:
         res = ExecSave(std::get<SaveFields>(f));
         break;
       default:
@@ -868,8 +899,9 @@ SimStats Accelerator::Run(const std::vector<Instruction>& program) {
       end = port_start + std::max(res.busy_cycles, res.port_cycles);
       port_free = done_port;
       stats.port_busy += res.port_cycles;
-      if (op == Opcode::kSave) {
+      if (IsSaveOpcode(op)) {
         words_moved_written_ += res.dram_words;
+        words_moved_read_ += res.res_read_words;
       } else {
         words_moved_read_ += res.dram_words;
       }
@@ -908,6 +940,7 @@ SimStats Accelerator::Run(const std::vector<Instruction>& program) {
         if (dept & kEmitData) tok_out.Push(end);
         break;
       case Opcode::kSave:
+      case Opcode::kSaveRes:
         if (dept & kEmitCredit0) cred_out.Push(end);
         if (dept & kEmitData) tok_layer.Push(end);
         break;

@@ -92,7 +92,8 @@ class Accelerator {
   struct ExecResult {
     double busy_cycles = 0;  ///< module occupancy (datapath width limited)
     double port_cycles = 0;  ///< DRAM port occupancy (bandwidth + burst)
-    std::int64_t dram_words = 0;
+    std::int64_t dram_words = 0;      ///< words read (LOADs) / written (SAVE)
+    std::int64_t res_read_words = 0;  ///< SAVE_RES residual-operand reads
     bool uses_port = false;
   };
   ExecResult ExecLoadInp(const LoadFields& f);

@@ -173,6 +173,91 @@ TEST(InferenceEngineTest, AggregateThroughputScalesWithWorkerInstances) {
             1.8 * r1.aggregate_effective_gops);
 }
 
+// Batch serving of a residual network: the compiled-program cache, the
+// share-nothing workers and the SAVE_RES fused add must compose — every
+// batch item must equal both a sequential Runtime::Execute and the
+// graph-aware golden forward.
+TEST(InferenceEngineTest, ResidualNetworkBatchMatchesSequentialAndGolden) {
+  const Model model = BuildTinyResidualBlock();
+  const AccelConfig cfg = TestConfig();
+  std::vector<LayerMapping> mapping =
+      UniformMapping(model, ConvMode::kSpatial, Dataflow::kInputStationary);
+  mapping[0].mode = ConvMode::kWinograd;  // stem is stride-1
+  const ModelWeightsQ weights = SyntheticWeights(model, 21);
+  const auto batch = MakeBatch(model, 6, 500);
+
+  InferenceEngine engine(TestSpec(), 3);
+  const BatchReport report =
+      engine.ExecuteBatch(model, cfg, mapping, weights, batch);
+  ASSERT_EQ(report.items.size(), batch.size());
+
+  const Compiler compiler(cfg, TestSpec());
+  const CompiledModel cm = compiler.Compile(model, mapping);
+  Runtime runtime(cfg, TestSpec());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const RunReport seq = runtime.Execute(model, cm, weights, batch[i]);
+    EXPECT_EQ(report.items[i].output, seq.output) << "item " << i;
+    std::vector<LayerMapping> effective;
+    for (const LayerPlan& plan : cm.plans) effective.push_back(plan.mapping);
+    const Tensor<std::int16_t> golden = testing::GoldenForward(
+        model, weights, batch[i], effective, cfg, cm.base_shift);
+    EXPECT_EQ(report.items[i].output, golden) << "item " << i;
+  }
+}
+
+// Two models with identical layer stacks but different wiring must never
+// share a compiled program: the structural hash covers the graph edges.
+TEST(ModelStructuralHashTest, DistinguishesGraphEdges) {
+  auto build = [](bool with_add) {
+    Model m("m", FmapShape{4, 8, 8});
+    ConvLayer a;
+    a.name = "a";
+    a.in_channels = 4;
+    a.out_channels = 8;
+    m.Append(a);
+    ConvLayer b;
+    b.name = "b";
+    b.in_channels = 8;
+    b.out_channels = 8;
+    m.Append(b);
+    ConvLayer c;
+    c.name = "c";
+    c.in_channels = 8;
+    c.out_channels = 8;
+    if (with_add) c.add = "a";
+    m.Append(c);
+    return m;
+  };
+  const Model chain = build(false);
+  const Model skip = build(true);
+  const auto mapping =
+      UniformMapping(chain, ConvMode::kSpatial, Dataflow::kInputStationary);
+  EXPECT_NE(ModelStructuralHash(chain, mapping),
+            ModelStructuralHash(skip, mapping));
+
+  // Different `from` wiring with identical layer fields also separates.
+  Model branch("m", FmapShape{4, 8, 8});
+  ConvLayer a;
+  a.name = "a";
+  a.in_channels = 4;
+  a.out_channels = 4;
+  branch.Append(a);
+  ConvLayer b = a;
+  b.name = "b";
+  branch.Append(b);
+  Model branch2 = branch;
+  ConvLayer c = a;
+  c.name = "c";
+  branch.Append(c);          // from previous (b)
+  ConvLayer c2 = c;
+  c2.from = "a";
+  branch2.Append(c2);        // from a
+  // The from string differs, and so does the resolved edge — but the hash
+  // must differ even though per-layer geometry fields are identical.
+  EXPECT_NE(ModelStructuralHash(branch, mapping),
+            ModelStructuralHash(branch2, mapping));
+}
+
 TEST(InferenceEngineTest, EmptyBatchIsANoOp) {
   const Model model = BuildTinyCnn();
   const AccelConfig cfg = TestConfig();

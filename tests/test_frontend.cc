@@ -47,15 +47,115 @@ TEST(ModelParserTest, CommentsAndBlanksIgnored)
 }
 
 TEST(ModelParserTest, RoundTripsThroughWriter) {
-  for (const Model& m : {BuildVgg16(), BuildTinyCnn(), BuildAlexNetStyle()}) {
+  for (const Model& m : {BuildVgg16(), BuildTinyCnn(), BuildAlexNetStyle(),
+                         BuildResNet18(), BuildTinyResidualBlock()}) {
     const std::string text = WriteModelText(m);
     const Model back = ParseModelText(text);
     ASSERT_EQ(back.num_layers(), m.num_layers()) << m.name();
     for (int i = 0; i < m.num_layers(); ++i) {
       EXPECT_EQ(back.layer(i), m.layer(i)) << m.name() << " layer " << i;
+      EXPECT_EQ(back.input_index(i), m.input_index(i)) << m.name() << " " << i;
+      EXPECT_EQ(back.residual_index(i), m.residual_index(i))
+          << m.name() << " " << i;
     }
     EXPECT_EQ(back.input(), m.input());
   }
+}
+
+TEST(ModelParserTest, ParsesResidualGraph) {
+  // A skip across a stride-2 projection — the canonical downsampling block.
+  const Model m = ParseModelText(
+      "model block\n"
+      "input 8 8 8\n"
+      "conv name=stem out=8\n"
+      "conv name=a out=16 s=2\n"
+      "conv name=p out=16 k=1 s=2 p=0 from=stem\n"
+      "conv name=b out=16 relu=1 from=a add=p\n");
+  EXPECT_EQ(m.num_layers(), 4);
+  EXPECT_EQ(m.input_index(2), 0);
+  EXPECT_EQ(m.input_index(3), 1);
+  EXPECT_EQ(m.residual_index(3), 2);
+  EXPECT_EQ(m.OutputShape(), (FmapShape{16, 4, 4}));
+}
+
+TEST(ModelParserTest, DuplicateLayerNameReportsLine) {
+  try {
+    ParseModelText(
+        "model x\ninput 3 8 8\nconv name=c out=4\nconv name=c out=4\n");
+    FAIL() << "duplicate name must be rejected";
+  } catch (const ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 4"), std::string::npos) << what;
+    EXPECT_NE(what.find("duplicate"), std::string::npos) << what;
+  }
+}
+
+TEST(ModelParserTest, DuplicateFcNameReportsLine) {
+  try {
+    ParseModelText(
+        "model x\ninput 3 8 8\nconv name=c out=4\nfc name=c out=10\n");
+    FAIL() << "duplicate fc name must be rejected";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ModelParserTest, FcBadAttributeValueReportsLineOnce) {
+  try {
+    ParseModelText("model x\ninput 3 8 8\nconv out=4\nfc out=10 relu=zz\n");
+    FAIL();
+  } catch (const ParseError& e) {
+    const std::string what = e.what();
+    const auto first = what.find("line 4");
+    ASSERT_NE(first, std::string::npos) << what;
+    EXPECT_EQ(what.find("line 4", first + 1), std::string::npos)
+        << "doubled line prefix: " << what;
+  }
+}
+
+TEST(ModelParserTest, UnknownAttributeRejected) {
+  // A typo like `ad=` must not silently drop a residual edge.
+  EXPECT_THROW(
+      ParseModelText("model x\ninput 3 8 8\nconv name=c out=4 ad=skip\n"),
+      ParseError);
+  EXPECT_THROW(
+      ParseModelText("model x\ninput 3 8 8\nfc name=f out=4 pool=2\n"),
+      ParseError);
+}
+
+TEST(ModelParserTest, FromUnknownLayerReportsLine) {
+  try {
+    ParseModelText("model x\ninput 3 8 8\nconv name=c out=4 from=ghost\n");
+    FAIL();
+  } catch (const ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("ghost"), std::string::npos) << what;
+  }
+}
+
+TEST(ModelParserTest, AddIntoPooledLayerRejectedWithClearError) {
+  try {
+    ParseModelText(
+        "model x\n"
+        "input 4 8 8\n"
+        "conv name=a out=8\n"
+        "conv name=b out=8 pool=2 add=a\n");
+    FAIL() << "skip into a pooled layer must be rejected";
+  } catch (const ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 4"), std::string::npos) << what;
+    EXPECT_NE(what.find("pool"), std::string::npos) << what;
+  }
+}
+
+TEST(ModelParserTest, AddShapeMismatchRejected) {
+  EXPECT_THROW(ParseModelText("model x\n"
+                              "input 4 8 8\n"
+                              "conv name=a out=8\n"
+                              "conv name=b out=16 add=a\n"),
+               ParseError);
 }
 
 TEST(ModelParserTest, LayerBeforeInputFails) {

@@ -247,6 +247,149 @@ TEST_P(FuzzChannelBlockingTest, BlockedFcLayersMatchGolden) {
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzChannelBlockingTest,
                          ::testing::Range<std::uint64_t>(1, 7));
 
+// Residual graphs: random basic blocks — identity skips and skips across a
+// stride-2 projection — in random CONV modes, validated bit-exactly against
+// the graph-aware golden (fused SAVE_RES add + deferred ReLU included).
+class FuzzResidualGraphTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzResidualGraphTest, ResidualBlocksMatchGolden) {
+  Prng prng(GetParam() * 48271);
+  for (int iter = 0; iter < 3; ++iter) {
+    const int c0 = static_cast<int>(prng.NextInt(2, 10));
+    const int c1 = static_cast<int>(prng.NextInt(2, 12));
+    const int hw = static_cast<int>(prng.NextInt(8, 15));
+    const bool projection = prng.NextInt(0, 1) != 0;
+    const int c2 = projection ? static_cast<int>(prng.NextInt(2, 12)) : c1;
+
+    Model m("fuzz_residual", FmapShape{c0, hw, hw});
+    ConvLayer stem;
+    stem.name = "stem";
+    stem.in_channels = c0;
+    stem.out_channels = c1;
+    stem.relu = prng.NextInt(0, 1) != 0;
+    m.Append(stem);
+    ConvLayer a;
+    a.name = "a";
+    a.in_channels = c1;
+    a.out_channels = c2;
+    a.stride = projection ? 2 : 1;
+    a.relu = true;
+    m.Append(a);
+    std::string skip = "stem";
+    if (projection) {
+      ConvLayer p;
+      p.name = "p";
+      p.in_channels = c1;
+      p.out_channels = c2;
+      p.kernel_h = p.kernel_w = 1;
+      p.stride = 2;
+      p.pad = 0;
+      p.from = "stem";
+      m.Append(p);
+      skip = "p";
+    }
+    ConvLayer b;
+    b.name = "b";
+    b.in_channels = c2;
+    b.out_channels = c2;
+    b.relu = prng.NextInt(0, 1) != 0;
+    b.from = "a";
+    b.add = skip;
+    m.Append(b);
+
+    std::vector<LayerMapping> mapping;
+    for (int i = 0; i < m.num_layers(); ++i) {
+      const bool wino_legal = m.layer(i).stride == 1;
+      mapping.push_back(LayerMapping{
+          (wino_legal && prng.NextInt(0, 1)) ? ConvMode::kWinograd
+                                             : ConvMode::kSpatial,
+          prng.NextInt(0, 1) ? Dataflow::kWeightStationary
+                             : Dataflow::kInputStationary});
+    }
+    const int pt = prng.NextInt(0, 1) ? 4 : 6;
+    SCOPED_TRACE(::testing::Message()
+                 << "seed=" << GetParam() << " iter=" << iter << " c0=" << c0
+                 << " c1=" << c1 << " c2=" << c2 << " hw=" << hw
+                 << " proj=" << projection << " pt=" << pt);
+    auto r = RunEndToEnd(m, TestConfig(pt), TestSpec(), mapping,
+                         GetParam() * 389 + iter);
+    EXPECT_TRUE(CheckInstructionStream(r.compiled).ok());
+    EXPECT_GE(r.compiled.fmap_slots, 3)
+        << "a live skip tensor needs a third DRAM slot";
+    EXPECT_EQ(r.sim_out, r.golden_out);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzResidualGraphTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// A down-scaled full residual network (ResNet-18's graph shape at 32x32):
+// two stages x two basic blocks with identity + projection skips, a pooled
+// stem and a final FC — every graph feature in one program, hybrid-mapped.
+TEST(ResidualNetworkEndToEndTest, MiniResNetMatchesGolden) {
+  Model m("mini_resnet", FmapShape{3, 32, 32});
+  ConvLayer stem;
+  stem.name = "stem";
+  stem.in_channels = 3;
+  stem.out_channels = 8;
+  stem.relu = true;
+  stem.pool = 2;  // -> 8 x 16 x 16
+  m.Append(stem);
+  auto block = [&m](const std::string& name, const std::string& in_name,
+                    int in_c, int out_c, int stride) {
+    ConvLayer a;
+    a.name = name + "a";
+    a.in_channels = in_c;
+    a.out_channels = out_c;
+    a.stride = stride;
+    a.relu = true;
+    a.from = in_name;
+    m.Append(a);
+    std::string skip = in_name;
+    if (stride != 1 || in_c != out_c) {
+      ConvLayer p;
+      p.name = name + "p";
+      p.in_channels = in_c;
+      p.out_channels = out_c;
+      p.kernel_h = p.kernel_w = 1;
+      p.stride = stride;
+      p.pad = 0;
+      p.from = in_name;
+      m.Append(p);
+      skip = p.name;
+    }
+    ConvLayer b;
+    b.name = name + "b";
+    b.in_channels = out_c;
+    b.out_channels = out_c;
+    b.relu = true;
+    b.from = name + "a";
+    b.add = skip;
+    m.Append(b);
+    return name + "b";
+  };
+  std::string prev = block("s1b1", "stem", 8, 8, 1);     // identity skip
+  prev = block("s1b2", prev, 8, 8, 1);                   // identity skip
+  prev = block("s2b1", prev, 8, 16, 2);                  // projection skip
+  prev = block("s2b2", prev, 16, 16, 1);                 // identity skip
+  m.AppendFullyConnected("fc", 10, false);
+
+  std::vector<LayerMapping> mapping;
+  for (int i = 0; i < m.num_layers(); ++i) {
+    const ConvLayer& l = m.layer(i);
+    const bool wino = WinogradApplicable(l) && !l.is_fc && l.kernel_h == 3;
+    mapping.push_back(LayerMapping{
+        wino ? ConvMode::kWinograd : ConvMode::kSpatial,
+        Dataflow::kInputStationary});
+  }
+  for (const int pt : {4, 6}) {
+    auto r = RunEndToEnd(m, TestConfig(pt), TestSpec(), mapping, 1234);
+    EXPECT_TRUE(CheckInstructionStream(r.compiled).ok()) << "pt=" << pt;
+    EXPECT_EQ(r.sim_out, r.golden_out) << "pt=" << pt;
+    EXPECT_EQ(r.compiled.fmap_slots, 3) << "pt=" << pt;
+  }
+}
+
 class FuzzNetworkTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(FuzzNetworkTest, RandomThreeLayerNetsMatchGolden) {

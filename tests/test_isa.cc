@@ -73,6 +73,29 @@ SaveFields SampleSave(Prng& prng) {
   return f;
 }
 
+/// SAVE_RES narrows the geometry fields to fit the residual address; sample
+/// within its tighter limits (see codec.cc save_res).
+SaveFields SampleSaveRes(Prng& prng) {
+  SaveFields f;
+  f.dept = static_cast<std::uint8_t>(prng.NextInt(0, 63));
+  f.buff_id = static_cast<std::uint8_t>(prng.NextInt(0, 3));
+  f.buff_base = static_cast<std::uint16_t>(prng.NextInt(0, 15));
+  f.dram_base = static_cast<std::uint32_t>(prng.NextInt(0, (1 << 28) - 1));
+  f.rows = static_cast<std::uint8_t>(prng.NextInt(0, 63));
+  f.cols = static_cast<std::uint16_t>(prng.NextInt(0, 511));
+  f.oc_vecs = static_cast<std::uint16_t>(prng.NextInt(0, 127));
+  f.layout = static_cast<SaveLayout>(prng.NextInt(0, 3));
+  f.pool = 1;  // residual saves cannot pool
+  f.out_h = static_cast<std::uint16_t>(prng.NextInt(0, 1023));
+  f.out_w = static_cast<std::uint16_t>(prng.NextInt(0, 1023));
+  f.oc_pitch = static_cast<std::uint16_t>(prng.NextInt(0, 1023));
+  f.res_add = true;
+  f.res_wino = prng.NextInt(0, 1) != 0;
+  f.relu = prng.NextInt(0, 1) != 0;
+  f.res_dram_base = static_cast<std::uint32_t>(prng.NextInt(0, (1 << 28) - 1));
+  return f;
+}
+
 class RoundTripTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(RoundTripTest, LoadInstructionsRoundTrip) {
@@ -108,6 +131,34 @@ TEST_P(RoundTripTest, SaveInstructionsRoundTrip) {
   }
 }
 
+TEST_P(RoundTripTest, SaveResInstructionsRoundTrip) {
+  Prng prng(GetParam() + 400);
+  for (int i = 0; i < 200; ++i) {
+    const SaveFields f = SampleSaveRes(prng);
+    const Instruction encoded = Encode(InstrFields{f});
+    EXPECT_EQ(PeekOpcode(encoded), Opcode::kSaveRes);
+    const InstrFields decoded = Decode(encoded);
+    ASSERT_TRUE(std::holds_alternative<SaveFields>(decoded));
+    EXPECT_EQ(std::get<SaveFields>(decoded), f);
+  }
+}
+
+TEST(SaveResEncodingTest, OversizedFieldsRejected) {
+  Prng prng(9);
+  SaveFields base = SampleSaveRes(prng);
+  SaveFields wide_pitch = base;
+  wide_pitch.oc_pitch = 1024;  // > 10 bits
+  EXPECT_THROW(Encode(InstrFields{wide_pitch}), InvalidArgument);
+  SaveFields pooled = base;
+  pooled.pool = 2;
+  EXPECT_THROW(Encode(InstrFields{pooled}), InvalidArgument);
+  // Plain SAVE cannot carry the deferred ReLU (COMP fuses it there).
+  SaveFields plain_relu = base;
+  plain_relu.res_add = false;
+  plain_relu.relu = true;
+  EXPECT_THROW(Encode(InstrFields{plain_relu}), InvalidArgument);
+}
+
 TEST_P(RoundTripTest, AssemblerTextRoundTrip) {
   Prng prng(GetParam() + 300);
   std::vector<Instruction> program;
@@ -116,6 +167,7 @@ TEST_P(RoundTripTest, AssemblerTextRoundTrip) {
     program.push_back(Encode(InstrFields{SampleLoad(prng, Opcode::kLoadWgt)}));
     program.push_back(Encode(InstrFields{SampleComp(prng)}));
     program.push_back(Encode(InstrFields{SampleSave(prng)}));
+    program.push_back(Encode(InstrFields{SampleSaveRes(prng)}));
   }
   program.push_back(Encode(InstrFields{CtrlFields{Opcode::kEnd, 0}}));
   const std::string text = DisassembleProgram(program);

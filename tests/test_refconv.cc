@@ -44,6 +44,31 @@ TEST(DirectConvTest, ReluClampsNegatives) {
   EXPECT_FLOAT_EQ(out.at(0, 0, 0), 0.0f);
 }
 
+TEST(ResidualAddTest, SaturatesAndRectifies) {
+  Tensor<std::int16_t> a(Shape{1, 2, 2});
+  Tensor<std::int16_t> b(Shape{1, 2, 2});
+  // feature_bits = 12 -> range [-2048, 2047].
+  a.flat(0) = 2000;  b.flat(0) = 100;    // saturates high
+  a.flat(1) = -2000; b.flat(1) = -100;   // saturates low
+  a.flat(2) = -5;    b.flat(2) = 3;      // negative sum
+  a.flat(3) = 7;     b.flat(3) = 8;      // plain sum
+  const auto plain = AddResidualQ(a, b, 12, /*relu=*/false);
+  EXPECT_EQ(plain.flat(0), 2047);
+  EXPECT_EQ(plain.flat(1), -2048);
+  EXPECT_EQ(plain.flat(2), -2);
+  EXPECT_EQ(plain.flat(3), 15);
+  const auto rectified = AddResidualQ(a, b, 12, /*relu=*/true);
+  EXPECT_EQ(rectified.flat(1), 0);
+  EXPECT_EQ(rectified.flat(2), 0);
+  EXPECT_EQ(rectified.flat(3), 15);
+}
+
+TEST(ResidualAddTest, ShapeMismatchThrows) {
+  Tensor<std::int16_t> a(Shape{1, 2, 2});
+  Tensor<std::int16_t> b(Shape{1, 2, 3});
+  EXPECT_THROW(AddResidualQ(a, b, 12, false), InvalidArgument);
+}
+
 TEST(DirectConvTest, ChannelMismatchThrows) {
   Tensor<float> in(Shape{2, 4, 4});
   Tensor<float> w(Shape{1, 3, 3, 3});

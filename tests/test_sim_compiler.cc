@@ -249,6 +249,51 @@ TEST(NetworkTest, TinyCnnMixedModesPt6) {
 
 // --- Timing sanity on the same runs ---
 
+// --- liveness-interval DRAM allocation ---
+
+TEST(DramAllocationTest, ChainModelsKeepThePingPongLayout) {
+  // For a linear chain the liveness allocator must degenerate to exactly the
+  // historical two-slot even/odd ping-pong: same slot count, same bases,
+  // same total map size.
+  const Model m = BuildTinyCnn();
+  const Compiler compiler(TestConfig(4), TestSpec());
+  const CompiledModel cm = compiler.Compile(
+      m, std::vector<LayerMapping>(
+             static_cast<std::size_t>(m.num_layers()),
+             LayerMapping{ConvMode::kSpatial, Dataflow::kInputStationary}));
+  EXPECT_EQ(cm.fmap_slots, 2);
+  EXPECT_EQ(cm.total_dram_words, cm.fmap_base + 2 * cm.fmap_region_words);
+  for (int i = 0; i < m.num_layers(); ++i) {
+    const std::int64_t expect_in =
+        cm.fmap_base + (i % 2 == 0 ? 0 : cm.fmap_region_words);
+    const std::int64_t expect_out =
+        cm.fmap_base + (i % 2 == 0 ? cm.fmap_region_words : 0);
+    EXPECT_EQ(cm.input_region(i), expect_in) << "layer " << i;
+    EXPECT_EQ(cm.output_region(i), expect_out) << "layer " << i;
+  }
+}
+
+TEST(DramAllocationTest, ResidualSkipGetsAThirdSlotAndNoAliasing) {
+  const Model m = BuildTinyResidualBlock();
+  const Compiler compiler(TestConfig(4), TestSpec());
+  const CompiledModel cm = compiler.Compile(
+      m, std::vector<LayerMapping>(
+             static_cast<std::size_t>(m.num_layers()),
+             LayerMapping{ConvMode::kSpatial, Dataflow::kInputStationary}));
+  EXPECT_EQ(cm.fmap_slots, 3);
+  const int b = m.IndexOf("bodyb");
+  const LayerPlan& plan = cm.plans[static_cast<std::size_t>(b)];
+  ASSERT_GE(plan.res_dram_base, 0);
+  // The skip tensor, the layer input and the layer output must occupy three
+  // distinct slots while all live through bodyb.
+  EXPECT_NE(plan.res_dram_base, plan.in_dram_base);
+  EXPECT_NE(plan.res_dram_base, plan.out_dram_base);
+  EXPECT_NE(plan.in_dram_base, plan.out_dram_base);
+  // proj's recorded output slot is the slot bodyb reads its residual from.
+  const int proj = m.IndexOf("proj");
+  EXPECT_EQ(cm.output_region(proj), plan.res_dram_base);
+}
+
 TEST(TimingTest, CompletionTimesAreMonotonicPerModule) {
   const Model m = BuildTinyCnn();
   std::vector<LayerMapping> mapping(

@@ -60,18 +60,25 @@ inline Tensor<std::int16_t> MakeInput(const FmapShape& shape,
 }
 
 /// Golden execution of the whole model in the quantised domain, layer by
-/// layer, using the *same algorithm* per layer as the accelerator mapping
-/// (Winograd layers use the integer Winograd reference with the compiler's
-/// u_shift; Spatial layers use the direct reference).
+/// layer in topological (append) order, using the *same algorithm* per layer
+/// as the accelerator mapping (Winograd layers use the integer Winograd
+/// reference with the compiler's u_shift; Spatial layers use the direct
+/// reference). Graph-aware: each layer reads the activation its input edge
+/// names and residual layers fuse sat(conv + skip) (+ ReLU) before pooling,
+/// exactly as the accelerator's SAVE_RES stage does.
 inline Tensor<std::int16_t> GoldenForward(
     const Model& model, const ModelWeightsQ& weights,
     const Tensor<std::int16_t>& input,
     const std::vector<LayerMapping>& mapping, const AccelConfig& cfg,
     int base_shift) {
-  Tensor<std::int16_t> act = input;
+  std::vector<Tensor<std::int16_t>> acts(
+      static_cast<std::size_t>(model.num_layers()));
   for (int i = 0; i < model.num_layers(); ++i) {
     const ConvLayer& layer = model.layer(i);
     const FmapShape in = model.InputOf(i);
+    const int producer = model.input_index(i);
+    Tensor<std::int16_t> act =
+        producer < 0 ? input : acts[static_cast<std::size_t>(producer)];
     // Flatten for FC layers (channel-major, matching the WINO DDR layout).
     if (layer.is_fc &&
         (act.shape().dim(1) != 1 || act.shape().dim(2) != 1)) {
@@ -80,19 +87,26 @@ inline Tensor<std::int16_t> GoldenForward(
     }
     HDNN_CHECK(act.shape().dim(0) == in.channels) << "golden shape drift";
     const LayerWeightsQ& lw = weights[static_cast<std::size_t>(i)];
+    // Residual layers rectify after the add, so the conv itself runs raw.
+    const bool conv_relu = layer.relu && !layer.has_residual();
     Tensor<std::int16_t> conv;
     if (mapping[static_cast<std::size_t>(i)].mode == ConvMode::kWinograd) {
       const int u_shift = WinoParamForPt(cfg.pt).recommended_u_shift();
       conv = Conv2dWinogradQ(act, lw.weights, lw.bias, layer.pad, base_shift,
-                             cfg.data_width, layer.relu, cfg.pt, u_shift);
+                             cfg.data_width, conv_relu, cfg.pt, u_shift);
     } else {
       conv = Conv2dDirectQ(act, lw.weights, lw.bias, layer.stride, layer.pad,
-                           base_shift, cfg.data_width, layer.relu);
+                           base_shift, cfg.data_width, conv_relu);
+    }
+    if (layer.has_residual()) {
+      const int res = model.residual_index(i);
+      conv = AddResidualQ(conv, acts[static_cast<std::size_t>(res)],
+                          cfg.data_width, layer.relu);
     }
     if (layer.pool > 1) conv = MaxPool2dQ(conv, layer.pool);
-    act = std::move(conv);
+    acts[static_cast<std::size_t>(i)] = std::move(conv);
   }
-  return act;
+  return acts.back();
 }
 
 struct EndToEndResult {
