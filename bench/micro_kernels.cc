@@ -1,12 +1,16 @@
 // Self-timed microbenchmarks of the library's hot kernels — Winograd
 // transforms, the functional simulator COMP datapath (spatial + Winograd),
+// the functional memory datapath (LOAD/SAVE stages + DramModel block ops),
 // and batch serving through the InferenceEngine.
 //
-// Prints a human-readable table and writes one JSON document
-// (default ./BENCH_sim_comp.json, override with argv[1]) so CI can track the
-// performance trajectory. Two throughput domains per row:
+// Prints a human-readable table and writes two JSON documents so CI can
+// track the performance trajectory:
+//   * BENCH_sim_comp.json     (argv[1]) — COMP-dominated rows + serving;
+//   * BENCH_sim_loadsave.json (argv[2]) — memory-bound rows: early convs,
+//     FC weight streaming, residual SAVEs, pooled SAVEs, raw block copies.
+// Two throughput domains per row:
 //   * items_per_s  — host wall-clock rate (machine-dependent; this is what
-//     the flat-scratch datapath optimisation moves);
+//     the flat-scratch / bulk-span datapath optimisations move);
 //   * sim_gops     — modeled accelerator throughput of the same run
 //     (deterministic; must NOT move under host-side optimisation).
 #include <chrono>
@@ -17,6 +21,7 @@
 
 #include "bench_util.h"
 #include "common/prng.h"
+#include "mem/dram_model.h"
 #include "nn/builders.h"
 #include "runtime/engine.h"
 #include "winograd/transform.h"
@@ -93,12 +98,102 @@ void PrintRow(const BenchRow& r) {
               static_cast<long long>(r.iters), r.seconds);
 }
 
+void WriteJson(const char* path, const char* bench_name, const FpgaSpec& spec,
+               const AccelConfig& cfg, const std::vector<BenchRow>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"platform\": \"%s\",\n",
+               bench_name, spec.name.c_str());
+  std::fprintf(f, "  \"config\": \"%s\",\n", cfg.ToString().c_str());
+  std::fprintf(f, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const BenchRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"items_per_s\": %.3f, "
+                 "\"sim_gops\": %.3f, \"iters\": %lld, \"seconds\": %.4f}%s\n",
+                 r.name.c_str(), r.items_per_s, r.sim_gops,
+                 static_cast<long long>(r.iters), r.seconds,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+/// Memory-bound workloads for the LOAD/SAVE stage trajectory: the functional
+/// datapath here moves millions of DRAM words per inference, so items/s
+/// tracks the memory system, not the MAC kernels.
+
+/// VGG16 conv1_1 geometry: 3->64ch @ 224x224. The SAVE stage writes
+/// 64*224*224 ~ 3.2M words per inference — the archetypal SAVE-bound layer.
+Model BuildEarlyConv() { return BuildSingleConv(3, 64, 224, 224, 3); }
+
+/// FC-style layer (4096 -> 512): one fully contiguous ~2.1M-word LOAD_WGT
+/// stream per inference, negligible fmap traffic.
+Model BuildFcLayer() {
+  Model m("bench_fc", FmapShape{4096, 1, 1});
+  ConvLayer fc;
+  fc.name = "fc";
+  fc.in_channels = 4096;
+  fc.out_channels = 512;
+  fc.kernel_h = 1;
+  fc.kernel_w = 1;
+  fc.stride = 1;
+  fc.pad = 0;
+  fc.is_fc = true;
+  m.Append(fc);
+  return m;
+}
+
+/// Residual pair at conv2_x scale (64ch 56x56): the second conv's SAVE_RES
+/// streams the skip tensor back through the fmap port word-for-word.
+Model BuildResidualPair() {
+  Model m("bench_residual", FmapShape{64, 56, 56});
+  ConvLayer stem;
+  stem.name = "stem";
+  stem.in_channels = 64;
+  stem.out_channels = 64;
+  stem.relu = true;
+  m.Append(stem);
+  ConvLayer body;
+  body.name = "body";
+  body.in_channels = 64;
+  body.out_channels = 64;
+  m.Append(body);
+  ConvLayer join;
+  join.name = "join";
+  join.in_channels = 64;
+  join.out_channels = 64;
+  join.relu = true;
+  join.add = "stem";
+  m.Append(join);
+  return m;
+}
+
+/// Pooled SAVE: 64->64 @ 112x112 with a fused 2x2 max-pool, exercising the
+/// window-reduction path of the SAVE loop nest.
+Model BuildPooledConv() {
+  Model m("bench_pooled", FmapShape{64, 112, 112});
+  ConvLayer conv;
+  conv.name = "conv";
+  conv.in_channels = 64;
+  conv.out_channels = 64;
+  conv.relu = true;
+  conv.pool = 2;
+  m.Append(conv);
+  return m;
+}
+
 }  // namespace
 }  // namespace hdnn
 
 int main(int argc, char** argv) {
   using namespace hdnn;
   const char* out_path = argc > 1 ? argv[1] : "BENCH_sim_comp.json";
+  const char* ldsv_path = argc > 2 ? argv[2] : "BENCH_sim_loadsave.json";
   const FpgaSpec spec = PynqZ1Spec();
   const AccelConfig cfg = bench::PynqDesignPoint();
 
@@ -185,27 +280,50 @@ int main(int argc, char** argv) {
   }
   bench::PrintRule();
 
-  // --- JSON artifact ---
-  std::FILE* f = std::fopen(out_path, "w");
-  if (!f) {
-    std::fprintf(stderr, "cannot open %s for writing\n", out_path);
-    return 1;
+  // --- LOAD/SAVE stage benchmarks (memory-bound layers) ---
+  std::vector<BenchRow> ldsv_rows;
+  std::printf("micro_kernels: functional memory datapath (LOAD/SAVE stages)\n");
+  bench::PrintRule();
+  {
+    // Raw DramModel block transfer: pure memory-system ceiling, no simulator.
+    constexpr std::int64_t kWords = 1 << 20;
+    DramModel dram(2 * kWords);
+    std::vector<std::int16_t> host(static_cast<std::size_t>(kWords));
+    for (std::int64_t i = 0; i < kWords; ++i) {
+      host[static_cast<std::size_t>(i)] = static_cast<std::int16_t>(i);
+    }
+    volatile std::int16_t sink = 0;
+    ldsv_rows.push_back(Measure(
+        "dram_block_copy_1m", 2.0 * static_cast<double>(kWords), [&] {
+          dram.WriteBlock(0, host);
+          dram.ReadBlock(kWords, std::span<std::int16_t>(host));
+          sink = host[0];
+        }));
+    PrintRow(ldsv_rows.back());
   }
-  std::fprintf(f, "{\n  \"bench\": \"sim_comp\",\n  \"platform\": \"%s\",\n",
-               spec.name.c_str());
-  std::fprintf(f, "  \"config\": \"%s\",\n", cfg.ToString().c_str());
-  std::fprintf(f, "  \"rows\": [\n");
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const BenchRow& r = rows[i];
-    std::fprintf(f,
-                 "    {\"name\": \"%s\", \"items_per_s\": %.3f, "
-                 "\"sim_gops\": %.3f, \"iters\": %lld, \"seconds\": %.4f}%s\n",
-                 r.name.c_str(), r.items_per_s, r.sim_gops,
-                 static_cast<long long>(r.iters), r.seconds,
-                 i + 1 < rows.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("wrote %s\n", out_path);
+  ldsv_rows.push_back(MeasureFunctionalSim("ldsv_vgg16_conv1_spatial",
+                                           BuildEarlyConv(),
+                                           ConvMode::kSpatial, cfg, spec, 0.5));
+  PrintRow(ldsv_rows.back());
+  ldsv_rows.push_back(MeasureFunctionalSim("ldsv_vgg16_conv1_winograd",
+                                           BuildEarlyConv(),
+                                           ConvMode::kWinograd, cfg, spec, 0.5));
+  PrintRow(ldsv_rows.back());
+  ldsv_rows.push_back(MeasureFunctionalSim("ldsv_fc_4096x512", BuildFcLayer(),
+                                           ConvMode::kSpatial, cfg, spec, 0.5));
+  PrintRow(ldsv_rows.back());
+  ldsv_rows.push_back(MeasureFunctionalSim("ldsv_residual_56x56",
+                                           BuildResidualPair(),
+                                           ConvMode::kSpatial, cfg, spec, 0.5));
+  PrintRow(ldsv_rows.back());
+  ldsv_rows.push_back(MeasureFunctionalSim("ldsv_pooled_112x112",
+                                           BuildPooledConv(),
+                                           ConvMode::kSpatial, cfg, spec, 0.5));
+  PrintRow(ldsv_rows.back());
+  bench::PrintRule();
+
+  // --- JSON artifacts ---
+  WriteJson(out_path, "sim_comp", spec, cfg, rows);
+  WriteJson(ldsv_path, "sim_loadsave", spec, cfg, ldsv_rows);
   return 0;
 }

@@ -5,7 +5,9 @@
 
 #include "common/check.h"
 #include "common/math_util.h"
+#include "compiler/stream_check.h"
 #include "compiler/weight_pack.h"
+#include "sim/decoded_program.h"
 #include "winograd/matrices.h"
 
 namespace hdnn {
@@ -585,7 +587,13 @@ CompiledModel Compiler::Compile(const Model& model,
   HDNN_CHECK(static_cast<int>(mapping.size()) == model.num_layers())
       << "mapping size mismatch";
   Codegen codegen(model, mapping, cfg_, spec_);
-  return codegen.Run();
+  CompiledModel cm = codegen.Run();
+  // QA + decode once at compile time: the stream check and the decoded
+  // per-module queues used to run per Runtime::Execute; hoisting them here
+  // means every batch item of a serving engine starts at the scheduler loop.
+  RequireValidStream(cm);
+  cm.decoded = std::make_shared<const DecodedProgram>(DecodeProgram(cm.program));
+  return cm;
 }
 
 }  // namespace hdnn

@@ -24,6 +24,7 @@
 #define HDNN_COMPILER_COMPILER_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/types.h"
@@ -33,6 +34,8 @@
 #include "platform/fpga_spec.h"
 
 namespace hdnn {
+
+struct DecodedProgram;  // sim/decoded_program.h
 
 /// Per-layer compilation record.
 struct LayerPlan {
@@ -63,6 +66,15 @@ struct CompiledModel {
   AccelConfig cfg;
   int base_shift = 6;  ///< feature fraction bits (Q5.6)
   std::vector<Instruction> program;  ///< END-terminated
+  /// Decode-once cache: the program's decoded fields + per-module issue
+  /// queues, built (and stream-checked) by Compiler::Compile so every
+  /// execution — each batch item of a serving engine in particular — starts
+  /// at the simulator's scheduler loop. Shared by copies of this
+  /// CompiledModel and across worker threads (it is immutable). Invariant:
+  /// anything that mutates `program` afterwards must reset `decoded` (or
+  /// the simulator would execute the stale stream); Runtime::Execute falls
+  /// back to validate + decode per run when it is null.
+  std::shared_ptr<const DecodedProgram> decoded;
   std::vector<LayerPlan> plans;
   std::int64_t fmap_region_words = 0;  ///< uniform fmap slot size
   std::int64_t fmap_base = 0;          ///< first fmap slot address

@@ -116,7 +116,18 @@ void WriteWeightImages(const CompiledModel& cm, const Model& model,
                    : static_cast<std::int64_t>(layer.kernel_h) * layer.kernel_w;
           const std::int64_t kv_n = CeilDiv<std::int64_t>(block.k_count, cm.cfg.po);
           const std::int64_t cv_n = CeilDiv<std::int64_t>(block.c_count, cm.cfg.pi);
-          std::int64_t addr = plan.wgt_dram_base + block.base_words;
+          // The block is one contiguous DRAM image — a single validated run
+          // instead of block_words bounds-checked per-word writes.
+          const auto dst = dram.WriteRun(plan.wgt_dram_base + block.base_words,
+                                         block.block_words);
+          // The loop below must emit exactly the run it reserved — a drift
+          // between this count and ForEachWeightBlock's block_words formula
+          // would otherwise become an unchecked out-of-span write.
+          HDNN_CHECK(kv_n * cv_n * kk * cm.cfg.po * cm.cfg.pi ==
+                     block.block_words)
+              << layer.name << ": weight block geometry disagrees with its "
+              << "reserved run (" << block.block_words << " words)";
+          std::size_t idx = 0;
           // Linear order must match the sim's weight-slab contract:
           // (((kv*cv_n + cv)*kk + rc)*PO + co)*PI + ci.
           for (std::int64_t kv = 0; kv < kv_n; ++kv) {
@@ -148,7 +159,7 @@ void WriteWeightImages(const CompiledModel& cm, const Model& model,
                           block.c0 + static_cast<int>(cv) * cm.cfg.pi + ci,
                           static_cast<int>(rc));
                     }
-                    dram.Write(addr++, value);
+                    dst[idx++] = value;
                   }
                 }
               }
@@ -156,14 +167,20 @@ void WriteWeightImages(const CompiledModel& cm, const Model& model,
           }
         });
 
-    // Bias image: padded K int32 values, pre-shifted for Winograd layers.
+    // Bias image: padded K int32 values (little-endian word pairs, one
+    // contiguous run), pre-shifted for Winograd layers.
     const int kp = PaddedK(layer, cm.cfg);
+    const auto bias_dst = dram.WriteRun(plan.bias_dram_base, 2LL * kp);
     for (int k = 0; k < kp; ++k) {
       std::int64_t b = 0;
       if (k < K && lw.bias.elements() > 0) b = lw.bias.flat(k);
       if (wino) b <<= plan.u_shift;
-      dram.Write32(plan.bias_dram_base + 2LL * k,
-                   static_cast<std::int32_t>(b));
+      const std::uint32_t u =
+          static_cast<std::uint32_t>(static_cast<std::int32_t>(b));
+      bias_dst[static_cast<std::size_t>(2 * k)] =
+          static_cast<std::int16_t>(u & 0xffff);
+      bias_dst[static_cast<std::size_t>(2 * k + 1)] =
+          static_cast<std::int16_t>(u >> 16);
     }
   }
 }

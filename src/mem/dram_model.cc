@@ -1,5 +1,7 @@
 #include "mem/dram_model.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace hdnn {
@@ -35,24 +37,47 @@ void DramModel::Write(std::int64_t addr, std::int16_t value) {
 }
 
 void DramModel::ReadBlock(std::int64_t addr, std::span<std::int16_t> out) const {
-  HDNN_CHECK(addr >= 0 &&
-             addr + static_cast<std::int64_t>(out.size()) <= size_words())
-      << "DRAM block read out of range";
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    out[i] = words_[static_cast<std::size_t>(addr) + i];
-  }
-  words_read_ += static_cast<std::int64_t>(out.size());
+  const std::span<const std::int16_t> src =
+      ReadRun(addr, static_cast<std::int64_t>(out.size()));
+  if (src.empty()) return;
+  std::copy_n(src.data(), src.size(), out.data());
 }
 
 void DramModel::WriteBlock(std::int64_t addr,
                            std::span<const std::int16_t> data) {
-  HDNN_CHECK(addr >= 0 &&
-             addr + static_cast<std::int64_t>(data.size()) <= size_words())
-      << "DRAM block write out of range";
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    words_[static_cast<std::size_t>(addr) + i] = data[i];
-  }
-  words_written_ += static_cast<std::int64_t>(data.size());
+  const std::span<std::int16_t> dst =
+      WriteRun(addr, static_cast<std::int64_t>(data.size()));
+  if (dst.empty()) return;
+  std::copy_n(data.data(), data.size(), dst.data());
+}
+
+std::span<const std::int16_t> DramModel::ReadRun(std::int64_t addr,
+                                                 std::int64_t words) const {
+  const std::span<const std::int16_t> run = ViewRun(addr, words);
+  words_read_ += words;
+  return run;
+}
+
+std::span<std::int16_t> DramModel::WriteRun(std::int64_t addr,
+                                            std::int64_t words) {
+  // Same validation as ViewRun, but the span must be mutable.
+  HDNN_CHECK(words >= 0 && addr >= 0 && addr + words <= size_words())
+      << "DRAM run [" << addr << ", " << addr + words << ") out of range 0../"
+      << size_words();
+  words_written_ += words;
+  if (words == 0) return {};
+  return {words_.data() + static_cast<std::size_t>(addr),
+          static_cast<std::size_t>(words)};
+}
+
+std::span<const std::int16_t> DramModel::ViewRun(std::int64_t addr,
+                                                 std::int64_t words) const {
+  HDNN_CHECK(words >= 0 && addr >= 0 && addr + words <= size_words())
+      << "DRAM run [" << addr << ", " << addr + words << ") out of range 0../"
+      << size_words();
+  if (words == 0) return {};
+  return {words_.data() + static_cast<std::size_t>(addr),
+          static_cast<std::size_t>(words)};
 }
 
 std::int32_t DramModel::Read32(std::int64_t addr) const {

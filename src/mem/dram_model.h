@@ -34,6 +34,29 @@ class DramModel {
   void ReadBlock(std::int64_t addr, std::span<std::int16_t> out) const;
   void WriteBlock(std::int64_t addr, std::span<const std::int16_t> data);
 
+  // --- Bulk span views (the simulator's LOAD/SAVE datapath) ---
+  //
+  // Each validates the whole transaction's range [addr, addr + words) once
+  // and returns a span directly over the backing store, so the caller's copy
+  // micro-kernels run at memcpy speed with no per-word bounds checks. The
+  // statistics advance by the run length exactly as `words` individual
+  // Read/Write calls would, keeping words_read()/words_written() identical
+  // between the per-word and bulk paths. Zero-length runs are explicitly
+  // legal at any addr in [0, size_words()] and touch neither storage nor
+  // stats. Spans are invalidated by Reset().
+
+  /// Validated read transaction: counts `words` read.
+  std::span<const std::int16_t> ReadRun(std::int64_t addr,
+                                        std::int64_t words) const;
+  /// Validated write transaction: counts `words` written; the caller fills
+  /// the returned span (every word is considered written, as the SAVE
+  /// datapath always produces the full run).
+  std::span<std::int16_t> WriteRun(std::int64_t addr, std::int64_t words);
+  /// Validated view with no statistics side effect (host-side inspection
+  /// and tests; functional-traffic accounting must use ReadRun/WriteRun).
+  std::span<const std::int16_t> ViewRun(std::int64_t addr,
+                                        std::int64_t words) const;
+
   /// 32-bit accessors for bias words (little-endian pair of 16-bit words).
   std::int32_t Read32(std::int64_t addr) const;
   void Write32(std::int64_t addr, std::int32_t value);

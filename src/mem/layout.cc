@@ -1,5 +1,7 @@
 #include "mem/layout.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace hdnn {
@@ -28,10 +30,20 @@ void StoreFmap(DramModel& dram, std::int64_t base, ConvMode layout,
   const std::int64_t C = fmap.shape().dim(0);
   const std::int64_t H = fmap.shape().dim(1);
   const std::int64_t W = fmap.shape().dim(2);
-  for (std::int64_t c = 0; c < C; ++c) {
-    for (std::int64_t h = 0; h < H; ++h) {
+  if (layout == ConvMode::kWinograd) {
+    // Channel-outermost is the tensor's own CHW layout: one contiguous copy.
+    const auto dst = dram.WriteRun(base, C * H * W);
+    std::copy_n(fmap.data(), dst.size(), dst.data());
+    return;
+  }
+  // Channel-innermost: each (h) row is a W*C-contiguous run; the tensor side
+  // is a per-channel strided scatter.
+  for (std::int64_t h = 0; h < H; ++h) {
+    const auto dst = dram.WriteRun(base + h * W * C, W * C);
+    for (std::int64_t c = 0; c < C; ++c) {
+      const std::int16_t* const src = fmap.data() + (c * H + h) * W;
       for (std::int64_t w = 0; w < W; ++w) {
-        dram.Write(base + FmapAddr(layout, c, h, w, C, H, W), fmap.at(c, h, w));
+        dst[static_cast<std::size_t>(w * C + c)] = src[w];
       }
     }
   }
@@ -41,11 +53,18 @@ Tensor<std::int16_t> LoadFmap(const DramModel& dram, std::int64_t base,
                               ConvMode layout, std::int64_t channels,
                               std::int64_t height, std::int64_t width) {
   Tensor<std::int16_t> fmap(Shape{channels, height, width});
-  for (std::int64_t c = 0; c < channels; ++c) {
-    for (std::int64_t h = 0; h < height; ++h) {
-      for (std::int64_t w = 0; w < width; ++w) {
-        fmap.at(c, h, w) =
-            dram.Read(base + FmapAddr(layout, c, h, w, channels, height, width));
+  const std::int64_t C = channels, H = height, W = width;
+  if (layout == ConvMode::kWinograd) {
+    const auto src = dram.ReadRun(base, C * H * W);
+    std::copy_n(src.data(), src.size(), fmap.data());
+    return fmap;
+  }
+  for (std::int64_t h = 0; h < H; ++h) {
+    const auto src = dram.ReadRun(base + h * W * C, W * C);
+    for (std::int64_t c = 0; c < C; ++c) {
+      std::int16_t* const dst = fmap.data() + (c * H + h) * W;
+      for (std::int64_t w = 0; w < W; ++w) {
+        dst[w] = src[static_cast<std::size_t>(w * C + c)];
       }
     }
   }

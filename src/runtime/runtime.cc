@@ -19,13 +19,26 @@ void StageInputFmap(DramModel& dram, std::int64_t base, ConvMode layout,
   const std::int64_t C = fmap.shape().dim(0);
   const std::int64_t H = fmap.shape().dim(1);
   const std::int64_t W = fmap.shape().dim(2);
-  HDNN_CHECK(padded_channels >= C) << "padding below real channel count";
-  for (std::int64_t c = 0; c < padded_channels; ++c) {
-    for (std::int64_t h = 0; h < H; ++h) {
-      for (std::int64_t w = 0; w < W; ++w) {
-        const std::int16_t v = (c < C) ? fmap.at(c, h, w) : std::int16_t{0};
-        dram.Write(base + FmapAddr(layout, c, h, w, padded_channels, H, W), v);
-      }
+  const std::int64_t pC = padded_channels;
+  HDNN_CHECK(pC >= C) << "padding below real channel count";
+  if (layout == ConvMode::kWinograd) {
+    // Channel-outermost matches the tensor's own CHW layout: the real
+    // channels are one contiguous copy, the pad channels one zero-fill.
+    const auto real = dram.WriteRun(base, C * H * W);
+    std::copy_n(fmap.data(), real.size(), real.data());
+    const auto pad = dram.WriteRun(base + C * H * W, (pC - C) * H * W);
+    std::fill(pad.begin(), pad.end(), 0);
+    return;
+  }
+  // Channel-innermost: each fmap row is a W*pC-contiguous run, filled by a
+  // per-channel strided scatter (the tensor walks H*W per channel).
+  for (std::int64_t h = 0; h < H; ++h) {
+    const auto dst = dram.WriteRun(base + h * W * pC, W * pC);
+    std::fill(dst.begin(), dst.end(), 0);
+    for (std::int64_t c = 0; c < C; ++c) {
+      const std::int16_t* const src = fmap.data() + (c * H + h) * W;
+      for (std::int64_t w = 0; w < W; ++w) dst[static_cast<std::size_t>(
+          w * pC + c)] = src[w];
     }
   }
 }
@@ -36,12 +49,23 @@ Tensor<std::int16_t> CollectOutputFmap(const DramModel& dram,
                                        int padded_channels) {
   Tensor<std::int16_t> out(
       Shape{shape.channels, shape.height, shape.width});
-  for (std::int64_t c = 0; c < shape.channels; ++c) {
-    for (std::int64_t h = 0; h < shape.height; ++h) {
-      for (std::int64_t w = 0; w < shape.width; ++w) {
-        out.at(c, h, w) = dram.Read(base + FmapAddr(layout, c, h, w,
-                                                    padded_channels,
-                                                    shape.height, shape.width));
+  const std::int64_t C = shape.channels;
+  const std::int64_t H = shape.height;
+  const std::int64_t W = shape.width;
+  if (layout == ConvMode::kWinograd) {
+    // Channel-outermost: the cropped real-channel region is one contiguous
+    // run in the tensor's own layout.
+    const auto src = dram.ReadRun(base, C * H * W);
+    std::copy_n(src.data(), src.size(), out.data());
+    return out;
+  }
+  // Channel-innermost: per pixel the real channels are one contiguous run
+  // (the pad channels beyond C are skipped, as the per-word path did).
+  for (std::int64_t h = 0; h < H; ++h) {
+    for (std::int64_t w = 0; w < W; ++w) {
+      const auto src = dram.ReadRun(base + (h * W + w) * padded_channels, C);
+      for (std::int64_t c = 0; c < C; ++c) {
+        out.at(c, h, w) = src[static_cast<std::size_t>(c)];
       }
     }
   }
@@ -53,7 +77,9 @@ RunReport Runtime::Execute(const Model& model, const CompiledModel& cm,
                            const Tensor<std::int16_t>& input,
                            bool functional) {
   HDNN_CHECK(cm.cfg == cfg_) << "compiled model targets a different config";
-  RequireValidStream(cm);  // compiler QA: handshake/bounds invariants
+  // Compiler-produced models were stream-checked and decoded at compile
+  // time (cm.decoded); only hand-built CompiledModels pay per-run QA.
+  if (!cm.decoded) RequireValidStream(cm);
   const std::int64_t dram_words = cm.total_dram_words + 1024;
   if (!dram_) {
     dram_ = std::make_unique<DramModel>(dram_words);
@@ -75,7 +101,8 @@ RunReport Runtime::Execute(const Model& model, const CompiledModel& cm,
   if (!accel_) accel_ = std::make_unique<Accelerator>(cfg_, spec_, *dram_);
   accel_->set_functional(functional);
   RunReport report;
-  report.stats = accel_->Run(cm.program);
+  report.stats =
+      cm.decoded ? accel_->Run(*cm.decoded) : accel_->Run(cm.program);
   report.seconds = report.stats.Seconds(spec_.freq_mhz);
   const double ops = static_cast<double>(model.TotalOps());
   report.gops = ops / report.seconds / 1e9;

@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/fixed_point.h"
 #include "common/math_util.h"
+#include "sim/decoded_program.h"
 #include "winograd/matrices.h"
 #include "winograd/transform.h"
 
@@ -20,22 +21,26 @@ constexpr double kCompFixedCycles = 20.0;      // PE pipeline fill per COMP
 constexpr double kCtrlStartCycles = 4.0;       // 4-stage CTRL pipeline fill
 constexpr double kCtrlIssueII = 1.0;           // CTRL issue rate
 
-enum ModuleId { kModLdi = 0, kModLdw = 1, kModComp = 2, kModSave = 3 };
+// --- LOAD/SAVE copy micro-kernels ----------------------------------------
+//
+// The functional memory datapath moves layout-aware contiguous runs between
+// DRAM (int16 words) and the on-chip buffer images (int32 elements); these
+// two width converters are the only per-element operations left on the bulk
+// paths, and both vectorize.
 
-ModuleId ModuleOf(Opcode op) {
-  switch (op) {
-    case Opcode::kLoadInp:
-      return kModLdi;
-    case Opcode::kLoadWgt:
-    case Opcode::kLoadBias:
-      return kModLdw;
-    case Opcode::kComp:
-      return kModComp;
-    case Opcode::kSave:
-    case Opcode::kSaveRes:
-      return kModSave;
-    default:
-      throw InternalError("control opcode has no module");
+/// Widening copy, DRAM word -> buffer element.
+inline void WidenRun(const std::int16_t* src, std::int32_t* dst,
+                     std::int64_t n) {
+  std::copy_n(src, static_cast<std::size_t>(n), dst);
+}
+
+/// Narrowing copy, buffer element -> DRAM word (values are already
+/// requantised into the feature width; the cast truncates like the per-word
+/// path's static_cast did).
+inline void NarrowRun(const std::int32_t* src, std::int16_t* dst,
+                      std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    dst[i] = static_cast<std::int16_t>(src[i]);
   }
 }
 
@@ -160,33 +165,48 @@ Accelerator::ExecResult Accelerator::ExecLoadInp(const LoadFields& f) {
   const std::int64_t half_base =
       static_cast<std::int64_t>(half) * cfg_.input_buffer_vectors;
 
-  if (functional_)
-  for (int r = 0; r < slab_rows; ++r) {
-    for (int c = 0; c < slab_cols; ++c) {
-      const bool inside = r >= f.pad_t && r < f.pad_t + f.rows &&
-                          c >= f.pad_l && c < f.pad_l + f.cols;
+  if (functional_) {
+    // Slab element (r, c, ch) lives at dst0[(r*slab_cols + c)*cp + ch] with
+    // ch = v*PI + lane, so each pixel is a cp-contiguous run and a full slab
+    // row is slab_cols*cp-contiguous. Padding is bulk zero-fill; fetched
+    // data moves as layout-aware contiguous DRAM runs (see header contract).
+    std::int32_t* const dst0 =
+        input_buf_.data() +
+        static_cast<std::size_t>((half_base + f.buff_base) * cfg_.pi);
+    const std::int64_t row_elems = static_cast<std::int64_t>(slab_cols) * cp;
+    const std::int64_t inner_elems = static_cast<std::int64_t>(f.cols) * cp;
+    for (int r = 0; r < slab_rows; ++r) {
+      std::int32_t* const dst_row = dst0 + static_cast<std::int64_t>(r) *
+                                               row_elems;
+      if (r < f.pad_t || r >= f.pad_t + f.rows) {
+        std::fill_n(dst_row, row_elems, 0);
+        continue;
+      }
       const std::int64_t dr = r - f.pad_t;
-      const std::int64_t dc = c - f.pad_l;
-      for (int v = 0; v < cv; ++v) {
-        const std::int64_t vec =
-            f.buff_base + (static_cast<std::int64_t>(r) * slab_cols + c) * cv +
-            v;
-        for (int lane = 0; lane < cfg_.pi; ++lane) {
-          std::int32_t value = 0;
-          if (inside) {
-            const std::int64_t ch = static_cast<std::int64_t>(v) * cfg_.pi + lane;
-            std::int64_t addr;
-            if (f.wino) {
-              // WINO DDR layout: channel outermost.
-              addr = f.dram_base + ch * f.aux * f.pitch + dr * f.pitch + dc;
-            } else {
-              // SPAT DDR layout: channel innermost.
-              addr = f.dram_base + (dr * f.pitch + dc) * cp + ch;
-            }
-            value = dram_.Read(addr);
+      std::fill_n(dst_row, static_cast<std::int64_t>(f.pad_l) * cp, 0);
+      std::fill_n(dst_row + static_cast<std::int64_t>(f.pad_l) * cp +
+                      inner_elems,
+                  static_cast<std::int64_t>(f.pad_r) * cp, 0);
+      std::int32_t* const dst_in =
+          dst_row + static_cast<std::int64_t>(f.pad_l) * cp;
+      if (!f.wino) {
+        // SPAT DDR layout (channel innermost): addr = base + (dr*pitch +
+        // dc)*cp + ch, so the whole fmap row is one cols*cp-contiguous run
+        // regardless of the column tile's pitch.
+        const auto src =
+            dram_.ReadRun(f.dram_base + dr * f.pitch * cp, inner_elems);
+        WidenRun(src.data(), dst_in, inner_elems);
+      } else {
+        // WINO DDR layout (channel outermost): per channel the fmap row is a
+        // cols-contiguous run, scattered into the slab with stride cp.
+        for (std::int64_t ch = 0; ch < cp; ++ch) {
+          const auto src = dram_.ReadRun(
+              f.dram_base + ch * f.aux * f.pitch + dr * f.pitch, f.cols);
+          std::int32_t* const dst_ch = dst_in + ch;
+          for (int c = 0; c < f.cols; ++c) {
+            dst_ch[static_cast<std::int64_t>(c) * cp] = src[
+                static_cast<std::size_t>(c)];
           }
-          input_buf_[static_cast<std::size_t>((half_base + vec) * cfg_.pi +
-                                              lane)] = value;
         }
       }
     }
@@ -246,10 +266,13 @@ Accelerator::ExecResult Accelerator::ExecLoadWgt(const LoadFields& f) {
 
   const int half = f.buff_id & 1;
   if (functional_) {
-    for (std::int64_t i = 0; i < elems; ++i) {
-      weight_buf_[static_cast<std::size_t>(half * cap + base_elems + i)] =
-          dram_.Read(f.dram_base + i);
-    }
+    // The compiler packs each weight block contiguously in load order, so
+    // the whole LOAD_WGT is a single widening copy.
+    const auto src = dram_.ReadRun(f.dram_base, elems);
+    WidenRun(src.data(),
+             weight_buf_.data() + static_cast<std::size_t>(half * cap +
+                                                           base_elems),
+             elems);
   }
 
   ExecResult res;
@@ -268,10 +291,18 @@ Accelerator::ExecResult Accelerator::ExecLoadBias(const LoadFields& f) {
       << "LOAD_BIAS overflows bias buffer";
   const int half = f.buff_id & 1;
   if (functional_) {
+    // One run of little-endian word pairs, assembled into int32 bias slots.
+    const auto src = dram_.ReadRun(f.dram_base, 2 * values);
+    std::int32_t* const dst =
+        bias_buf_.data() +
+        static_cast<std::size_t>(half * kBiasCapacity + f.buff_base);
     for (std::int64_t i = 0; i < values; ++i) {
-      bias_buf_[static_cast<std::size_t>(half * kBiasCapacity + f.buff_base +
-                                         i)] =
-          dram_.Read32(f.dram_base + 2 * i);
+      const std::uint16_t lo =
+          static_cast<std::uint16_t>(src[static_cast<std::size_t>(2 * i)]);
+      const std::uint16_t hi =
+          static_cast<std::uint16_t>(src[static_cast<std::size_t>(2 * i + 1)]);
+      dst[i] = static_cast<std::int32_t>((static_cast<std::uint32_t>(hi) << 16) |
+                                         lo);
     }
   }
   ExecResult res;
@@ -635,52 +666,139 @@ Accelerator::ExecResult Accelerator::ExecSave(const SaveFields& f) {
   const std::int64_t feat_max = (1ll << (cfg_.data_width - 1)) - 1;
   const std::int64_t feat_min = -(1ll << (cfg_.data_width - 1));
 
-  if (functional_)
-  for (int kv = 0; kv < f.oc_vecs; ++kv) {
-    for (int lane = 0; lane < cfg_.po; ++lane) {
-      const std::int64_t ch = static_cast<std::int64_t>(kv) * cfg_.po + lane;
+  if (functional_) {
+    // Output-slab element (row, col, ch) lives at out0[(row*slab_cols +
+    // col)*group_ch + ch] with ch = kv*PO + lane: per-position channel runs
+    // are contiguous. The loop nest is ordered so every DRAM write is a
+    // dense run in the destination layout — positions outer / channels
+    // inner for SPAT (channel-innermost), channels outer / positions inner
+    // for WINO (channel-outermost) — with pooling and residual adds fused
+    // per run, bit-exact to the per-word path.
+    const std::int64_t group_ch = static_cast<std::int64_t>(f.oc_vecs) *
+                                  cfg_.po;
+    const std::int32_t* const out0 =
+        output_buf_.data() +
+        static_cast<std::size_t>((half_base + f.buff_base) * cfg_.po);
+    const std::int64_t hw = static_cast<std::int64_t>(f.out_h) * f.out_w;
+    // Saturating residual fuse shared by both layout paths (pool == 1 is
+    // guaranteed for SAVE_RES, so `acc` is always the raw COMP emit).
+    const auto fuse_res = [&](std::int64_t acc, std::int64_t res) {
+      std::int64_t value = acc + res;
+      value = std::min(feat_max, std::max(feat_min, value));
+      if (f.relu && value < 0) value = 0;
+      return static_cast<std::int16_t>(value);
+    };
+
+    if (!dst_wino) {
+      if (static_cast<std::int64_t>(save_line_.size()) < group_ch) {
+        save_line_.resize(static_cast<std::size_t>(group_ch));
+      }
       for (int pr = 0; pr < prows; ++pr) {
         for (int pc = 0; pc < pcols; ++pc) {
-          std::int32_t best = INT32_MIN;
-          for (int dy = 0; dy < pool; ++dy) {
-            for (int dx = 0; dx < pool; ++dx) {
-              const std::int64_t row = static_cast<std::int64_t>(pr) * pool + dy;
-              const std::int64_t col = static_cast<std::int64_t>(pc) * pool + dx;
-              const std::int64_t vec =
-                  f.buff_base + (row * slab_cols + col) * f.oc_vecs + kv;
-              best = std::max(
-                  best, output_buf_[static_cast<std::size_t>(
-                            (half_base + vec) * cfg_.po + lane)]);
-            }
-          }
-          std::int64_t value = best;
-          if (f.res_add) {
-            std::int64_t raddr;
-            if (f.res_wino) {
-              raddr = f.res_dram_base +
-                      ch * static_cast<std::int64_t>(f.out_h) * f.out_w +
-                      static_cast<std::int64_t>(pr) * f.out_w + pc;
-            } else {
-              raddr = f.res_dram_base +
-                      (static_cast<std::int64_t>(pr) * f.out_w + pc) *
-                          f.oc_pitch +
-                      ch;
-            }
-            value += dram_.Read(raddr);
-            value = std::min(feat_max, std::max(feat_min, value));
-            if (f.relu && value < 0) value = 0;
-          }
-          std::int64_t addr;
-          if (dst_wino) {
-            addr = f.dram_base +
-                   ch * static_cast<std::int64_t>(f.out_h) * f.out_w +
-                   static_cast<std::int64_t>(pr) * f.out_w + pc;
+          const std::int32_t* src;
+          if (pool == 1) {
+            src = out0 + (static_cast<std::int64_t>(pr) * slab_cols + pc) *
+                             group_ch;
           } else {
-            addr = f.dram_base +
-                   (static_cast<std::int64_t>(pr) * f.out_w + pc) * f.oc_pitch +
-                   ch;
+            // Pool window reduction: channel runs stay contiguous, so the
+            // max folds run-wise into the scratch line.
+            std::int32_t* const line = save_line_.data();
+            bool first = true;
+            for (int dy = 0; dy < pool; ++dy) {
+              for (int dx = 0; dx < pool; ++dx) {
+                const std::int64_t row =
+                    static_cast<std::int64_t>(pr) * pool + dy;
+                const std::int64_t col =
+                    static_cast<std::int64_t>(pc) * pool + dx;
+                const std::int32_t* const w =
+                    out0 + (row * slab_cols + col) * group_ch;
+                if (first) {
+                  std::copy_n(w, static_cast<std::size_t>(group_ch), line);
+                  first = false;
+                } else {
+                  for (std::int64_t ch = 0; ch < group_ch; ++ch) {
+                    line[ch] = std::max(line[ch], w[ch]);
+                  }
+                }
+              }
+            }
+            src = line;
           }
-          dram_.Write(addr, static_cast<std::int16_t>(value));
+          const std::int64_t pos = static_cast<std::int64_t>(pr) * f.out_w +
+                                   pc;
+          const auto dst = dram_.WriteRun(f.dram_base + pos * f.oc_pitch,
+                                          group_ch);
+          if (!f.res_add) {
+            NarrowRun(src, dst.data(), group_ch);
+          } else if (!f.res_wino) {
+            // Residual source is channel-innermost too: one matching run.
+            const auto res =
+                dram_.ReadRun(f.res_dram_base + pos * f.oc_pitch, group_ch);
+            for (std::int64_t ch = 0; ch < group_ch; ++ch) {
+              dst[static_cast<std::size_t>(ch)] =
+                  fuse_res(src[ch], res[static_cast<std::size_t>(ch)]);
+            }
+          } else {
+            // Cross-layout residual (WINO source into a SPAT write): the
+            // skip operand is channel-strided, so it streams word-wise.
+            for (std::int64_t ch = 0; ch < group_ch; ++ch) {
+              const std::int64_t raddr = f.res_dram_base + ch * hw + pos;
+              dst[static_cast<std::size_t>(ch)] =
+                  fuse_res(src[ch], dram_.Read(raddr));
+            }
+          }
+        }
+      }
+    } else {
+      for (std::int64_t ch = 0; ch < group_ch; ++ch) {
+        const std::int32_t* const src_ch = out0 + ch;
+        for (int pr = 0; pr < prows; ++pr) {
+          const std::int64_t pos0 = static_cast<std::int64_t>(pr) * f.out_w;
+          const auto dst = dram_.WriteRun(f.dram_base + ch * hw + pos0, pcols);
+          // Buffer source for this (channel, row): stride-group_ch gather.
+          const std::int32_t* const src_row =
+              src_ch + static_cast<std::int64_t>(pr) * pool * slab_cols *
+                           group_ch;
+          if (!f.res_add) {
+            for (int pc = 0; pc < pcols; ++pc) {
+              std::int32_t best;
+              if (pool == 1) {
+                best = src_row[static_cast<std::int64_t>(pc) * group_ch];
+              } else {
+                best = INT32_MIN;
+                for (int dy = 0; dy < pool; ++dy) {
+                  for (int dx = 0; dx < pool; ++dx) {
+                    best = std::max(
+                        best,
+                        src_row[(static_cast<std::int64_t>(dy) * slab_cols +
+                                 static_cast<std::int64_t>(pc) * pool + dx) *
+                                group_ch]);
+                  }
+                }
+              }
+              dst[static_cast<std::size_t>(pc)] =
+                  static_cast<std::int16_t>(best);
+            }
+          } else if (f.res_wino) {
+            // Matching layout: the skip row is one contiguous run.
+            const auto res =
+                dram_.ReadRun(f.res_dram_base + ch * hw + pos0, pcols);
+            for (int pc = 0; pc < pcols; ++pc) {
+              dst[static_cast<std::size_t>(pc)] =
+                  fuse_res(src_row[static_cast<std::int64_t>(pc) * group_ch],
+                           res[static_cast<std::size_t>(pc)]);
+            }
+          } else {
+            // Cross-layout residual (SPAT source into a WINO write): the
+            // skip operand is position-strided, so it streams word-wise.
+            for (int pc = 0; pc < pcols; ++pc) {
+              const std::int64_t raddr =
+                  f.res_dram_base + (pos0 + pc) * f.oc_pitch + ch;
+              dst[static_cast<std::size_t>(pc)] =
+                  fuse_res(src_row[static_cast<std::int64_t>(pc) * group_ch],
+                           dram_.Read(raddr));
+            }
+          }
         }
       }
     }
@@ -703,7 +821,12 @@ Accelerator::ExecResult Accelerator::ExecSave(const SaveFields& f) {
 }
 
 SimStats Accelerator::Run(const std::vector<Instruction>& program) {
-  ValidateProgram(program);
+  // One-shot path: validate + decode fresh. Steady-state serving uses the
+  // DecodedProgram overload with the decode cached on the CompiledModel.
+  return Run(DecodeProgram(program));
+}
+
+SimStats Accelerator::Run(const DecodedProgram& prog) {
   macs_executed_ = 0;
   // The accelerator is reusable across programs (serving runtimes hold one
   // per worker): reset per-run state so every Run is bit- and cycle-
@@ -721,17 +844,16 @@ SimStats Accelerator::Run(const std::vector<Instruction>& program) {
     std::fill(bias_buf_.begin(), bias_buf_.end(), 0);
   }
 
-  // Decode everything up front and split into per-module queues.
-  std::vector<InstrFields> decoded(program.size());
-  std::array<std::vector<std::size_t>, 4> queues;
-  std::vector<double> dispatch(program.size(), 0.0);
-  for (std::size_t i = 0; i < program.size(); ++i) {
-    decoded[i] = Decode(program[i]);
-    dispatch[i] = kCtrlStartCycles + kCtrlIssueII * static_cast<double>(i);
-    const Opcode op = OpcodeOf(decoded[i]);
-    if (op == Opcode::kNop || op == Opcode::kEnd) continue;
-    queues[ModuleOf(op)].push_back(i);
-  }
+  // Decode + per-module queue partitioning were hoisted into DecodedProgram
+  // (built once per compiled program); per-run work starts at the scheduler.
+  const std::vector<InstrFields>& decoded = prog.fields;
+  const std::array<std::vector<std::uint32_t>, kNumModules>& queues =
+      prog.queues;
+  // CTRL dispatches one instruction per issue slot after its pipeline fill;
+  // a pure function of the program position, so no per-run table is needed.
+  const auto dispatch = [](std::size_t i) {
+    return kCtrlStartCycles + kCtrlIssueII * static_cast<double>(i);
+  };
 
   // Handshake FIFOs (ping-pong depth 2 credits) + the SAVE -> LOAD_INP
   // layer-barrier channel (see compiler.cc EmitLayer).
@@ -749,8 +871,8 @@ SimStats Accelerator::Run(const std::vector<Instruction>& program) {
   double wgt_port_free = 0;
 
   SimStats stats;
-  stats.completion.assign(program.size(), 0.0);
-  stats.instructions = static_cast<std::int64_t>(program.size());
+  stats.completion.assign(prog.size(), 0.0);
+  stats.instructions = static_cast<std::int64_t>(prog.size());
   words_moved_read_ = 0;
   words_moved_written_ = 0;
 
@@ -775,7 +897,7 @@ SimStats Accelerator::Run(const std::vector<Instruction>& program) {
     const Opcode op = OpcodeOf(f);
     const std::uint8_t dept = dept_of(f);
     double start =
-        std::max(module_time[static_cast<std::size_t>(mod)], dispatch[i]);
+        std::max(module_time[static_cast<std::size_t>(mod)], dispatch(i));
     switch (op) {
       case Opcode::kLoadInp:
         if (dept & kWaitCredit) {
@@ -843,7 +965,7 @@ SimStats Accelerator::Run(const std::vector<Instruction>& program) {
     const std::uint8_t dept = dept_of(f);
 
     double start =
-        std::max(module_time[static_cast<std::size_t>(mod)], dispatch[i]);
+        std::max(module_time[static_cast<std::size_t>(mod)], dispatch(i));
     switch (op) {
       case Opcode::kLoadInp:
         if (dept & kWaitCredit) start = cred_inp.PopAfter(start);

@@ -43,6 +43,7 @@
 #include "isa/codec.h"
 #include "mem/dram_model.h"
 #include "platform/fpga_spec.h"
+#include "sim/decoded_program.h"
 #include "sim/handshake.h"
 
 namespace hdnn {
@@ -74,7 +75,13 @@ class Accelerator {
   /// on entry, so consecutive Runs are bit- and cycle-identical to runs on
   /// freshly constructed instances, while buffer storage and the COMP
   /// scratch arenas are reused (no steady-state allocations).
+  ///
+  /// The vector overload validates + decodes on every call; the
+  /// DecodedProgram overload skips straight to the scheduler loop, which is
+  /// what serving runtimes use (the decode is cached per CompiledModel).
+  /// Both are bit- and cycle-identical for the same program bytes.
   SimStats Run(const std::vector<Instruction>& program);
+  SimStats Run(const DecodedProgram& prog);
 
   /// When disabled, the simulator computes timing only: no data is moved and
   /// no arithmetic executed. Used for large sweeps (the timing model does
@@ -146,6 +153,7 @@ class Accelerator {
   std::vector<std::int64_t> emit_m_;      // ee accumulator gather tile
   std::vector<std::int64_t> emit_y_;      // m*m output transform result
   std::vector<std::int64_t> emit_tmp_;    // m*pt transform intermediate
+  std::vector<std::int32_t> save_line_;   // SAVE pool-window channel line
 
   std::int64_t macs_executed_ = 0;
 

@@ -1,0 +1,37 @@
+#include "sim/decoded_program.h"
+
+#include "common/check.h"
+
+namespace hdnn {
+
+SimModule SimModuleOf(Opcode op) {
+  switch (op) {
+    case Opcode::kLoadInp:
+      return kModLdi;
+    case Opcode::kLoadWgt:
+    case Opcode::kLoadBias:
+      return kModLdw;
+    case Opcode::kComp:
+      return kModComp;
+    case Opcode::kSave:
+    case Opcode::kSaveRes:
+      return kModSave;
+    default:
+      throw InternalError("control opcode has no module");
+  }
+}
+
+DecodedProgram DecodeProgram(const std::vector<Instruction>& program) {
+  ValidateProgram(program);
+  DecodedProgram out;
+  out.fields.resize(program.size());
+  for (std::size_t i = 0; i < program.size(); ++i) {
+    out.fields[i] = Decode(program[i]);
+    const Opcode op = OpcodeOf(out.fields[i]);
+    if (op == Opcode::kNop || op == Opcode::kEnd) continue;
+    out.queues[SimModuleOf(op)].push_back(static_cast<std::uint32_t>(i));
+  }
+  return out;
+}
+
+}  // namespace hdnn

@@ -51,6 +51,73 @@ TEST(DramModelTest, Word32RoundTrip) {
   }
 }
 
+TEST(DramModelTest, BulkRunsValidateAtTheLastWord) {
+  DramModel dram(32);
+  // Runs ending exactly at size_words() are legal; one word further is not.
+  EXPECT_NO_THROW(dram.ReadRun(31, 1));
+  EXPECT_NO_THROW(dram.WriteRun(0, 32));
+  EXPECT_NO_THROW(dram.ViewRun(16, 16));
+  EXPECT_THROW(dram.ReadRun(31, 2), InvalidArgument);
+  EXPECT_THROW(dram.WriteRun(1, 32), InvalidArgument);
+  EXPECT_THROW(dram.ViewRun(32, 1), InvalidArgument);
+  EXPECT_THROW(dram.ReadRun(-1, 1), InvalidArgument);
+  EXPECT_THROW(dram.WriteRun(0, -1), InvalidArgument);
+}
+
+TEST(DramModelTest, ZeroLengthRunsAreLegalAndFree) {
+  DramModel dram(16);
+  // Zero-length runs validate addr in [0, size] — including one past the
+  // end, the natural "empty tail" position — and touch neither storage nor
+  // statistics.
+  EXPECT_TRUE(dram.ReadRun(0, 0).empty());
+  EXPECT_TRUE(dram.ReadRun(16, 0).empty());
+  EXPECT_TRUE(dram.WriteRun(16, 0).empty());
+  EXPECT_TRUE(dram.ViewRun(16, 0).empty());
+  EXPECT_THROW(dram.ReadRun(17, 0), InvalidArgument);
+  EXPECT_THROW(dram.WriteRun(-1, 0), InvalidArgument);
+  dram.ReadBlock(16, std::span<std::int16_t>{});
+  dram.WriteBlock(16, std::span<const std::int16_t>{});
+  EXPECT_EQ(dram.words_read(), 0);
+  EXPECT_EQ(dram.words_written(), 0);
+}
+
+TEST(DramModelTest, Read32StraddlingEndOfMemoryThrows) {
+  DramModel dram(8);
+  dram.Write32(6, 0x12345678);  // last legal little-endian pair
+  EXPECT_EQ(dram.Read32(6), 0x12345678);
+  // A pair whose low word is the last word would read its high word one
+  // past the end.
+  EXPECT_THROW(dram.Read32(7), InvalidArgument);
+  EXPECT_THROW(dram.Write32(7, 1), InvalidArgument);
+}
+
+TEST(DramModelTest, BulkAndPerWordPathsCountStatsIdentically) {
+  DramModel per_word(64);
+  DramModel bulk(64);
+  for (std::int64_t i = 0; i < 10; ++i) {
+    per_word.Write(3 + i, static_cast<std::int16_t>(100 + i));
+  }
+  const auto wr = bulk.WriteRun(3, 10);
+  for (std::int64_t i = 0; i < 10; ++i) {
+    wr[static_cast<std::size_t>(i)] = static_cast<std::int16_t>(100 + i);
+  }
+  EXPECT_EQ(bulk.words_written(), per_word.words_written());
+  for (std::int64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(bulk.ViewRun(3 + i, 1)[0], static_cast<std::int16_t>(100 + i));
+  }
+
+  std::int64_t sum_a = 0, sum_b = 0;
+  for (std::int64_t i = 0; i < 10; ++i) sum_a += per_word.Read(3 + i);
+  for (std::int16_t v : bulk.ReadRun(3, 10)) sum_b += v;
+  EXPECT_EQ(sum_a, sum_b);
+  EXPECT_EQ(bulk.words_read(), per_word.words_read());
+
+  // ViewRun is pure observation: no statistics side effect.
+  const std::int64_t reads_before = bulk.words_read();
+  (void)bulk.ViewRun(0, 64);
+  EXPECT_EQ(bulk.words_read(), reads_before);
+}
+
 TEST(DramModelTest, StatisticsCount) {
   DramModel dram(32);
   dram.ResetStats();

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Compact before/after throughput table from collected BENCH_*.json files.
+
+Usage: bench_delta.py BASELINE_DIR CURRENT_DIR [GLOB...]
+
+Reads every bench JSON matching the globs from CURRENT_DIR, pairs each
+throughput metric with the same metric in BASELINE_DIR (the previous CI
+run's artifacts, if cached), and prints one aligned items/s table per file.
+Schema-agnostic: any array of objects is treated as rows (labelled by its
+"name" field or its workers/batch/platform/model fields), and any numeric
+field whose key names a rate (items_per_s, *gops, speedup) becomes a column
+entry. Files without a baseline print current values with "-" deltas, so
+the step never fails on a cold cache. Stdlib only.
+"""
+
+import glob
+import json
+import os
+import sys
+
+RATE_KEYS = (
+    "items_per_s",
+    "host_items_per_s",
+    "sim_gops",
+    "gops",
+    "aggregate_effective_gops",
+    "speedup",
+    "speedup_4v1",
+    "gops_1_worker",
+    "gops_4_workers",
+)
+
+
+def row_label(obj):
+    if "name" in obj:
+        return str(obj["name"])
+    parts = []
+    for key in ("platform", "model", "workers", "batch"):
+        if key in obj:
+            parts.append(f"{key[0]}{obj[key]}" if key in ("workers", "batch")
+                         else str(obj[key]))
+    return "/".join(parts) or "(row)"
+
+
+def extract(node, prefix, out):
+    """Flattens `node` into {metric_path: value} for every rate field."""
+    if isinstance(node, dict):
+        label = None
+        if any(isinstance(v, (dict, list)) for v in node.values()):
+            for key, value in node.items():
+                extract(value, f"{prefix}{key}." if prefix else f"{key}.", out)
+        for key, value in node.items():
+            if key in RATE_KEYS and isinstance(value, (int, float)):
+                if label is None:
+                    label = row_label(node)
+                out[f"{prefix}{label}.{key}"] = float(value)
+    elif isinstance(node, list):
+        for item in node:
+            extract(item, prefix, out)
+
+
+def load_metrics(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"  (unreadable: {err})")
+        return {}
+    metrics = {}
+    extract(doc, "", metrics)
+    return metrics
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__)
+        return 2
+    base_dir, cur_dir = argv[1], argv[2]
+    patterns = argv[3:] or ["BENCH_*.json"]
+    files = sorted({os.path.basename(p)
+                    for pat in patterns
+                    for p in glob.glob(os.path.join(cur_dir, pat))})
+    if not files:
+        print("bench_delta: no bench JSON found")
+        return 0
+
+    width = 52
+    for name in files:
+        print(f"\n== {name} ==")
+        current = load_metrics(os.path.join(cur_dir, name))
+        base_path = os.path.join(base_dir, name)
+        baseline = load_metrics(base_path) if os.path.exists(base_path) else {}
+        if not baseline:
+            print("  (no cached baseline — first run or cold cache)")
+        print(f"  {'metric':<{width}} {'before':>12} {'after':>12} {'delta':>8}")
+        for key in sorted(current):
+            after = current[key]
+            before = baseline.get(key)
+            if before is None:
+                before_s, delta_s = "-", "-"
+            else:
+                before_s = f"{before:.3f}"
+                if before:
+                    delta_s = f"{after / before:.2f}x"
+                else:
+                    delta_s = "-" if after == 0 else "new"
+            label = key if len(key) <= width else "…" + key[-(width - 1):]
+            print(f"  {label:<{width}} {before_s:>12} {after:>12.3f} {delta_s:>8}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
