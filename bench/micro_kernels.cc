@@ -3,11 +3,16 @@
 // the functional memory datapath (LOAD/SAVE stages + DramModel block ops),
 // and batch serving through the InferenceEngine.
 //
-// Prints a human-readable table and writes two JSON documents so CI can
+// Prints a human-readable table and writes three JSON documents so CI can
 // track the performance trajectory:
 //   * BENCH_sim_comp.json     (argv[1]) — COMP-dominated rows + serving;
 //   * BENCH_sim_loadsave.json (argv[2]) — memory-bound rows: early convs,
-//     FC weight streaming, residual SAVEs, pooled SAVEs, raw block copies.
+//     FC weight streaming, residual SAVEs, pooled SAVEs, raw block copies;
+//   * BENCH_sim_fusion.json   (argv[3]) — fused-segment rows: each segment
+//     simulated with and without keep-resident hand-offs, with the DRAM
+//     words moved per inference alongside the throughput figures.
+// Output paths are all-or-nothing: pass zero paths (the defaults above) or
+// exactly three, so a stale invocation can never silently skip an artifact.
 // Two throughput domains per row:
 //   * items_per_s  — host wall-clock rate (machine-dependent; this is what
 //     the flat-scratch / bulk-span datapath optimisations move);
@@ -21,6 +26,7 @@
 
 #include "bench_util.h"
 #include "common/prng.h"
+#include "compiler/fusion.h"
 #include "mem/dram_model.h"
 #include "nn/builders.h"
 #include "runtime/engine.h"
@@ -35,6 +41,7 @@ struct BenchRow {
   double sim_gops = 0;     ///< modeled accelerator GOPS (0 when n/a)
   std::int64_t iters = 0;
   double seconds = 0;      ///< total measured wall time
+  std::int64_t dram_words = -1;  ///< DRAM words per inference (-1 = n/a)
 };
 
 /// Runs `fn` (which processes `items_per_iter` items) until at least
@@ -59,15 +66,14 @@ BenchRow Measure(const std::string& name, double items_per_iter,
   return row;
 }
 
-/// Functional end-to-end simulation of one conv layer; returns a row whose
-/// items are inferences and whose sim_gops comes from the simulated run.
-BenchRow MeasureFunctionalSim(const std::string& name, const Model& model,
-                              ConvMode mode, const AccelConfig& cfg,
-                              const FpgaSpec& spec, double min_seconds) {
+/// Functional end-to-end simulation of a model under an explicit mapping;
+/// returns a row whose items are inferences, whose sim_gops comes from the
+/// simulated run and whose dram_words counts the words moved per inference.
+BenchRow MeasureMappedSim(const std::string& name, const Model& model,
+                          const std::vector<LayerMapping>& mapping,
+                          const AccelConfig& cfg, const FpgaSpec& spec,
+                          double min_seconds) {
   const Compiler compiler(cfg, spec);
-  const std::vector<LayerMapping> mapping(
-      static_cast<std::size_t>(model.num_layers()),
-      LayerMapping{mode, Dataflow::kInputStationary});
   const CompiledModel cm = compiler.Compile(model, mapping);
   const ModelWeightsQ weights = SyntheticWeights(model, 1);
   Prng prng(2);
@@ -80,16 +86,30 @@ BenchRow MeasureFunctionalSim(const std::string& name, const Model& model,
   // serving worker holds it, so steady-state arena reuse is what is timed.
   Runtime runtime(cfg, spec);
   double sim_gops = 0;
+  std::int64_t dram_words = 0;
   BenchRow row = Measure(
       name, 1.0,
       [&] {
         const RunReport r =
             runtime.Execute(model, cm, weights, input, /*functional=*/true);
         sim_gops = r.gops;
+        dram_words = r.stats.dram_words_read + r.stats.dram_words_written;
       },
       min_seconds, /*min_iters=*/1);
   row.sim_gops = sim_gops;
+  row.dram_words = dram_words;
   return row;
+}
+
+/// Uniform-mapping convenience wrapper (every layer `mode` / IS).
+BenchRow MeasureFunctionalSim(const std::string& name, const Model& model,
+                              ConvMode mode, const AccelConfig& cfg,
+                              const FpgaSpec& spec, double min_seconds) {
+  return MeasureMappedSim(
+      name, model,
+      std::vector<LayerMapping>(static_cast<std::size_t>(model.num_layers()),
+                                LayerMapping{mode, Dataflow::kInputStationary}),
+      cfg, spec, min_seconds);
 }
 
 void PrintRow(const BenchRow& r) {
@@ -113,10 +133,14 @@ void WriteJson(const char* path, const char* bench_name, const FpgaSpec& spec,
     const BenchRow& r = rows[i];
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"items_per_s\": %.3f, "
-                 "\"sim_gops\": %.3f, \"iters\": %lld, \"seconds\": %.4f}%s\n",
+                 "\"sim_gops\": %.3f, \"iters\": %lld, \"seconds\": %.4f",
                  r.name.c_str(), r.items_per_s, r.sim_gops,
-                 static_cast<long long>(r.iters), r.seconds,
-                 i + 1 < rows.size() ? "," : "");
+                 static_cast<long long>(r.iters), r.seconds);
+    if (r.dram_words >= 0) {
+      std::fprintf(f, ", \"dram_words\": %lld",
+                   static_cast<long long>(r.dram_words));
+    }
+    std::fprintf(f, "}%s\n", i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -173,6 +197,96 @@ Model BuildResidualPair() {
   return m;
 }
 
+/// Residual-block interior segment for the fused-vs-unfused comparison:
+/// stem branching into a body pair and a 1x1 projection skip at 16ch 32x32.
+/// Only the bodya -> bodyb interior edge can stay resident.
+Model BuildResidualSegment() {
+  Model m("bench_fusion_resblock", FmapShape{16, 32, 32});
+  ConvLayer stem;
+  stem.name = "stem";
+  stem.in_channels = stem.out_channels = 16;
+  stem.relu = true;
+  m.Append(stem);
+  ConvLayer bodya = stem;
+  bodya.name = "bodya";
+  bodya.from = "stem";
+  m.Append(bodya);
+  ConvLayer proj;
+  proj.name = "proj";
+  proj.in_channels = proj.out_channels = 16;
+  proj.kernel_h = proj.kernel_w = 1;
+  proj.pad = 0;
+  proj.from = "stem";
+  m.Append(proj);
+  ConvLayer bodyb = stem;
+  bodyb.name = "bodyb";
+  bodyb.from = "bodya";
+  bodyb.add = "proj";
+  m.Append(bodyb);
+  return m;
+}
+
+/// FC-tail segment: a 32ch 16x16 conv handing its full image to the
+/// classifier on chip (the fc reads the 8192-word flattened tensor).
+Model BuildFcTailSegment() {
+  Model m("bench_fusion_fc_tail", FmapShape{32, 16, 16});
+  ConvLayer conv;
+  conv.name = "conv";
+  conv.in_channels = conv.out_channels = 32;
+  conv.relu = true;
+  m.Append(conv);
+  m.AppendFullyConnected("fc", 64, /*relu=*/false);
+  return m;
+}
+
+/// ResNet-18-shaped tail at 4ch 48x48: residual block, a two-conv trunk and
+/// a pooled head feeding the classifier. Feature maps dominate weights, so
+/// nearly every edge fuses and the segment shows the headline DRAM saving
+/// (the per-segment rows above isolate the residual interior and the
+/// weight-dominated FC hand-off individually).
+Model BuildTailSegment() {
+  Model m("bench_fusion_tail", FmapShape{4, 48, 48});
+  ConvLayer stem;
+  stem.name = "stem";
+  stem.in_channels = stem.out_channels = 4;
+  stem.relu = true;
+  m.Append(stem);
+  ConvLayer bodya = stem;
+  bodya.name = "bodya";
+  bodya.from = "stem";
+  m.Append(bodya);
+  ConvLayer proj;
+  proj.name = "proj";
+  proj.in_channels = proj.out_channels = 4;
+  proj.kernel_h = proj.kernel_w = 1;
+  proj.pad = 0;
+  proj.from = "stem";
+  m.Append(proj);
+  ConvLayer bodyb = stem;
+  bodyb.name = "bodyb";
+  bodyb.from = "bodya";
+  bodyb.add = "proj";
+  m.Append(bodyb);
+  ConvLayer mid0 = stem;
+  mid0.name = "mid0";
+  mid0.from = "bodyb";
+  m.Append(mid0);
+  ConvLayer mid1 = stem;
+  mid1.name = "mid1";
+  mid1.from = "mid0";
+  m.Append(mid1);
+  ConvLayer head;
+  head.name = "head";
+  head.in_channels = head.out_channels = 4;
+  head.stride = 2;
+  head.relu = true;
+  head.pool = 2;
+  head.from = "mid1";
+  m.Append(head);
+  m.AppendFullyConnected("fc", 10, /*relu=*/false);
+  return m;
+}
+
 /// Pooled SAVE: 64->64 @ 112x112 with a fused 2x2 max-pool, exercising the
 /// window-reduction path of the SAVE loop nest.
 Model BuildPooledConv() {
@@ -192,8 +306,18 @@ Model BuildPooledConv() {
 
 int main(int argc, char** argv) {
   using namespace hdnn;
-  const char* out_path = argc > 1 ? argv[1] : "BENCH_sim_comp.json";
-  const char* ldsv_path = argc > 2 ? argv[2] : "BENCH_sim_loadsave.json";
+  if (argc != 1 && argc != 4) {
+    std::fprintf(stderr,
+                 "usage: %s [COMP_JSON LOADSAVE_JSON FUSION_JSON]\n"
+                 "  pass no output paths (defaults: BENCH_sim_comp.json,\n"
+                 "  BENCH_sim_loadsave.json, BENCH_sim_fusion.json) or all\n"
+                 "  three — anything else would silently drop an artifact.\n",
+                 argv[0]);
+    return 2;
+  }
+  const char* out_path = argc == 4 ? argv[1] : "BENCH_sim_comp.json";
+  const char* ldsv_path = argc == 4 ? argv[2] : "BENCH_sim_loadsave.json";
+  const char* fusion_path = argc == 4 ? argv[3] : "BENCH_sim_fusion.json";
   const FpgaSpec spec = PynqZ1Spec();
   const AccelConfig cfg = bench::PynqDesignPoint();
 
@@ -322,8 +446,36 @@ int main(int argc, char** argv) {
   PrintRow(ldsv_rows.back());
   bench::PrintRule();
 
+  // --- Fused-segment benchmarks (keep-resident hand-offs) ---
+  // Each segment runs twice under identical modes: once with PlanFusion's
+  // keep-resident edges, once fully unfused. The dram_words column is the
+  // point: fused rows must move strictly fewer words, and the delta is the
+  // segment's interior round-trip traffic.
+  std::vector<BenchRow> fusion_rows;
+  std::printf("micro_kernels: fused segments (keep-resident hand-offs)\n");
+  bench::PrintRule();
+  for (const Model& m :
+       {BuildResidualSegment(), BuildFcTailSegment(), BuildTailSegment()}) {
+    std::vector<LayerMapping> unfused(
+        static_cast<std::size_t>(m.num_layers()),
+        LayerMapping{ConvMode::kSpatial, Dataflow::kInputStationary});
+    std::vector<LayerMapping> fused = unfused;
+    const std::vector<bool> plan = PlanFusion(m, cfg);
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      fused[i].fuse_output = plan[i];
+    }
+    fusion_rows.push_back(
+        MeasureMappedSim(m.name() + "_fused", m, fused, cfg, spec, 0.25));
+    PrintRow(fusion_rows.back());
+    fusion_rows.push_back(
+        MeasureMappedSim(m.name() + "_unfused", m, unfused, cfg, spec, 0.25));
+    PrintRow(fusion_rows.back());
+  }
+  bench::PrintRule();
+
   // --- JSON artifacts ---
   WriteJson(out_path, "sim_comp", spec, cfg, rows);
   WriteJson(ldsv_path, "sim_loadsave", spec, cfg, ldsv_rows);
+  WriteJson(fusion_path, "sim_fusion", spec, cfg, fusion_rows);
   return 0;
 }

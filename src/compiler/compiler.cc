@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/math_util.h"
+#include "compiler/fusion.h"
 #include "compiler/stream_check.h"
 #include "compiler/weight_pack.h"
 #include "sim/decoded_program.h"
@@ -102,6 +103,14 @@ class Codegen {
   /// Tensor index of layer i's input: 0 is the model input, t = li + 1 is
   /// the output of layer li.
   int InputTensorOf(int i) const { return model_.input_index(i) + 1; }
+
+  /// True when layer li reads a keep-resident tensor: its producer's
+  /// fuse_output flag marks the hand-off (the model input never is).
+  bool InputResident(int li) const {
+    const int producer = model_.input_index(li);
+    return producer >= 0 &&
+           mapping_[static_cast<std::size_t>(producer)].fuse_output;
+  }
 
   void PlanLayers(CompiledModel& cm) {
     const int chan_quantum = Lcm(cfg_.pi, cfg_.po);
@@ -283,6 +292,7 @@ class Codegen {
     const FmapShape& in = plan.in_shape;
     LoadFields f;
     f.op = Opcode::kLoadInp;
+    f.keep_resident = InputResident(li);
     f.dept = kWaitCredit | kEmitData;
     f.buff_id = static_cast<std::uint8_t>(ldi_count_++ % 2);
     f.buff_base = 0;
@@ -393,6 +403,7 @@ class Codegen {
     const int pool = layer.pool;
     const FmapShape& out = plan.out_shape;
     SaveFields f;
+    f.keep_resident = plan.mapping.fuse_output;
     f.dept = kWaitData0 | kEmitCredit0;
     f.buff_id = static_cast<std::uint8_t>(save_count_++ % 2);
     f.buff_base = 0;
@@ -462,8 +473,8 @@ class Codegen {
     if (li > 0) {
       for (int i = plan.first_instr;
            i < plan.first_instr + plan.num_instrs; ++i) {
-        if (PeekOpcode(cm.program[static_cast<std::size_t>(i)]) ==
-            Opcode::kLoadInp) {
+        if (IsLoadInpOpcode(
+                PeekOpcode(cm.program[static_cast<std::size_t>(i)]))) {
           auto f = std::get<LoadFields>(
               Decode(cm.program[static_cast<std::size_t>(i)]));
           f.dept |= kWaitData0;
@@ -586,6 +597,7 @@ CompiledModel Compiler::Compile(const Model& model,
   HDNN_CHECK(model.num_layers() > 0) << "empty model";
   HDNN_CHECK(static_cast<int>(mapping.size()) == model.num_layers())
       << "mapping size mismatch";
+  ValidateFusionFlags(model, mapping, cfg_);
   Codegen codegen(model, mapping, cfg_, spec_);
   CompiledModel cm = codegen.Run();
   // QA + decode once at compile time: the stream check and the decoded

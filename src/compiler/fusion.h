@@ -1,0 +1,69 @@
+// Fused-segment planning (the keep-resident compiler pass).
+//
+// A tensor whose full image fits the on-chip residency budget and whose only
+// reader is one downstream layer's main input never needs to round-trip
+// through DRAM: the producer's SAVEs and the consumer's LOAD_INPs are
+// re-marked keep-resident (SAVE_KR / SAVE_RES_KR / LOAD_INP_KR opcodes; the
+// re-packed payloads are bit-identical to the plain forms), and the
+// simulator hands the image over through an address-mapped on-chip mirror
+// without touching the DRAM port. Chains of such edges form fused segments:
+// small fmaps, FC tails and residual-block interiors on real networks.
+//
+// Legality for keeping layer i's output resident:
+//   * exactly one main consumer reads tensor i+1 (branching tensors must be
+//     re-readable from DRAM by every reader);
+//   * no residual edge reads it (SAVE_RES streams its skip operand from
+//     DRAM by construction);
+//   * it is not the model output (the host collects that from DRAM);
+//   * its padded image fits the residency budget, and at every point of the
+//     schedule the images of all simultaneously-resident tensors fit it
+//     together (overlapping [def, last_use] intervals sum under the budget).
+//
+// The DRAM slot assignment is unchanged for fused tensors — the allocator
+// still hands them addresses, which the resident mirror uses as keys — so
+// unfused programs are bit-identical with the pass enabled.
+#ifndef HDNN_COMPILER_FUSION_H_
+#define HDNN_COMPILER_FUSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "estimator/latency_model.h"
+#include "nn/model.h"
+
+namespace hdnn {
+
+/// On-chip residency budget in 16-bit words: the element capacity of one
+/// input-buffer half (`input_buffer_vectors` vectors of PI words). The
+/// hand-off target is the consumer's input stage, so its buffer rung is the
+/// natural bound on what can stay resident.
+std::int64_t ResidencyBudgetWords(const AccelConfig& cfg);
+
+/// DRAM-image words layer `layer`'s output tensor occupies while resident:
+/// the larger of the producer's padded view and the consumer's padded view
+/// (an FC consumer views the same elements flattened under a different
+/// channel padding), exactly like the liveness allocator sizes its slots.
+std::int64_t TensorResidencyWords(const Model& model, int layer,
+                                  const AccelConfig& cfg);
+
+/// Per-edge legality (everything except the overlapping-residency budget):
+/// true iff layer `layer`'s output may be kept resident at all.
+bool FusableOutput(const Model& model, int layer, const AccelConfig& cfg);
+
+/// The full pass: greedy in layer order, accepts every legal edge whose
+/// image still fits the budget alongside the already-accepted overlapping
+/// residents. Returns one flag per layer: keep that layer's output resident.
+/// Deterministic and mode-independent (fusability depends only on geometry).
+std::vector<bool> PlanFusion(const Model& model, const AccelConfig& cfg);
+
+/// Compiler-side validation of the `fuse_output` flags in a mapping: every
+/// flagged layer must be individually legal and the flagged set must respect
+/// the overlapping-residency budget. Throws CheckError on violation.
+void ValidateFusionFlags(const Model& model,
+                         const std::vector<LayerMapping>& mapping,
+                         const AccelConfig& cfg);
+
+}  // namespace hdnn
+
+#endif  // HDNN_COMPILER_FUSION_H_

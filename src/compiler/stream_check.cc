@@ -12,7 +12,9 @@ constexpr int kPingPongDepth = 2;
 
 class Checker {
  public:
-  explicit Checker(const CompiledModel& cm) : cm_(cm) {}
+  explicit Checker(const CompiledModel& cm)
+      : cm_(cm),
+        resident_slot_(static_cast<std::size_t>(cm.fmap_slots), false) {}
 
   StreamCheckReport Run() {
     ValidateProgram(cm_.program);
@@ -71,6 +73,18 @@ class Checker {
     }
   }
 
+  /// Fmap slot containing `addr`, or -1 when the address is outside the
+  /// uniform slot region (weight/bias images live below cm.fmap_base).
+  int SlotOf(std::int64_t addr) const {
+    if (cm_.fmap_region_words <= 0 || addr < cm_.fmap_base) return -1;
+    const std::int64_t slot = (addr - cm_.fmap_base) / cm_.fmap_region_words;
+    return slot < cm_.fmap_slots ? static_cast<int>(slot) : -1;
+  }
+
+  bool SlotResident(int slot) const {
+    return slot >= 0 && resident_slot_[static_cast<std::size_t>(slot)];
+  }
+
   void CheckLoad(const LoadFields& f) {
     const AccelConfig& cfg = cm_.cfg;
     if (f.op == Opcode::kLoadInp) {
@@ -97,6 +111,19 @@ class Checker {
                        static_cast<std::int64_t>(f.chan_vecs) * cfg.pi - 1;
       if (last >= cm_.total_dram_words) {
         Violation("LOAD_INP reads past the DRAM map");
+      }
+      // Residency legality: a keep-resident LOAD must read one slot whose
+      // image was handed off on chip; a plain LOAD must not read a slot the
+      // DRAM never received (its SAVEs were keep-resident).
+      const int slot = SlotOf(f.dram_base);
+      if (f.keep_resident) {
+        if (!SlotResident(slot)) {
+          Violation("LOAD_INP_KR reads a slot that is not resident");
+        } else if (SlotOf(last) != slot) {
+          Violation("LOAD_INP_KR read spans fmap slots");
+        }
+      } else if (SlotResident(slot)) {
+        Violation("LOAD_INP reads a keep-resident slot from DRAM");
       }
     } else if (f.op == Opcode::kLoadWgt) {
       ++report_.loads_wgt;
@@ -170,9 +197,25 @@ class Checker {
     if (f.dram_base >= cm_.total_dram_words) {
       Violation("SAVE writes past the DRAM map");
     }
+    // Residency bookkeeping: a keep-resident SAVE marks its slot (the
+    // consumer's LOAD_INP_KR will read it); a plain SAVE re-claims the slot
+    // for DRAM (slot reuse after the resident tensor dies).
+    const int dst_slot = SlotOf(f.dram_base);
+    if (f.keep_resident) {
+      if (dst_slot < 0) {
+        Violation("keep-resident SAVE writes outside the fmap slot region");
+      } else {
+        resident_slot_[static_cast<std::size_t>(dst_slot)] = true;
+      }
+    } else if (dst_slot >= 0) {
+      resident_slot_[static_cast<std::size_t>(dst_slot)] = false;
+    }
     if (f.res_add) {
       if (f.pool != 1) {
         Violation("SAVE_RES carries a fused max-pool");
+      }
+      if (SlotResident(SlotOf(f.res_dram_base))) {
+        Violation("SAVE_RES streams its residual from a keep-resident slot");
       }
       if (f.res_dram_base >= cm_.total_dram_words) {
         Violation("SAVE_RES reads its residual past the DRAM map");
@@ -206,6 +249,8 @@ class Checker {
   int cred_inp_ = kPingPongDepth, cred_wgt_ = kPingPongDepth,
       cred_out_ = kPingPongDepth;
   std::vector<int> pending_out_half_;
+  /// Per-fmap-slot residency state in program order (fused hand-offs).
+  std::vector<bool> resident_slot_;
 };
 
 }  // namespace

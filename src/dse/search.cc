@@ -9,6 +9,7 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "compiler/fusion.h"
 #include "platform/power_model.h"
 
 namespace hdnn {
@@ -168,14 +169,13 @@ std::vector<AccelConfig> DseEngine::EnumerateCandidates(
   return configs;
 }
 
-LayerLatencyValue DseEngine::EvaluateLayerMode(const ConvLayer& layer,
-                                               const FmapShape& in,
-                                               ConvMode mode,
-                                               const AccelConfig& cfg,
-                                               bool use_memo) const {
+LayerLatencyValue DseEngine::EvaluateLayerMode(
+    const ConvLayer& layer, const FmapShape& in, ConvMode mode,
+    const AccelConfig& cfg, bool use_memo,
+    const FusionContext& fusion) const {
   LayerLatencyKey key;
   if (use_memo) {
-    key = MakeLatencyKey(layer, in, mode, cfg);
+    key = MakeLatencyKey(layer, in, mode, cfg, fusion);
     LayerLatencyValue cached;
     if (memo_.Lookup(key, &cached)) return cached;
   }
@@ -194,7 +194,7 @@ LayerLatencyValue DseEngine::EvaluateLayerMode(const ConvLayer& layer,
          {Dataflow::kInputStationary, Dataflow::kWeightStationary}) {
       if (!IsLegalCombo(layer, mode, flow, g)) continue;
       const LatencyBreakdown lb =
-          EstimateLayerLatency(layer, in, mode, flow, cfg, spec_);
+          EstimateLayerLatency(layer, in, mode, flow, cfg, spec_, fusion);
       if (lb.total < best) {
         best = lb.total;
         value.feasible = true;
@@ -229,6 +229,74 @@ DseEngine::LayerChoice DseEngine::BestLayerChoice(const ConvLayer& layer,
   return choice;
 }
 
+void DseEngine::ApplyFusion(const Model& model, const AccelConfig& cfg,
+                            const DseOptions& opts,
+                            std::vector<LayerMapping>* mapping,
+                            double* total_cycles) const {
+  if (!opts.fuse_segments) return;
+  const std::vector<bool> plan = PlanFusion(model, cfg);
+  // The sole consumer of each planned tensor (one reader by legality).
+  std::vector<int> consumer(static_cast<std::size_t>(model.num_layers()), -1);
+  for (int j = 0; j < model.num_layers(); ++j) {
+    const int p = model.input_index(j);
+    if (p >= 0 && plan[static_cast<std::size_t>(p)]) {
+      consumer[static_cast<std::size_t>(p)] = j;
+    }
+  }
+
+  // Planned edges form vertex-disjoint paths (one input edge per layer, one
+  // consumer per fused tensor). Walk each maximal chain from its head and
+  // score it fused vs unfused as a unit: mode stays fixed (the hand-off does
+  // not change arithmetic legality), the dataflow is re-picked per layer
+  // under the resident contexts.
+  for (int head = 0; head < model.num_layers(); ++head) {
+    if (!plan[static_cast<std::size_t>(head)]) continue;
+    const int producer = model.input_index(head);
+    if (producer >= 0 && plan[static_cast<std::size_t>(producer)]) {
+      continue;  // interior of a chain; handled from its head
+    }
+    std::vector<int> chain{head};
+    int tail = head;
+    while (plan[static_cast<std::size_t>(tail)]) {
+      tail = consumer[static_cast<std::size_t>(tail)];
+      HDNN_INTERNAL(tail > chain.back()) << "fusion chain is not a path";
+      chain.push_back(tail);
+    }
+
+    double unfused = 0, fused = 0;
+    std::vector<LayerLatencyValue> values;
+    values.reserve(chain.size());
+    bool feasible = true;
+    for (std::size_t k = 0; k < chain.size(); ++k) {
+      const int li = chain[k];
+      const ConvLayer& layer = model.layer(li);
+      const FmapShape in = model.InputOf(li);
+      const ConvMode mode = (*mapping)[static_cast<std::size_t>(li)].mode;
+      FusionContext ctx;
+      ctx.input_resident = k > 0;
+      ctx.output_resident = k + 1 < chain.size();
+      const LayerLatencyValue fv =
+          EvaluateLayerMode(layer, in, mode, cfg, opts.use_memo, ctx);
+      if (!fv.feasible) {
+        feasible = false;
+        break;
+      }
+      values.push_back(fv);
+      fused += fv.total_cycles;
+      unfused +=
+          EvaluateLayerMode(layer, in, mode, cfg, opts.use_memo).total_cycles;
+    }
+    if (!feasible || fused >= unfused) continue;
+
+    for (std::size_t k = 0; k < chain.size(); ++k) {
+      LayerMapping& lm = (*mapping)[static_cast<std::size_t>(chain[k])];
+      lm.fuse_output = k + 1 < chain.size();
+      lm.dataflow = values[k].dataflow;
+    }
+    if (total_cycles) *total_cycles += fused - unfused;
+  }
+}
+
 std::vector<LayerMapping> DseEngine::BestMapping(const Model& model,
                                                  const AccelConfig& cfg,
                                                  const DseOptions& opts,
@@ -247,6 +315,7 @@ std::vector<LayerMapping> DseEngine::BestMapping(const Model& model,
     mapping.push_back(choice.mapping);
     total += choice.cycles;
   }
+  ApplyFusion(model, cfg, opts, &mapping, &total);
   if (total_cycles) *total_cycles = total;
   return mapping;
 }
@@ -261,7 +330,7 @@ DseEngine::Evaluation DseEngine::EvaluateCandidates(
   // Score-level memo: a model geometry this engine has already scored under
   // the same search options is a single lookup.
   const ScoreKey score_key{GeometrySignature(model), opts.allow_winograd,
-                           opts.max_ni, opts.max_pi};
+                           opts.fuse_segments, opts.max_ni, opts.max_pi};
   std::shared_ptr<const std::vector<CandidateScore>> scores;
   if (opts.use_memo) {
     std::lock_guard<std::mutex> lock(score_mu_);
@@ -288,6 +357,7 @@ DseEngine::Evaluation DseEngine::EvaluateCandidates(
         score.mapping.push_back(choice.mapping);
         score.cycles += choice.cycles;
       }
+      ApplyFusion(model, cfg, opts, &score.mapping, &score.cycles);
       score.feasible = true;
       return score;
     };

@@ -64,6 +64,12 @@ struct DseOptions {
   /// Consult / fill the engine's shared latency memo cache. Off recomputes
   /// every query (the pre-memoization behaviour); results are identical.
   bool use_memo = true;
+  /// Score fused segments (compiler/fusion.h): after the per-layer mode /
+  /// dataflow selection, each maximal fusable chain is re-scored with its
+  /// interior DRAM round-trips replaced by on-chip hand-offs (dataflow
+  /// re-picked per layer, mode kept) and adopted when it wins. Off keeps
+  /// every mapping unfused (the pre-fusion behaviour).
+  bool fuse_segments = true;
 
   /// Throws InvalidArgument (via HDNN_CHECK) on out-of-range fields instead
   /// of letting the search silently explore an empty space.
@@ -183,6 +189,7 @@ class DseEngine {
   struct ScoreKey {
     std::vector<int> geometry;
     bool allow_winograd = true;
+    bool fuse_segments = true;
     int max_ni = 0;
     int max_pi = 0;
 
@@ -200,6 +207,16 @@ class DseEngine {
   LayerChoice BestLayerChoice(const ConvLayer& layer, const FmapShape& in,
                               const AccelConfig& cfg,
                               const DseOptions& opts) const;
+
+  /// Fused-segment scoring (opts.fuse_segments): plans the legal fusable
+  /// chains for `cfg`, re-scores each chain with resident hand-offs (mode
+  /// kept, dataflow re-picked) and adopts it when it beats the unfused
+  /// chain. Updates `mapping` (fuse_output + dataflow) and `total_cycles`
+  /// in place. Shared by BestMapping and the candidate fan-out so Explore /
+  /// ExploreFrontier and the compiled result agree on the decision.
+  void ApplyFusion(const Model& model, const AccelConfig& cfg,
+                   const DseOptions& opts, std::vector<LayerMapping>* mapping,
+                   double* total_cycles) const;
 
   /// Steps 1-2 for every candidate: the (possibly score-cached) evaluation,
   /// plus the feasible subset in enumeration order.
@@ -219,12 +236,12 @@ class DseEngine {
   /// Step 3: the legacy tie-break over the scored set.
   DseResult SelectBest(const Evaluation& ev, const DseOptions& opts) const;
 
-  /// Best legal dataflow for (layer, in, mode) on `cfg`, through the memo
-  /// cache when `use_memo`.
+  /// Best legal dataflow for (layer, in, mode) on `cfg` under the fusion
+  /// context, through the memo cache when `use_memo`.
   LayerLatencyValue EvaluateLayerMode(const ConvLayer& layer,
                                       const FmapShape& in, ConvMode mode,
-                                      const AccelConfig& cfg,
-                                      bool use_memo) const;
+                                      const AccelConfig& cfg, bool use_memo,
+                                      const FusionContext& fusion = {}) const;
 
   FpgaSpec spec_;
   ProfileConstants profile_;

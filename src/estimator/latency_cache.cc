@@ -22,7 +22,15 @@ std::uint64_t HashCombine(std::uint64_t seed, std::uint64_t value) {
 
 LayerLatencyKey MakeLatencyKey(const ConvLayer& layer, const FmapShape& in,
                                ConvMode mode, const AccelConfig& cfg) {
+  return MakeLatencyKey(layer, in, mode, cfg, FusionContext{});
+}
+
+LayerLatencyKey MakeLatencyKey(const ConvLayer& layer, const FmapShape& in,
+                               ConvMode mode, const AccelConfig& cfg,
+                               const FusionContext& fusion) {
   LayerLatencyKey key;
+  key.input_resident = fusion.input_resident ? 1 : 0;
+  key.output_resident = fusion.output_resident ? 1 : 0;
   key.in_channels = layer.in_channels;
   key.out_channels = layer.out_channels;
   key.kernel_h = layer.kernel_h;
@@ -47,7 +55,8 @@ LayerLatencyKey MakeLatencyKey(const ConvLayer& layer, const FmapShape& in,
 std::size_t LayerLatencyKeyHash::operator()(const LayerLatencyKey& k) const {
   std::uint64_t h = 0x243f6a8885a308d3ULL;
   for (int v : {k.in_channels, k.out_channels, k.kernel_h, k.kernel_w,
-                k.stride, k.pad, k.pool, k.residual, k.in_height, k.in_width,
+                k.stride, k.pad, k.pool, k.residual, k.input_resident,
+                k.output_resident, k.in_height, k.in_width,
                 static_cast<int>(k.mode), k.pi, k.po, k.pt, k.ni,
                 k.input_buffer_vectors, k.weight_buffer_vectors,
                 k.output_buffer_vectors}) {

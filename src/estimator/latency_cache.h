@@ -21,6 +21,7 @@
 #include <unordered_map>
 
 #include "common/types.h"
+#include "estimator/latency_model.h"
 #include "nn/model.h"
 
 namespace hdnn {
@@ -40,6 +41,8 @@ struct LayerLatencyKey {
   int pad = 0;
   int pool = 0;
   int residual = 0;  ///< 1 when the layer fuses a residual add
+  int input_resident = 0;   ///< 1 when LOAD_INP is an on-chip hand-off
+  int output_resident = 0;  ///< 1 when SAVE is an on-chip hand-off
   int in_height = 0;
   int in_width = 0;
   ConvMode mode = ConvMode::kSpatial;
@@ -55,9 +58,14 @@ struct LayerLatencyKey {
                          const LayerLatencyKey&) = default;
 };
 
-/// Builds the key for one (layer, input, mode, config) query.
+/// Builds the key for one (layer, input, mode, config) query. The overload
+/// with a FusionContext keys fusion-aware queries — resident streams change
+/// the Eq. 10/11 terms, so fused and unfused answers must not collide.
 LayerLatencyKey MakeLatencyKey(const ConvLayer& layer, const FmapShape& in,
                                ConvMode mode, const AccelConfig& cfg);
+LayerLatencyKey MakeLatencyKey(const ConvLayer& layer, const FmapShape& in,
+                               ConvMode mode, const AccelConfig& cfg,
+                               const FusionContext& fusion);
 
 /// splitmix64-style hash combine shared by the memo caches (and usable for
 /// model-geometry hashing in higher cache levels).

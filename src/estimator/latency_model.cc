@@ -150,6 +150,15 @@ LatencyBreakdown EstimateLayerLatency(const ConvLayer& layer,
                                       const FmapShape& in, ConvMode mode,
                                       Dataflow flow, const AccelConfig& cfg,
                                       const FpgaSpec& spec) {
+  return EstimateLayerLatency(layer, in, mode, flow, cfg, spec,
+                              FusionContext{});
+}
+
+LatencyBreakdown EstimateLayerLatency(const ConvLayer& layer,
+                                      const FmapShape& in, ConvMode mode,
+                                      Dataflow flow, const AccelConfig& cfg,
+                                      const FpgaSpec& spec,
+                                      const FusionContext& fusion) {
   HDNN_CHECK(mode == ConvMode::kSpatial || WinogradApplicable(layer))
       << layer.name << ": Winograd requires stride 1";
   const FmapShape out = layer.ConvOutput(in);
@@ -238,9 +247,18 @@ LatencyBreakdown EstimateLayerLatency(const ConvLayer& layer,
   const double halo =
       std::min(std::max(rows_swept / H, 1.0), 2.0) *
       std::min(std::max(cols_swept / W, 1.0), 2.0);
-  lb.t_ldi = Cp * H * W * halo /
-             std::min(bw, static_cast<double>(cfg.pi) * cfg.pt);
-  lb.t_sv = Kp * OHt * OWt / std::min(bw, static_cast<double>(cfg.po) * cfg.pt);
+  // A resident stream is an on-chip hand-off: it moves at the full datapath
+  // width with no bandwidth bound (keep-resident LOAD/SAVE never touch the
+  // DRAM port in the simulator).
+  lb.t_ldi =
+      fusion.input_resident
+          ? Cp * H * W * halo / (static_cast<double>(cfg.pi) * cfg.pt)
+          : Cp * H * W * halo /
+                std::min(bw, static_cast<double>(cfg.pi) * cfg.pt);
+  lb.t_sv = fusion.output_resident
+                ? Kp * OHt * OWt / (static_cast<double>(cfg.po) * cfg.pt)
+                : Kp * OHt * OWt /
+                      std::min(bw, static_cast<double>(cfg.po) * cfg.pt);
   // A fused residual add streams the skip tensor back in through the SAVE
   // stage: one extra DRAM read per written element (real positions only —
   // residual layers cannot pool, so reads = Kp * OH * OW).
@@ -268,13 +286,33 @@ LatencyBreakdown EstimateLayerLatency(const ConvLayer& layer,
   const double t_ldw_g = lb.t_ldw / gk;
   const double t_sv_g = lb.t_sv / (ng * gk);
   const double n_groups_total = ng * gk * slices;
+  // Burst setups: `ng` LOAD_INP transactions plus `ng*gk` SAVE transactions
+  // — each dropped when the corresponding stream is an on-chip hand-off.
+  const double burst_transactions =
+      (fusion.input_resident ? 0.0 : ng) +
+      (fusion.output_resident ? 0.0 : ng * gk);
   lb.penalty = t_ldi_g + t_ldw_g + t_sv_g +
                n_groups_total * kGroupOverheadCycles +
-               (ng + ng * gk) * kBurstOverheadCycles;
-  // Each residual SAVE issues a second DRAM transaction for the skip read.
+               burst_transactions * kBurstOverheadCycles;
+  // Each residual SAVE issues a second DRAM transaction for the skip read
+  // (the skip operand streams from DRAM even when the output is resident).
   if (layer.has_residual()) lb.penalty += ng * gk * kBurstOverheadCycles;
   lb.total = body + lb.penalty;
   return lb;
+}
+
+FusionContext FusionContextOf(const Model& model,
+                              const std::vector<LayerMapping>& mapping,
+                              int layer) {
+  HDNN_CHECK(static_cast<int>(mapping.size()) == model.num_layers())
+      << "mapping size " << mapping.size() << " vs " << model.num_layers()
+      << " layers";
+  FusionContext ctx;
+  ctx.output_resident = mapping[static_cast<std::size_t>(layer)].fuse_output;
+  const int producer = model.input_index(layer);
+  ctx.input_resident =
+      producer >= 0 && mapping[static_cast<std::size_t>(producer)].fuse_output;
+  return ctx;
 }
 
 double EstimateModelLatencyCycles(const Model& model,
@@ -288,7 +326,8 @@ double EstimateModelLatencyCycles(const Model& model,
   for (int i = 0; i < model.num_layers(); ++i) {
     const auto& lm = mapping[static_cast<std::size_t>(i)];
     total += EstimateLayerLatency(model.layer(i), model.InputOf(i), lm.mode,
-                                  lm.dataflow, cfg, spec)
+                                  lm.dataflow, cfg, spec,
+                                  FusionContextOf(model, mapping, i))
                  .total;
   }
   return total;

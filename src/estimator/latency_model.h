@@ -55,6 +55,15 @@ struct LatencyBreakdown {
   double Seconds(double freq_mhz) const { return total / (freq_mhz * 1e6); }
 };
 
+/// Fused-segment residency context of one layer (compiler/fusion.h): which
+/// of its fmap streams are on-chip hand-offs instead of DRAM transfers.
+struct FusionContext {
+  bool input_resident = false;   ///< LOAD_INP reads the resident mirror
+  bool output_resident = false;  ///< SAVE writes the resident mirror
+
+  friend bool operator==(const FusionContext&, const FusionContext&) = default;
+};
+
 /// Eqs. 6-15 for one layer under (mode, dataflow). `ni` instances share the
 /// platform DRAM bandwidth (spec.bandwidth_per_instance_gbps).
 LatencyBreakdown EstimateLayerLatency(const ConvLayer& layer,
@@ -62,13 +71,34 @@ LatencyBreakdown EstimateLayerLatency(const ConvLayer& layer,
                                       Dataflow flow, const AccelConfig& cfg,
                                       const FpgaSpec& spec);
 
-/// Per-layer mapping decision (the DSE's SW parameters, paper Table 2).
+/// Fusion-aware overload: a resident input elides the LOAD_INP bandwidth
+/// bound and burst setups (the hand-off moves at the PI*PT datapath width);
+/// a resident output does the same for SAVE. The residual stream of a
+/// SAVE_RES layer always prices as DRAM traffic — skip operands are never
+/// resident. The plain overload is exactly FusionContext{}.
+LatencyBreakdown EstimateLayerLatency(const ConvLayer& layer,
+                                      const FmapShape& in, ConvMode mode,
+                                      Dataflow flow, const AccelConfig& cfg,
+                                      const FpgaSpec& spec,
+                                      const FusionContext& fusion);
+
+/// Per-layer mapping decision (the DSE's SW parameters, paper Table 2),
+/// plus the fused-segment decision of the compiler pass: `fuse_output`
+/// keeps this layer's output resident on chip for its sole consumer.
 struct LayerMapping {
   ConvMode mode = ConvMode::kSpatial;
   Dataflow dataflow = Dataflow::kInputStationary;
+  bool fuse_output = false;
 
   friend bool operator==(const LayerMapping&, const LayerMapping&) = default;
 };
+
+/// Residency context of layer `i` under a mapping's fuse_output flags:
+/// output_resident is the layer's own flag, input_resident is its
+/// producer's (the model input is never resident).
+FusionContext FusionContextOf(const Model& model,
+                              const std::vector<LayerMapping>& mapping,
+                              int layer);
 
 /// Sum of per-layer latencies for a whole model under a fixed mapping.
 double EstimateModelLatencyCycles(const Model& model,

@@ -10,7 +10,8 @@ namespace {
 
 std::string DisassembleLoad(const LoadFields& f) {
   std::ostringstream out;
-  out << OpcodeName(f.op) << " dept=0x" << std::hex << int{f.dept} << std::dec
+  out << (f.keep_resident ? "LOAD_INP_KR" : OpcodeName(f.op)) << " dept=0x"
+      << std::hex << int{f.dept} << std::dec
       << " buff=" << int{f.buff_id} << " base=" << f.buff_base
       << " dram=" << f.dram_base << " rows=" << f.rows << " cols=" << f.cols
       << " cv=" << f.chan_vecs << " aux=" << f.aux << " pitch=" << f.pitch
@@ -39,7 +40,9 @@ std::string DisassembleComp(const CompFields& f) {
 
 std::string DisassembleSave(const SaveFields& f) {
   std::ostringstream out;
-  out << (f.res_add ? "SAVE_RES" : "SAVE") << " dept=0x" << std::hex
+  out << (f.res_add ? (f.keep_resident ? "SAVE_RES_KR" : "SAVE_RES")
+                    : (f.keep_resident ? "SAVE_KR" : "SAVE"))
+      << " dept=0x" << std::hex
       << int{f.dept} << std::dec
       << " buff=" << int{f.buff_id} << " base=" << f.buff_base
       << " dram=" << f.dram_base << " rows=" << int{f.rows}
@@ -108,9 +111,11 @@ class KvScanner {
   std::map<std::string, std::string> kv_;
 };
 
-Instruction AssembleLoad(Opcode op, const KvScanner& kv) {
+Instruction AssembleLoad(Opcode op, const KvScanner& kv,
+                         bool keep_resident = false) {
   LoadFields f;
   f.op = op;
+  f.keep_resident = keep_resident;
   f.dept = static_cast<std::uint8_t>(kv.Get("dept"));
   f.buff_id = static_cast<std::uint8_t>(kv.Get("buff"));
   f.buff_base = static_cast<std::uint32_t>(kv.Get("base"));
@@ -154,8 +159,10 @@ Instruction AssembleComp(const KvScanner& kv) {
   return Encode(f);
 }
 
-Instruction AssembleSave(const KvScanner& kv, bool res_add) {
+Instruction AssembleSave(const KvScanner& kv, bool res_add,
+                         bool keep_resident = false) {
   SaveFields f;
+  f.keep_resident = keep_resident;
   f.dept = static_cast<std::uint8_t>(kv.Get("dept"));
   f.buff_id = static_cast<std::uint8_t>(kv.Get("buff"));
   f.buff_base = static_cast<std::uint16_t>(kv.Get("base"));
@@ -209,11 +216,20 @@ Instruction AssembleLine(const std::string& line) {
   if (!(in >> mnemonic)) throw ParseError("empty instruction line");
   const KvScanner kv(in);
   if (mnemonic == "LOAD_INP") return AssembleLoad(Opcode::kLoadInp, kv);
+  if (mnemonic == "LOAD_INP_KR") {
+    return AssembleLoad(Opcode::kLoadInp, kv, /*keep_resident=*/true);
+  }
   if (mnemonic == "LOAD_WGT") return AssembleLoad(Opcode::kLoadWgt, kv);
   if (mnemonic == "LOAD_BIAS") return AssembleLoad(Opcode::kLoadBias, kv);
   if (mnemonic == "COMP") return AssembleComp(kv);
   if (mnemonic == "SAVE") return AssembleSave(kv, /*res_add=*/false);
   if (mnemonic == "SAVE_RES") return AssembleSave(kv, /*res_add=*/true);
+  if (mnemonic == "SAVE_KR") {
+    return AssembleSave(kv, /*res_add=*/false, /*keep_resident=*/true);
+  }
+  if (mnemonic == "SAVE_RES_KR") {
+    return AssembleSave(kv, /*res_add=*/true, /*keep_resident=*/true);
+  }
   if (mnemonic == "NOP" || mnemonic == "END") {
     CtrlFields f;
     f.op = mnemonic == "NOP" ? Opcode::kNop : Opcode::kEnd;

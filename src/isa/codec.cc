@@ -93,8 +93,11 @@ Instruction EncodeLoad(const LoadFields& f) {
   HDNN_CHECK(f.op == Opcode::kLoadInp || f.op == Opcode::kLoadWgt ||
              f.op == Opcode::kLoadBias)
       << "EncodeLoad with non-load opcode";
+  HDNN_CHECK(!f.keep_resident || f.op == Opcode::kLoadInp)
+      << "keep_resident applies to LOAD_INP only";
   Word128 w;
-  EncodeHeader(w, f.op, f.dept, f.buff_id);
+  EncodeHeader(w, f.keep_resident ? Opcode::kLoadInpKr : f.op, f.dept,
+               f.buff_id);
   SetField(w, load::kBuffBasePos, load::kBuffBaseBits, f.buff_base);
   SetField(w, load::kDramBasePos, load::kDramBaseBits, f.dram_base);
   SetField(w, load::kRowsPos, load::kRowsBits, f.rows);
@@ -113,7 +116,10 @@ Instruction EncodeLoad(const LoadFields& f) {
 
 LoadFields DecodeLoad(const Word128& w, Opcode op) {
   LoadFields f;
-  f.op = op;
+  // The residency flag lives in the opcode (the payload is fully packed);
+  // `op` stays the architectural LOAD_INP.
+  f.keep_resident = op == Opcode::kLoadInpKr;
+  f.op = f.keep_resident ? Opcode::kLoadInp : op;
   f.dept = static_cast<std::uint8_t>(GetField(w, kDeptPos, kDeptBits));
   f.buff_id = static_cast<std::uint8_t>(GetField(w, kBuffIdPos, kBuffIdBits));
   f.buff_base =
@@ -221,7 +227,8 @@ Instruction EncodeSave(const SaveFields& f) {
   if (!f.res_add) {
     HDNN_CHECK(!f.relu)
         << "SAVE without a residual add cannot carry a ReLU (COMP fuses it)";
-    EncodeHeader(w, Opcode::kSave, f.dept, f.buff_id);
+    EncodeHeader(w, f.keep_resident ? Opcode::kSaveKr : Opcode::kSave, f.dept,
+                 f.buff_id);
     SetField(w, save::kBuffBasePos, save::kBuffBaseBits, f.buff_base);
     SetField(w, save::kDramBasePos, save::kDramBaseBits, f.dram_base);
     SetField(w, save::kRowsPos, save::kRowsBits, f.rows);
@@ -245,7 +252,8 @@ Instruction EncodeSave(const SaveFields& f) {
   CheckFits(f.out_h, save_res::kDimBits, "out_h");
   CheckFits(f.out_w, save_res::kDimBits, "out_w");
   CheckFits(f.oc_pitch, save_res::kOcPitchBits, "oc_pitch");
-  EncodeHeader(w, Opcode::kSaveRes, f.dept, f.buff_id);
+  EncodeHeader(w, f.keep_resident ? Opcode::kSaveResKr : Opcode::kSaveRes,
+               f.dept, f.buff_id);
   SetField(w, save_res::kBuffBasePos, save_res::kBuffBaseBits, f.buff_base);
   SetField(w, save_res::kDramBasePos, save_res::kDramBaseBits, f.dram_base);
   SetField(w, save_res::kResDramBasePos, save_res::kResDramBaseBits,
@@ -265,9 +273,10 @@ Instruction EncodeSave(const SaveFields& f) {
 
 SaveFields DecodeSave(const Word128& w, Opcode op) {
   SaveFields f;
+  f.keep_resident = op == Opcode::kSaveKr || op == Opcode::kSaveResKr;
   f.dept = static_cast<std::uint8_t>(GetField(w, kDeptPos, kDeptBits));
   f.buff_id = static_cast<std::uint8_t>(GetField(w, kBuffIdPos, kBuffIdBits));
-  if (op == Opcode::kSave) {
+  if (op == Opcode::kSave || op == Opcode::kSaveKr) {
     f.buff_base = static_cast<std::uint16_t>(
         GetField(w, save::kBuffBasePos, save::kBuffBaseBits));
     f.dram_base = static_cast<std::uint32_t>(
@@ -331,6 +340,12 @@ const char* OpcodeName(Opcode op) {
       return "SAVE_RES";
     case Opcode::kEnd:
       return "END";
+    case Opcode::kSaveKr:
+      return "SAVE_KR";
+    case Opcode::kSaveResKr:
+      return "SAVE_RES_KR";
+    case Opcode::kLoadInpKr:
+      return "LOAD_INP_KR";
   }
   return "INVALID";
 }
@@ -350,9 +365,14 @@ const char* SaveLayoutName(SaveLayout layout) {
 }
 
 Opcode OpcodeOf(const InstrFields& fields) {
-  if (const auto* l = std::get_if<LoadFields>(&fields)) return l->op;
+  if (const auto* l = std::get_if<LoadFields>(&fields)) {
+    return l->keep_resident ? Opcode::kLoadInpKr : l->op;
+  }
   if (std::holds_alternative<CompFields>(fields)) return Opcode::kComp;
   if (const auto* s = std::get_if<SaveFields>(&fields)) {
+    if (s->keep_resident) {
+      return s->res_add ? Opcode::kSaveResKr : Opcode::kSaveKr;
+    }
     return s->res_add ? Opcode::kSaveRes : Opcode::kSave;
   }
   return std::get<CtrlFields>(fields).op;
@@ -381,6 +401,9 @@ Opcode PeekOpcode(const Instruction& instr) {
     case 5:
     case 6:
     case 7:
+    case 8:
+    case 9:
+    case 10:
       return static_cast<Opcode>(raw);
     default:
       throw InvalidArgument("invalid opcode " + std::to_string(raw));
@@ -393,11 +416,14 @@ InstrFields Decode(const Instruction& instr) {
     case Opcode::kLoadInp:
     case Opcode::kLoadWgt:
     case Opcode::kLoadBias:
+    case Opcode::kLoadInpKr:
       return DecodeLoad(instr, op);
     case Opcode::kComp:
       return DecodeComp(instr);
     case Opcode::kSave:
     case Opcode::kSaveRes:
+    case Opcode::kSaveKr:
+    case Opcode::kSaveResKr:
       return DecodeSave(instr, op);
     case Opcode::kNop:
     case Opcode::kEnd: {

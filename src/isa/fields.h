@@ -29,11 +29,27 @@ enum class Opcode : std::uint8_t {
   kSave = 5,
   kSaveRes = 6,  ///< SAVE with a fused residual add (see SaveFields)
   kEnd = 7,
+  // Keep-resident variants for fused segments: the fmap stays in the
+  // accelerator's resident store instead of round-tripping through DRAM.
+  // The LOAD and plain-SAVE payloads are fully allocated (116 bits), so the
+  // residency flag lives in the opcode; the payload layouts are reused
+  // verbatim and the plain encodings (1/5/6) stay bit-identical.
+  kSaveKr = 8,      ///< SAVE whose destination stays on chip
+  kSaveResKr = 9,   ///< SAVE_RES whose destination stays on chip
+  kLoadInpKr = 10,  ///< LOAD_INP whose source is the resident store
 };
 
-/// SAVE and SAVE_RES execute on the same module and share SaveFields.
+/// SAVE / SAVE_RES and their keep-resident variants execute on the same
+/// module and share SaveFields.
 inline bool IsSaveOpcode(Opcode op) {
-  return op == Opcode::kSave || op == Opcode::kSaveRes;
+  return op == Opcode::kSave || op == Opcode::kSaveRes ||
+         op == Opcode::kSaveKr || op == Opcode::kSaveResKr;
+}
+
+/// LOAD_INP and its keep-resident variant execute on the same module and
+/// share LoadFields.
+inline bool IsLoadInpOpcode(Opcode op) {
+  return op == Opcode::kLoadInp || op == Opcode::kLoadInpKr;
 }
 
 const char* OpcodeName(Opcode op);
@@ -79,6 +95,11 @@ struct LoadFields {
   std::uint8_t pad_t = 0, pad_b = 0, pad_l = 0, pad_r = 0;
   bool wino = false;
   std::uint8_t wino_offset = 0;   ///< informational slice index (3 bits)
+  /// Fused segments: read the rectangle from the resident store instead of
+  /// DRAM (LOAD_INP only; encoded as opcode kLoadInpKr — `op` stays the
+  /// architectural kLoadInp). The addressing fields keep their meaning: the
+  /// resident store mirrors the tensor's DRAM slot addresses.
+  bool keep_resident = false;
 
   friend bool operator==(const LoadFields&, const LoadFields&) = default;
 };
@@ -154,6 +175,11 @@ struct SaveFields {
   bool relu = false;             ///< ReLU after the add (COMP defers it here)
   std::uint32_t res_dram_base = 0;  ///< residual source word address
                                     ///< (k0 and group origin folded in)
+  /// Fused segments: write the group to the resident store instead of DRAM
+  /// (encoded as opcode kSaveKr / kSaveResKr). A SAVE_RES keep-resident
+  /// still reads its residual operand from DRAM — only the destination
+  /// stays on chip.
+  bool keep_resident = false;
 
   friend bool operator==(const SaveFields&, const SaveFields&) = default;
 };

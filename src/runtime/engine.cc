@@ -50,6 +50,9 @@ std::uint64_t ModelStructuralHash(const Model& model,
   for (const LayerMapping& m : mapping) {
     HashMix(h, static_cast<std::uint64_t>(m.mode));
     HashMix(h, static_cast<std::uint64_t>(m.dataflow));
+    // The fused-segment decision changes the emitted opcodes (SAVE_KR /
+    // LOAD_INP_KR), so fused and unfused compiles must not share an entry.
+    HashMix(h, static_cast<std::uint64_t>(m.fuse_output));
   }
   return h;
 }

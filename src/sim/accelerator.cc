@@ -140,6 +140,25 @@ Accelerator::Accelerator(const AccelConfig& cfg, const FpgaSpec& spec,
   bias_buf_.assign(static_cast<std::size_t>(2 * kBiasCapacity), 0);
 }
 
+std::int16_t* Accelerator::ResidentSpan(std::int64_t addr, std::int64_t words) {
+  HDNN_CHECK(addr >= 0 && words >= 0) << "negative resident-store range";
+  if (resident_.empty()) {
+    resident_base_ = addr;
+    resident_.assign(static_cast<std::size_t>(words), 0);
+  }
+  if (addr < resident_base_) {
+    // Extend downwards (a later fused tensor's slot below the first one).
+    resident_.insert(resident_.begin(),
+                     static_cast<std::size_t>(resident_base_ - addr), 0);
+    resident_base_ = addr;
+  }
+  const std::int64_t hi = addr + words - resident_base_;
+  if (hi > static_cast<std::int64_t>(resident_.size())) {
+    resident_.resize(static_cast<std::size_t>(hi), 0);
+  }
+  return resident_.data() + static_cast<std::size_t>(addr - resident_base_);
+}
+
 void Accelerator::EnsureAccum(std::int64_t size, bool clear) {
   // Grows monotonically and is zeroed in place on accum_clear, so the
   // steady-state COMP loop never reallocates the accumulation buffer.
@@ -170,6 +189,13 @@ Accelerator::ExecResult Accelerator::ExecLoadInp(const LoadFields& f) {
     // ch = v*PI + lane, so each pixel is a cp-contiguous run and a full slab
     // row is slab_cols*cp-contiguous. Padding is bulk zero-fill; fetched
     // data moves as layout-aware contiguous DRAM runs (see header contract).
+    // Keep-resident loads read the same addresses from the resident store
+    // (same layout, same slot base) without touching the DramModel.
+    const auto read_run = [&](std::int64_t addr,
+                              std::int64_t n) -> const std::int16_t* {
+      if (f.keep_resident) return ResidentSpan(addr, n);
+      return dram_.ReadRun(addr, n).data();
+    };
     std::int32_t* const dst0 =
         input_buf_.data() +
         static_cast<std::size_t>((half_base + f.buff_base) * cfg_.pi);
@@ -193,14 +219,14 @@ Accelerator::ExecResult Accelerator::ExecLoadInp(const LoadFields& f) {
         // SPAT DDR layout (channel innermost): addr = base + (dr*pitch +
         // dc)*cp + ch, so the whole fmap row is one cols*cp-contiguous run
         // regardless of the column tile's pitch.
-        const auto src =
-            dram_.ReadRun(f.dram_base + dr * f.pitch * cp, inner_elems);
-        WidenRun(src.data(), dst_in, inner_elems);
+        const std::int16_t* const src =
+            read_run(f.dram_base + dr * f.pitch * cp, inner_elems);
+        WidenRun(src, dst_in, inner_elems);
       } else {
         // WINO DDR layout (channel outermost): per channel the fmap row is a
         // cols-contiguous run, scattered into the slab with stride cp.
         for (std::int64_t ch = 0; ch < cp; ++ch) {
-          const auto src = dram_.ReadRun(
+          const std::int16_t* const src = read_run(
               f.dram_base + ch * f.aux * f.pitch + dr * f.pitch, f.cols);
           std::int32_t* const dst_ch = dst_in + ch;
           for (int c = 0; c < f.cols; ++c) {
@@ -210,6 +236,18 @@ Accelerator::ExecResult Accelerator::ExecLoadInp(const LoadFields& f) {
         }
       }
     }
+  }
+
+  if (f.keep_resident) {
+    // On-chip hand-off: no DRAM port transaction and no burst setup; the
+    // buffer write port still absorbs the full slab (no row-ring reuse —
+    // the resident store is not the line buffer), and the ring's contents
+    // no longer track DRAM, so the next plain load reloads in full.
+    prev_load_ = PrevLoad{};
+    ExecResult res;
+    res.busy_cycles = static_cast<double>(f.rows) * f.cols * cp /
+                      (static_cast<double>(cfg_.pi) * cfg_.pt);
+    return res;
   }
 
   // Line-buffer row reuse: the input buffer's fmap-row partitioning
@@ -680,6 +718,14 @@ Accelerator::ExecResult Accelerator::ExecSave(const SaveFields& f) {
         output_buf_.data() +
         static_cast<std::size_t>((half_base + f.buff_base) * cfg_.po);
     const std::int64_t hw = static_cast<std::int64_t>(f.out_h) * f.out_w;
+    // Keep-resident SAVEs write the resident store at the same addresses a
+    // plain SAVE would write DRAM; residual operands always stream from
+    // DRAM (residual sources are never fused).
+    const auto write_run = [&](std::int64_t addr,
+                               std::int64_t n) -> std::int16_t* {
+      if (f.keep_resident) return ResidentSpan(addr, n);
+      return dram_.WriteRun(addr, n).data();
+    };
     // Saturating residual fuse shared by both layout paths (pool == 1 is
     // guaranteed for SAVE_RES, so `acc` is always the raw COMP emit).
     const auto fuse_res = [&](std::int64_t acc, std::int64_t res) {
@@ -726,25 +772,23 @@ Accelerator::ExecResult Accelerator::ExecSave(const SaveFields& f) {
           }
           const std::int64_t pos = static_cast<std::int64_t>(pr) * f.out_w +
                                    pc;
-          const auto dst = dram_.WriteRun(f.dram_base + pos * f.oc_pitch,
-                                          group_ch);
+          std::int16_t* const dst =
+              write_run(f.dram_base + pos * f.oc_pitch, group_ch);
           if (!f.res_add) {
-            NarrowRun(src, dst.data(), group_ch);
+            NarrowRun(src, dst, group_ch);
           } else if (!f.res_wino) {
             // Residual source is channel-innermost too: one matching run.
             const auto res =
                 dram_.ReadRun(f.res_dram_base + pos * f.oc_pitch, group_ch);
             for (std::int64_t ch = 0; ch < group_ch; ++ch) {
-              dst[static_cast<std::size_t>(ch)] =
-                  fuse_res(src[ch], res[static_cast<std::size_t>(ch)]);
+              dst[ch] = fuse_res(src[ch], res[static_cast<std::size_t>(ch)]);
             }
           } else {
             // Cross-layout residual (WINO source into a SPAT write): the
             // skip operand is channel-strided, so it streams word-wise.
             for (std::int64_t ch = 0; ch < group_ch; ++ch) {
               const std::int64_t raddr = f.res_dram_base + ch * hw + pos;
-              dst[static_cast<std::size_t>(ch)] =
-                  fuse_res(src[ch], dram_.Read(raddr));
+              dst[ch] = fuse_res(src[ch], dram_.Read(raddr));
             }
           }
         }
@@ -754,7 +798,8 @@ Accelerator::ExecResult Accelerator::ExecSave(const SaveFields& f) {
         const std::int32_t* const src_ch = out0 + ch;
         for (int pr = 0; pr < prows; ++pr) {
           const std::int64_t pos0 = static_cast<std::int64_t>(pr) * f.out_w;
-          const auto dst = dram_.WriteRun(f.dram_base + ch * hw + pos0, pcols);
+          std::int16_t* const dst = write_run(f.dram_base + ch * hw + pos0,
+                                              pcols);
           // Buffer source for this (channel, row): stride-group_ch gather.
           const std::int32_t* const src_row =
               src_ch + static_cast<std::int64_t>(pr) * pool * slab_cols *
@@ -805,8 +850,24 @@ Accelerator::ExecResult Accelerator::ExecSave(const SaveFields& f) {
   }
 
   ExecResult res;
-  res.dram_words =
+  const std::int64_t group_words =
       static_cast<std::int64_t>(prows) * pcols * f.oc_vecs * cfg_.po;
+  res.busy_cycles =
+      static_cast<double>(f.rows) * slab_cols * f.oc_vecs / cfg_.pt;
+  if (f.keep_resident) {
+    // The destination stays on chip: no written words cross the port. A
+    // residual operand (never fused) still streams in from DRAM with its
+    // own burst setup.
+    res.res_read_words = f.res_add ? group_words : 0;
+    if (f.res_add) {
+      res.port_cycles = static_cast<double>(res.res_read_words) /
+                            bw_elems_per_cycle_ +
+                        kBurstOverheadCycles;
+      res.uses_port = true;
+    }
+    return res;
+  }
+  res.dram_words = group_words;
   // The residual operand streams in through the same fmap port: one extra
   // read word per written word, plus its own burst setup.
   res.res_read_words = f.res_add ? res.dram_words : 0;
@@ -814,8 +875,6 @@ Accelerator::ExecResult Accelerator::ExecSave(const SaveFields& f) {
       static_cast<double>(res.dram_words + res.res_read_words) /
           bw_elems_per_cycle_ +
       kBurstOverheadCycles * (f.res_add ? 2.0 : 1.0);
-  res.busy_cycles =
-      static_cast<double>(f.rows) * slab_cols * f.oc_vecs / cfg_.pt;
   res.uses_port = true;
   return res;
 }
@@ -837,6 +896,10 @@ SimStats Accelerator::Run(const DecodedProgram& prog) {
   // accum_clear=false; capacity is kept, so steady state stays
   // allocation-free.
   accum_.clear();
+  // Drop the resident store so fused programs start from the same all-zero
+  // mirror every inference (matching DramModel::Reset's zeroing).
+  resident_.clear();
+  resident_base_ = 0;
   if (functional_) {
     std::fill(input_buf_.begin(), input_buf_.end(), 0);
     std::fill(weight_buf_.begin(), weight_buf_.end(), 0);
@@ -900,6 +963,7 @@ SimStats Accelerator::Run(const DecodedProgram& prog) {
         std::max(module_time[static_cast<std::size_t>(mod)], dispatch(i));
     switch (op) {
       case Opcode::kLoadInp:
+      case Opcode::kLoadInpKr:
         if (dept & kWaitCredit) {
           if (cred_inp.Empty()) return false;
           start = std::max(start, cred_inp.FrontTime());
@@ -932,6 +996,8 @@ SimStats Accelerator::Run(const DecodedProgram& prog) {
         break;
       case Opcode::kSave:
       case Opcode::kSaveRes:
+      case Opcode::kSaveKr:
+      case Opcode::kSaveResKr:
         if (dept & kWaitData0) {
           if (tok_out.Empty()) return false;
           start = std::max(start, tok_out.FrontTime());
@@ -968,6 +1034,7 @@ SimStats Accelerator::Run(const DecodedProgram& prog) {
         std::max(module_time[static_cast<std::size_t>(mod)], dispatch(i));
     switch (op) {
       case Opcode::kLoadInp:
+      case Opcode::kLoadInpKr:
         if (dept & kWaitCredit) start = cred_inp.PopAfter(start);
         if (dept & kWaitData0) start = tok_layer.PopAfter(start);
         break;
@@ -982,6 +1049,8 @@ SimStats Accelerator::Run(const DecodedProgram& prog) {
         break;
       case Opcode::kSave:
       case Opcode::kSaveRes:
+      case Opcode::kSaveKr:
+      case Opcode::kSaveResKr:
         if (dept & kWaitData0) start = tok_out.PopAfter(start);
         break;
       default:
@@ -992,6 +1061,7 @@ SimStats Accelerator::Run(const DecodedProgram& prog) {
     ExecResult res;
     switch (op) {
       case Opcode::kLoadInp:
+      case Opcode::kLoadInpKr:
         res = ExecLoadInp(std::get<LoadFields>(f));
         break;
       case Opcode::kLoadWgt:
@@ -1005,6 +1075,8 @@ SimStats Accelerator::Run(const DecodedProgram& prog) {
         break;
       case Opcode::kSave:
       case Opcode::kSaveRes:
+      case Opcode::kSaveKr:
+      case Opcode::kSaveResKr:
         res = ExecSave(std::get<SaveFields>(f));
         break;
       default:
@@ -1050,6 +1122,7 @@ SimStats Accelerator::Run(const DecodedProgram& prog) {
 
     switch (op) {
       case Opcode::kLoadInp:
+      case Opcode::kLoadInpKr:
         if (dept & kEmitData) tok_inp.Push(end);
         break;
       case Opcode::kLoadWgt:
@@ -1063,6 +1136,8 @@ SimStats Accelerator::Run(const DecodedProgram& prog) {
         break;
       case Opcode::kSave:
       case Opcode::kSaveRes:
+      case Opcode::kSaveKr:
+      case Opcode::kSaveResKr:
         if (dept & kEmitCredit0) cred_out.Push(end);
         if (dept & kEmitData) tok_layer.Push(end);
         break;

@@ -109,6 +109,12 @@ class Accelerator {
   ExecResult ExecComp(const CompFields& f);
   ExecResult ExecSave(const SaveFields& f);
 
+  /// Fused-segment resident store access: returns a pointer to `words`
+  /// mirror words at DRAM address `addr`, growing the zero-filled mirror to
+  /// cover the range (zero matches DRAM semantics — DramModel::Reset zeroes
+  /// per inference, so never-written pad channels read identically).
+  std::int16_t* ResidentSpan(std::int64_t addr, std::int64_t words);
+
   void CompWinograd(const CompFields& f);
   void CompSpatial(const CompFields& f);
   void EmitWinograd(const CompFields& f);
@@ -133,6 +139,15 @@ class Accelerator {
     std::uint16_t rows = 0, cols = 0, chan_vecs = 0, pitch = 0, aux = 0;
     bool wino = false;
   } prev_load_;
+
+  /// Fused-segment resident store: keep-resident SAVEs write here instead
+  /// of DRAM, and keep-resident LOAD_INPs read it back — the on-chip
+  /// hand-off between fused layers. It is address-mapped over the DRAM fmap
+  /// slots (`resident_[addr - resident_base_]`), so re-packed SAVE/LOAD
+  /// payloads keep their DRAM addressing untouched; lazily grown and reset
+  /// each Run.
+  std::vector<std::int16_t> resident_;
+  std::int64_t resident_base_ = 0;
 
   // Element-granular buffer storage (halves concatenated).
   std::vector<std::int32_t> input_buf_;   // 2 * vectors * PI

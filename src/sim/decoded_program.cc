@@ -7,6 +7,7 @@ namespace hdnn {
 SimModule SimModuleOf(Opcode op) {
   switch (op) {
     case Opcode::kLoadInp:
+    case Opcode::kLoadInpKr:
       return kModLdi;
     case Opcode::kLoadWgt:
     case Opcode::kLoadBias:
@@ -15,6 +16,8 @@ SimModule SimModuleOf(Opcode op) {
       return kModComp;
     case Opcode::kSave:
     case Opcode::kSaveRes:
+    case Opcode::kSaveKr:
+    case Opcode::kSaveResKr:
       return kModSave;
     default:
       throw InternalError("control opcode has no module");

@@ -102,7 +102,11 @@ TEST(DseExploreTest, BestMappingMatchesPerLayerMinimum) {
   cfg.pi = cfg.po = 4;
   cfg.pt = 4;
   double total = 0;
-  const auto mapping = dse.BestMapping(m, cfg, DseOptions{}, &total);
+  // The brute force below prices every layer unfused, so the fused-segment
+  // pass (which beats per-layer minima by construction) must stay off.
+  DseOptions opts;
+  opts.fuse_segments = false;
+  const auto mapping = dse.BestMapping(m, cfg, opts, &total);
   ASSERT_EQ(static_cast<int>(mapping.size()), m.num_layers());
   // Recompute each layer's best by brute force.
   double brute = 0;

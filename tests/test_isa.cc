@@ -206,7 +206,7 @@ TEST(CodecTest, OpcodeNames) {
 
 TEST(CodecTest, PeekOpcodeRejectsInvalid) {
   Word128 w;
-  SetField(w, 124, 4, 9);  // not a defined opcode
+  SetField(w, 124, 4, 13);  // not a defined opcode (11-15 are unassigned)
   EXPECT_THROW(PeekOpcode(w), InvalidArgument);
 }
 

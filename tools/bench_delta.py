@@ -9,8 +9,12 @@ run's artifacts, if cached), and prints one aligned items/s table per file.
 Schema-agnostic: any array of objects is treated as rows (labelled by its
 "name" field or its workers/batch/platform/model fields), and any numeric
 field whose key names a rate (items_per_s, *gops, speedup) becomes a column
-entry. Files without a baseline print current values with "-" deltas, so
-the step never fails on a cold cache. Stdlib only.
+entry. Rows present in only one run are still printed: new metrics get "-"
+baselines, removed metrics get "-" current values, so renamed or retired
+benches surface in the table instead of vanishing. Files without a baseline
+print current values with "-" deltas, so the step never fails on a cold
+cache. Exits non-zero only when a bench JSON exists but cannot be parsed.
+Stdlib only.
 """
 
 import glob
@@ -59,12 +63,14 @@ def extract(node, prefix, out):
             extract(item, prefix, out)
 
 
-def load_metrics(path):
+def load_metrics(path, errors):
+    """Returns {metric: value} for `path`; records parse failures in `errors`."""
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as err:
         print(f"  (unreadable: {err})")
+        errors.append(f"{path}: {err}")
         return {}
     metrics = {}
     extract(doc, "", metrics)
@@ -77,35 +83,51 @@ def main(argv):
         return 2
     base_dir, cur_dir = argv[1], argv[2]
     patterns = argv[3:] or ["BENCH_*.json"]
+    # The union of both runs' files: a bench that disappeared from the
+    # current run still gets a table (all "-" current values).
     files = sorted({os.path.basename(p)
                     for pat in patterns
-                    for p in glob.glob(os.path.join(cur_dir, pat))})
+                    for d in (cur_dir, base_dir)
+                    for p in glob.glob(os.path.join(d, pat))})
     if not files:
         print("bench_delta: no bench JSON found")
         return 0
 
+    errors = []
     width = 52
     for name in files:
         print(f"\n== {name} ==")
-        current = load_metrics(os.path.join(cur_dir, name))
+        cur_path = os.path.join(cur_dir, name)
+        current = load_metrics(cur_path, errors) if os.path.exists(cur_path) \
+            else {}
         base_path = os.path.join(base_dir, name)
-        baseline = load_metrics(base_path) if os.path.exists(base_path) else {}
+        baseline = load_metrics(base_path, errors) \
+            if os.path.exists(base_path) else {}
+        if not os.path.exists(cur_path):
+            print("  (missing from the current run)")
         if not baseline:
             print("  (no cached baseline — first run or cold cache)")
         print(f"  {'metric':<{width}} {'before':>12} {'after':>12} {'delta':>8}")
-        for key in sorted(current):
-            after = current[key]
+        for key in sorted(set(current) | set(baseline)):
+            after = current.get(key)
             before = baseline.get(key)
+            after_s = "-" if after is None else f"{after:.3f}"
             if before is None:
                 before_s, delta_s = "-", "-"
             else:
                 before_s = f"{before:.3f}"
-                if before:
+                if after is None:
+                    delta_s = "gone"
+                elif before:
                     delta_s = f"{after / before:.2f}x"
                 else:
                     delta_s = "-" if after == 0 else "new"
             label = key if len(key) <= width else "…" + key[-(width - 1):]
-            print(f"  {label:<{width}} {before_s:>12} {after:>12.3f} {delta_s:>8}")
+            print(f"  {label:<{width}} {before_s:>12} {after_s:>12} {delta_s:>8}")
+    if errors:
+        print(f"\nbench_delta: {len(errors)} unparseable bench file(s)",
+              file=sys.stderr)
+        return 1
     return 0
 
 
