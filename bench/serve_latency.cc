@@ -1,0 +1,397 @@
+// Tail latency of the async serving front door under open-loop load.
+//
+// A seeded load generator precomputes a Poisson (or bursty, two-state MMPP
+// style) arrival schedule, replays it against InferenceServer::Submit on a
+// dedicated thread, and measures per-request latency FROM THE SCHEDULED
+// ARRIVAL TIME — a late submit counts against the server, so the numbers are
+// free of coordinated omission. The server runs in device-paced mode: each
+// worker stands in for one modeled accelerator instance completing items at
+// the profiled per-item device latency, so the measurement exercises the
+// queueing/batching/shedding front door at realistic request rates instead
+// of the host cost of the cycle simulator.
+//
+// Sweeps (offered load is expressed relative to C1, the modeled single-
+// instance capacity 1/device_seconds):
+//   * offered QPS {0.5, 1, 2, 3} x C1 for 1 and 4 workers (Poisson);
+//   * batcher settings (max_batch, max_queue_delay) at 2 x C1, 4 workers;
+//   * bursty arrivals at 2 x C1 for 1 and 4 workers.
+// Each cell reports achieved QPS, p50/p99/p999 latency, mean batch size and
+// shed rate. The headline compares 4-worker vs 1-worker achieved QPS at
+// 3 x C1 (below the 4-worker saturation point).
+//
+// A deterministic section replays a fixed trace through ServeTrace in
+// functional mode twice and against sequential Runtime execution; any
+// mismatch in batch composition or output bits exits non-zero.
+//
+// JSON goes to stdout AND a file (default ./BENCH_serve_latency.json,
+// override with argv[1]). `--smoke` shortens every cell for CI.
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/prng.h"
+#include "dse/search.h"
+#include "nn/builders.h"
+#include "runtime/engine.h"
+#include "runtime/server.h"
+
+using namespace hdnn;
+
+namespace {
+
+std::FILE* g_json = nullptr;
+
+/// printf to stdout and, when open, the JSON artifact file.
+void Emit(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  std::vprintf(fmt, args);
+  if (g_json != nullptr) std::vfprintf(g_json, fmt, copy);
+  va_end(copy);
+  va_end(args);
+}
+
+/// Exponential interarrival with the given rate (inverse CDF; u in (0,1]).
+double ExpInterarrival(Prng& prng, double rate) {
+  const double u = 1.0 - prng.NextDouble();  // (0, 1]
+  return -std::log(u) / rate;
+}
+
+/// Seeded arrival schedule over [0, duration): Poisson, or a two-state
+/// bursty process (30% of each 100 ms period at 2.5x the mean rate, the
+/// rest at the complementary low rate — same mean as `rate`).
+std::vector<double> MakeSchedule(const std::string& pattern, double rate,
+                                 double duration, std::uint64_t seed) {
+  Prng prng(seed);
+  std::vector<double> arrivals;
+  double t = 0;
+  if (pattern == "poisson") {
+    for (t = ExpInterarrival(prng, rate); t < duration;
+         t += ExpInterarrival(prng, rate)) {
+      arrivals.push_back(t);
+    }
+    return arrivals;
+  }
+  const double period = 0.100, on_frac = 0.30, boost = 2.5;
+  const double rate_hi = boost * rate;
+  const double rate_lo = rate * (1 - boost * on_frac) / (1 - on_frac);
+  // Walk explicit [start, end) state segments and fill each with its own
+  // Poisson arrivals. Redrawing at every boundary is exact (the process is
+  // memoryless) and immune to fmod() edge cases at segment boundaries.
+  for (int k = 0; period * k < duration; ++k) {
+    const double starts[2] = {period * k, period * k + on_frac * period};
+    const double ends[2] = {starts[1], period * (k + 1)};
+    const double rates[2] = {rate_hi, rate_lo};
+    for (int s = 0; s < 2; ++s) {
+      for (t = starts[s] + ExpInterarrival(prng, rates[s]);
+           t < ends[s] && t < duration; t += ExpInterarrival(prng, rates[s])) {
+        arrivals.push_back(t);
+      }
+    }
+  }
+  return arrivals;
+}
+
+double Percentile(const std::vector<double>& sorted_ms, double q) {
+  if (sorted_ms.empty()) return 0;
+  const double pos = q * static_cast<double>(sorted_ms.size() - 1);
+  const std::size_t idx = static_cast<std::size_t>(std::llround(pos));
+  return sorted_ms[std::min(idx, sorted_ms.size() - 1)];
+}
+
+struct CellResult {
+  int reqs = 0;
+  double achieved_qps = 0;
+  double p50_ms = 0, p99_ms = 0, p999_ms = 0;
+  double mean_batch = 0;
+  double shed_rate = 0;
+};
+
+/// One open-loop measurement: build a fresh server, replay the schedule on a
+/// submit thread, collect every future. Latency is measured from the
+/// SCHEDULED arrival: lateness of the submit thread is charged to the
+/// system, not silently dropped (no coordinated omission).
+CellResult RunCell(InferenceEngine& engine, const Model& model,
+                   const AccelConfig& cfg,
+                   const std::vector<LayerMapping>& mapping,
+                   const ModelWeightsQ& weights,
+                   const Tensor<std::int16_t>& input,
+                   const ServerOptions& opts,
+                   const std::vector<double>& schedule,
+                   double deadline_seconds) {
+  InferenceServer server(engine, opts);
+  const ModelHandle h = server.RegisterModel(model, cfg, mapping, weights);
+
+  const std::size_t n = schedule.size();
+  std::vector<std::future<ItemReport>> futures(n);
+  std::vector<double> lateness(n, 0);
+
+  const auto epoch = std::chrono::steady_clock::now();
+  std::thread submitter([&] {
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto due =
+          epoch + std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(schedule[i]));
+      std::this_thread::sleep_until(due);
+      lateness[i] = std::max(
+          0.0, std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             due)
+                   .count());
+      futures[i] = server.Submit(h, input, deadline_seconds);
+    }
+  });
+  submitter.join();
+
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(n);
+  int ok = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const ItemReport r = futures[i].get();
+    if (r.outcome == ServeOutcome::kOk) {
+      ++ok;
+      latencies_ms.push_back((lateness[i] + r.total_seconds) * 1e3);
+    }
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch)
+          .count();
+  const ServerStats stats = server.stats(h);
+  server.Stop();
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  CellResult out;
+  out.reqs = static_cast<int>(n);
+  out.achieved_qps = elapsed > 0 ? ok / elapsed : 0;
+  out.p50_ms = Percentile(latencies_ms, 0.50);
+  out.p99_ms = Percentile(latencies_ms, 0.99);
+  out.p999_ms = Percentile(latencies_ms, 0.999);
+  out.mean_batch = stats.mean_batch_size();
+  out.shed_rate = stats.shed_rate();
+  return out;
+}
+
+void EmitCell(bool& first, const char* pattern, int workers,
+              double offered_ratio, double offered_qps,
+              const ServerOptions& opts, const CellResult& r) {
+  std::fprintf(stderr,
+               "cell %s w=%d ratio=%.1f mb=%d: achieved=%.0f p99=%.2fms "
+               "shed=%.3f\n",
+               pattern, workers, offered_ratio, opts.max_batch, r.achieved_qps,
+               r.p99_ms, r.shed_rate);
+  Emit("%s    {\"pattern\": \"%s\", \"workers\": %d, "
+       "\"offered_ratio\": %.2f, \"offered_qps\": %.1f, "
+       "\"max_batch\": %d, \"max_queue_delay_ms\": %.2f, \"reqs\": %d, "
+       "\"achieved_qps\": %.1f, \"p50_ms\": %.4f, \"p99_ms\": %.4f, "
+       "\"p999_ms\": %.4f, \"mean_batch\": %.2f, \"shed_rate\": %.4f}",
+       first ? "" : ",\n", pattern, workers, offered_ratio, offered_qps,
+       opts.max_batch, opts.max_queue_delay_seconds * 1e3, r.reqs,
+       r.achieved_qps, r.p50_ms, r.p99_ms, r.p999_ms, r.mean_batch,
+       r.shed_rate);
+  first = false;
+}
+
+/// Deterministic check: fixed trace, functional mode, run twice; batch
+/// composition must be stable and every output bit-identical to sequential
+/// Runtime execution. Returns false on any mismatch.
+bool VerifyDeterminism(InferenceEngine& engine, const Model& model,
+                       const AccelConfig& cfg,
+                       const std::vector<LayerMapping>& mapping,
+                       const ModelWeightsQ& weights,
+                       std::vector<int>* batch_sizes) {
+  ServerOptions opts;
+  opts.num_workers = 1;
+  opts.max_batch = 4;
+  opts.max_queue_delay_seconds = 0.002;
+  opts.mode = ExecMode::kFunctional;
+  InferenceServer server(engine, opts);
+  const ModelHandle h = server.RegisterModel(model, cfg, mapping, weights);
+
+  std::vector<Tensor<std::int16_t>> inputs;
+  std::vector<InferenceServer::TraceArrival> trace;
+  for (int i = 0; i < 6; ++i) {
+    Tensor<std::int16_t> t(Shape{model.input().channels,
+                                 model.input().height, model.input().width});
+    Prng prng(9000 + static_cast<std::uint64_t>(i));
+    t.FillRandomInt(prng, -256, 255);
+    inputs.push_back(std::move(t));
+    trace.push_back({0.0005 * i, i, kNoDeadline});
+  }
+
+  const auto a = server.ServeTrace(h, inputs, trace);
+  const auto b = server.ServeTrace(h, inputs, trace);
+  *batch_sizes = a.batch_sizes;
+  if (a.batch_sizes != b.batch_sizes) return false;
+
+  const Compiler compiler(cfg, PynqZ1Spec());
+  const CompiledModel cm = compiler.Compile(model, mapping);
+  Runtime runtime(cfg, PynqZ1Spec());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const RunReport seq = runtime.Execute(model, cm, weights, inputs[i]);
+    if (a.items[i].outcome != ServeOutcome::kOk) return false;
+    if (!(a.items[i].run.output == seq.output)) return false;
+    if (!(b.items[i].run.output == seq.output)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_serve_latency.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      json_path = argv[i];
+    }
+  }
+  g_json = std::fopen(json_path.c_str(), "w");
+  if (g_json == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+    return 1;
+  }
+
+  const FpgaSpec& spec = PynqZ1Spec();
+  const Model model = BuildTinyCnn();
+  const DseResult dse = DseEngine(spec).Explore(model);
+  const ModelWeightsQ weights = SyntheticWeights(model, 7);
+  Tensor<std::int16_t> input(Shape{model.input().channels,
+                                   model.input().height,
+                                   model.input().width});
+  {
+    Prng prng(1000);
+    input.FillRandomInt(prng, -256, 255);
+  }
+
+  // C1: modeled single-instance capacity, the unit all offered loads are
+  // expressed in. Profiled once through the same path the server uses.
+  InferenceEngine engine(spec, 1);
+  double device_seconds = 0;
+  {
+    ServerOptions probe;
+    probe.mode = ExecMode::kDevicePaced;
+    InferenceServer server(engine, probe);
+    const ModelHandle h = server.RegisterModel(model, dse.config, dse.mapping,
+                                               weights);
+    device_seconds = server.device_seconds_per_item(h);
+  }
+  const double capacity_qps = 1.0 / device_seconds;
+  const double duration = smoke ? 0.12 : 0.60;
+  const double deadline_s = 0.020;
+
+  Emit("{\n");
+  Emit("  \"model\": \"%s\",\n", model.name().c_str());
+  Emit("  \"platform\": \"%s\",\n", spec.name.c_str());
+  Emit("  \"config\": \"%s\",\n", dse.config.ToString().c_str());
+  Emit("  \"mode\": \"device_paced\",\n");
+  Emit("  \"smoke\": %s,\n", smoke ? "true" : "false");
+  Emit("  \"device_ms_per_item\": %.4f,\n", device_seconds * 1e3);
+  Emit("  \"capacity_qps_1worker\": %.1f,\n", capacity_qps);
+  Emit("  \"deadline_ms\": %.1f,\n", deadline_s * 1e3);
+  Emit("  \"cells\": [\n");
+
+  bool first = true;
+  double achieved_1w_at_3x = 0, achieved_4w_at_3x = 0;
+
+  // --- offered-load sweep: Poisson, default batcher ---
+  const double ratios[] = {0.5, 1.0, 2.0, 3.0};
+  const int worker_counts[] = {1, 4};
+  for (int workers : worker_counts) {
+    for (double ratio : ratios) {
+      ServerOptions opts;
+      opts.num_workers = workers;
+      opts.max_batch = 8;
+      opts.max_queue_delay_seconds = 0.001;
+      opts.max_queue_depth = 64;
+      opts.mode = ExecMode::kDevicePaced;
+      const double offered = ratio * capacity_qps;
+      const auto schedule = MakeSchedule(
+          "poisson", offered, duration,
+          42 + static_cast<std::uint64_t>(100 * ratio) + workers);
+      const CellResult r = RunCell(engine, model, dse.config, dse.mapping,
+                                   weights, input, opts, schedule, deadline_s);
+      EmitCell(first, "poisson", workers, ratio, offered, opts, r);
+      if (ratio == 3.0 && workers == 1) achieved_1w_at_3x = r.achieved_qps;
+      if (ratio == 3.0 && workers == 4) achieved_4w_at_3x = r.achieved_qps;
+    }
+  }
+
+  // --- batcher sweep at 2 x C1, 4 workers ---
+  struct BatcherSetting {
+    int max_batch;
+    double delay_s;
+  };
+  const BatcherSetting settings[] = {
+      {1, 0.0}, {4, 0.0005}, {8, 0.001}, {16, 0.002}};
+  for (const BatcherSetting& s : settings) {
+    ServerOptions opts;
+    opts.num_workers = 4;
+    opts.max_batch = s.max_batch;
+    opts.max_queue_delay_seconds = s.delay_s;
+    opts.max_queue_depth = 64;
+    opts.mode = ExecMode::kDevicePaced;
+    const double offered = 2.0 * capacity_qps;
+    const auto schedule = MakeSchedule("poisson", offered, duration,
+                                       7000 + s.max_batch);
+    const CellResult r = RunCell(engine, model, dse.config, dse.mapping,
+                                 weights, input, opts, schedule, deadline_s);
+    EmitCell(first, "poisson", 4, 2.0, offered, opts, r);
+  }
+
+  // --- bursty arrivals at 2 x C1 ---
+  for (int workers : worker_counts) {
+    ServerOptions opts;
+    opts.num_workers = workers;
+    opts.max_batch = 8;
+    opts.max_queue_delay_seconds = 0.001;
+    opts.max_queue_depth = 64;
+    opts.mode = ExecMode::kDevicePaced;
+    const double offered = 2.0 * capacity_qps;
+    const auto schedule =
+        MakeSchedule("bursty", offered, duration, 5000 + workers);
+    const CellResult r = RunCell(engine, model, dse.config, dse.mapping,
+                                 weights, input, opts, schedule, deadline_s);
+    EmitCell(first, "bursty", workers, 2.0, offered, opts, r);
+  }
+  Emit("\n  ],\n");
+
+  // --- deterministic replay check ---
+  std::vector<int> det_batches;
+  const bool det_ok = VerifyDeterminism(engine, model, dse.config, dse.mapping,
+                                        weights, &det_batches);
+  Emit("  \"determinism\": {\"functional_match\": %s, \"batch_sizes\": [",
+       det_ok ? "true" : "false");
+  for (std::size_t i = 0; i < det_batches.size(); ++i) {
+    Emit("%s%d", i == 0 ? "" : ", ", det_batches[i]);
+  }
+  Emit("]},\n");
+
+  // --- headline: host-side wall-clock scaling of the front door ---
+  const double scaling = achieved_1w_at_3x > 0
+                             ? achieved_4w_at_3x / achieved_1w_at_3x
+                             : 0;
+  Emit("  \"headline\": {\"offered_ratio\": 3.0, "
+       "\"achieved_qps_1w\": %.1f, \"achieved_qps_4w\": %.1f, "
+       "\"scaling_4v1\": %.3f}\n",
+       achieved_1w_at_3x, achieved_4w_at_3x, scaling);
+  Emit("}\n");
+  std::fclose(g_json);
+  g_json = nullptr;
+  std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+  if (!det_ok) {
+    std::fprintf(stderr, "FAIL: deterministic replay mismatch\n");
+    return 2;
+  }
+  return 0;
+}

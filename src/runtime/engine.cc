@@ -22,6 +22,18 @@ inline void HashMix(std::uint64_t& h, std::uint64_t v) {
 
 }  // namespace
 
+double HostItemsPerSecond(std::size_t items, double wall_seconds) {
+  if (items == 0) return 0;
+  // The smallest interval steady_clock can represent: a measured wall time
+  // of zero means "faster than one tick", so one tick is the conservative
+  // floor for the denominator.
+  constexpr double kMinTickSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::duration(1))
+          .count();
+  const double denom = wall_seconds > 0 ? wall_seconds : kMinTickSeconds;
+  return static_cast<double>(items) / denom;
+}
+
 std::uint64_t ModelStructuralHash(const Model& model,
                                   const std::vector<LayerMapping>& mapping) {
   std::uint64_t h = 0xcbf29ce484222325ull;  // FNV offset basis
@@ -73,9 +85,7 @@ std::size_t InferenceEngine::CacheKeyHash::operator()(
 }
 
 InferenceEngine::InferenceEngine(const FpgaSpec& spec, int num_workers)
-    : spec_(spec), pool_(num_workers) {
-  runtimes_.resize(static_cast<std::size_t>(num_workers));
-}
+    : spec_(spec), pool_(num_workers), rt_pool_(spec) {}
 
 std::shared_ptr<const CompiledModel> InferenceEngine::GetOrCompile(
     const Model& model, const AccelConfig& cfg,
@@ -128,8 +138,6 @@ BatchReport InferenceEngine::ExecuteBatch(
     const Model& model, const AccelConfig& cfg,
     const std::vector<LayerMapping>& mapping, const ModelWeightsQ& weights,
     std::span<const Tensor<std::int16_t>> inputs, bool functional) {
-  std::lock_guard<std::mutex> batch_lock(batch_mu_);
-
   bool was_hit = false;
   std::shared_ptr<const CompiledModel> compiled =
       GetOrCompile(model, cfg, mapping, &was_hit);
@@ -140,16 +148,17 @@ BatchReport InferenceEngine::ExecuteBatch(
   report.items.resize(inputs.size());
   if (inputs.empty()) return report;
 
-  if (!runtimes_valid_ || !(runtimes_cfg_ == cfg)) {
-    // Invalidate first: if a Runtime constructor throws mid-rebuild the pool
-    // is part-old part-new, and the next batch must not trust it.
-    runtimes_valid_ = false;
-    for (auto& rt : runtimes_) rt = std::make_unique<Runtime>(cfg, spec_);
-    runtimes_cfg_ = cfg;
-    runtimes_valid_ = true;
+  // Check out one Runtime per participating worker from the shared pool
+  // (workers beyond the batch size would execute nothing). The leases are
+  // private to this call, so concurrent ExecuteBatch callers overlap.
+  const std::size_t workers = static_cast<std::size_t>(num_workers());
+  const std::size_t active = std::min(workers, inputs.size());
+  std::vector<RuntimePool::Lease> leases;
+  leases.reserve(active);
+  for (std::size_t w = 0; w < active; ++w) {
+    leases.push_back(rt_pool_.Checkout(cfg));
   }
 
-  const std::size_t workers = runtimes_.size();
   const auto t0 = std::chrono::steady_clock::now();
 
   // Static round-robin assignment: item i -> worker i % W. Each worker
@@ -158,10 +167,10 @@ BatchReport InferenceEngine::ExecuteBatch(
   // the state a sequential Runtime::Execute would.
   std::vector<std::exception_ptr> item_error(inputs.size());
   std::vector<std::future<void>> done;
-  done.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
+  done.reserve(active);
+  for (std::size_t w = 0; w < active; ++w) {
     done.push_back(pool_.Submit([&, w] {
-      Runtime& runtime = *runtimes_[w];
+      Runtime& runtime = *leases[w];
       for (std::size_t i = w; i < inputs.size(); i += workers) {
         try {
           report.items[i] = runtime.Execute(model, *compiled, weights,
@@ -181,10 +190,8 @@ BatchReport InferenceEngine::ExecuteBatch(
 
   const auto t1 = std::chrono::steady_clock::now();
   report.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
-  report.items_per_second =
-      report.wall_seconds > 0
-          ? static_cast<double>(inputs.size()) / report.wall_seconds
-          : 0;
+  report.items_per_second = HostItemsPerSecond(inputs.size(),
+                                               report.wall_seconds);
 
   // Modeled-accelerator makespan: the W workers stand in for W parallel
   // accelerator instances, each running its items back to back.

@@ -7,9 +7,11 @@
 //   * a compiled-program cache keyed by (structural model+mapping hash,
 //     AccelConfig) — repeated traffic for the same deployment skips the
 //     compiler entirely;
-//   * one Runtime per worker. Each Runtime builds its own DramModel, so
-//     workers are share-nothing and a batch can execute concurrently with
-//     bit-identical results to sequential Runtime::Execute calls.
+//   * a shared RuntimePool. Each batch checks out one Runtime per worker;
+//     every Runtime owns its DramModel, so workers are share-nothing and a
+//     batch executes concurrently with bit-identical results to sequential
+//     Runtime::Execute calls — and concurrent ExecuteBatch callers overlap
+//     instead of serializing on an engine-wide lock.
 //
 // Throughput is reported in two domains:
 //   * host wall-clock (items/s) — serving speed of this process;
@@ -33,6 +35,7 @@
 #include "nn/model.h"
 #include "platform/fpga_spec.h"
 #include "runtime/runtime.h"
+#include "runtime/runtime_pool.h"
 
 namespace hdnn {
 
@@ -40,6 +43,15 @@ namespace hdnn {
 /// mapping (FNV-1a over geometry; the model name does not participate).
 std::uint64_t ModelStructuralHash(const Model& model,
                                   const std::vector<LayerMapping>& mapping);
+
+/// Host serving rate for `items` completed in `wall_seconds`. Sub-tick
+/// batches can measure a wall time of exactly zero on coarse steady_clock
+/// implementations; rather than reporting an items/s of 0 (which reads as
+/// "infinitely slow" in every downstream bench table), the rate falls back
+/// to assuming the batch took one clock tick — a lower bound on what the
+/// clock can resolve, hence a conservative (under-)estimate of the true
+/// rate. Zero items always report 0.
+double HostItemsPerSecond(std::size_t items, double wall_seconds);
 
 /// Result of one ExecuteBatch call.
 struct BatchReport {
@@ -79,8 +91,10 @@ class InferenceEngine {
   /// Runs every input through the model, fanning the batch across the
   /// worker pool (item i runs on worker i % W; workers process their items
   /// in order, so results are deterministic and bit-identical to sequential
-  /// execution). Throws (first failure wins, in item order) if any item
-  /// fails.
+  /// execution). Concurrent callers are safe and overlap: each call checks
+  /// its Runtimes out of the shared pool instead of serializing on an
+  /// engine-wide lock. Throws (first failure wins, in item order) if any
+  /// item fails.
   BatchReport ExecuteBatch(const Model& model, const AccelConfig& cfg,
                            const std::vector<LayerMapping>& mapping,
                            const ModelWeightsQ& weights,
@@ -91,6 +105,11 @@ class InferenceEngine {
   std::int64_t cache_hits() const;
   std::int64_t cache_misses() const;
   std::size_t cache_size() const;
+
+  /// Shared per-config Runtime pool (the serving layer drains its batches
+  /// through the same pool, so engine batches and served requests reuse one
+  /// set of simulator arenas).
+  RuntimePool& runtime_pool() { return rt_pool_; }
 
  private:
   struct CacheKey {
@@ -104,11 +123,10 @@ class InferenceEngine {
 
   FpgaSpec spec_;
   ThreadPool pool_;
-  /// Per-worker runtimes, rebuilt when the target config changes. Guarded
-  /// by the ExecuteBatch serialization below.
-  std::vector<std::unique_ptr<Runtime>> runtimes_;
-  AccelConfig runtimes_cfg_;
-  bool runtimes_valid_ = false;
+  /// Per-config Runtime pool: ExecuteBatch checks out one Runtime per
+  /// participating worker for the duration of the batch, so concurrent
+  /// batches (and the serving layer) never contend on a shared array.
+  RuntimePool rt_pool_;
 
   mutable std::mutex cache_mu_;
   std::unordered_map<CacheKey, std::shared_ptr<const CompiledModel>,
@@ -116,10 +134,6 @@ class InferenceEngine {
       cache_;
   std::int64_t cache_hits_ = 0;
   std::int64_t cache_misses_ = 0;
-
-  /// ExecuteBatch is one-at-a-time (the worker pool supplies parallelism
-  /// within a batch); this guards the runtimes_ pool.
-  std::mutex batch_mu_;
 };
 
 }  // namespace hdnn

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <chrono>
 #include <future>
 #include <numeric>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -361,6 +363,130 @@ TEST(InferenceEngineTest, CacheKeyCoversEveryAccelConfigField) {
     EXPECT_TRUE(hit) << "re-lookup of '" << field << "' mutation missed";
   }
   EXPECT_EQ(engine.cache_size(), 1u + mutations.size());
+}
+
+TEST(HostItemsPerSecondTest, SubTickWallTimeFallsBackToOneClockTick) {
+  // A batch so fast the steady_clock delta rounds to zero must still report
+  // a finite, positive rate — one clock tick is the conservative floor.
+  constexpr double kTick =
+      std::chrono::duration<double>(std::chrono::steady_clock::duration(1))
+          .count();
+  EXPECT_DOUBLE_EQ(HostItemsPerSecond(4, 0.0), 4.0 / kTick);
+  EXPECT_GT(HostItemsPerSecond(1, 0.0), 0.0);
+  // Normal path is unaffected; the empty batch stays at zero.
+  EXPECT_DOUBLE_EQ(HostItemsPerSecond(10, 2.0), 5.0);
+  EXPECT_EQ(HostItemsPerSecond(0, 0.0), 0.0);
+  EXPECT_EQ(HostItemsPerSecond(0, 1.0), 0.0);
+}
+
+// N client threads hammering ONE engine with distinct models: with the
+// engine-wide batch lock gone (runtime-pool checkout + per-call leases),
+// every thread's results must still be bit-identical to a sequential run of
+// its own model, and the shared program cache must account exactly one miss
+// per distinct deployment no matter how the threads interleave.
+TEST(InferenceEngineTest, ConcurrentCallersWithDistinctModelsStayIsolated) {
+  const FpgaSpec spec = TestSpec();
+  const AccelConfig cfg = TestConfig();
+
+  struct Client {
+    Model model;
+    std::vector<LayerMapping> mapping;
+    ModelWeightsQ weights;
+    std::vector<Tensor<std::int16_t>> batch;
+  };
+  std::vector<Client> clients;
+  {
+    Client a{BuildTinyCnn(), {}, {}, {}};
+    a.mapping =
+        UniformMapping(a.model, ConvMode::kSpatial, Dataflow::kInputStationary);
+    a.weights = SyntheticWeights(a.model, 7);
+    a.batch = MakeBatch(a.model, 5, 100);
+    clients.push_back(std::move(a));
+
+    Client b{BuildTinyResidualBlock(), {}, {}, {}};
+    b.mapping =
+        UniformMapping(b.model, ConvMode::kSpatial, Dataflow::kInputStationary);
+    b.weights = SyntheticWeights(b.model, 21);
+    b.batch = MakeBatch(b.model, 5, 200);
+    clients.push_back(std::move(b));
+
+    Client c{BuildTinyCnn(), {}, {}, {}};
+    c.mapping =
+        UniformMapping(c.model, ConvMode::kWinograd, Dataflow::kInputStationary);
+    c.weights = SyntheticWeights(c.model, 7);
+    c.batch = MakeBatch(c.model, 5, 300);
+    clients.push_back(std::move(c));
+  }
+
+  InferenceEngine engine(spec, 2);
+  constexpr int kRounds = 3;
+  std::vector<std::thread> threads;
+  std::vector<std::vector<BatchReport>> reports(clients.size());
+  for (std::size_t t = 0; t < clients.size(); ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kRounds; ++r) {
+        const Client& cl = clients[t];
+        reports[t].push_back(engine.ExecuteBatch(cl.model, cfg, cl.mapping,
+                                                 cl.weights, cl.batch));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // One miss per distinct deployment; every other lookup hit the cache.
+  EXPECT_EQ(engine.cache_misses(), static_cast<std::int64_t>(clients.size()));
+  EXPECT_EQ(engine.cache_size(), clients.size());
+  EXPECT_EQ(engine.cache_hits(),
+            static_cast<std::int64_t>(clients.size() * kRounds) -
+                engine.cache_misses());
+
+  // Each client's outputs match a private sequential run of its model.
+  for (std::size_t t = 0; t < clients.size(); ++t) {
+    const Client& cl = clients[t];
+    const Compiler compiler(cfg, spec);
+    const CompiledModel cm = compiler.Compile(cl.model, cl.mapping);
+    Runtime runtime(cfg, spec);
+    std::vector<RunReport> seq;
+    for (const auto& input : cl.batch) {
+      seq.push_back(runtime.Execute(cl.model, cm, cl.weights, input));
+    }
+    for (int r = 0; r < kRounds; ++r) {
+      ASSERT_EQ(reports[t][static_cast<std::size_t>(r)].items.size(),
+                cl.batch.size());
+      for (std::size_t i = 0; i < cl.batch.size(); ++i) {
+        const RunReport& item =
+            reports[t][static_cast<std::size_t>(r)].items[i];
+        EXPECT_EQ(item.output, seq[i].output)
+            << "client " << t << " round " << r << " item " << i;
+        EXPECT_EQ(item.stats.total_cycles, seq[i].stats.total_cycles)
+            << "client " << t << " round " << r << " item " << i;
+      }
+    }
+  }
+}
+
+TEST(RuntimePoolTest, CheckoutReusesIdleRuntimesPerConfig) {
+  RuntimePool pool(TestSpec());
+  const AccelConfig base = TestConfig();
+  AccelConfig other = base;
+  other.pt = 6;
+
+  {
+    RuntimePool::Lease a = pool.Checkout(base);
+    RuntimePool::Lease b = pool.Checkout(base);
+    RuntimePool::Lease c = pool.Checkout(other);
+    EXPECT_EQ(pool.built_count(), 3u);
+    EXPECT_EQ(pool.idle_count(), 0u);
+  }
+  EXPECT_EQ(pool.idle_count(), 3u) << "leases return runtimes on destruction";
+
+  {
+    RuntimePool::Lease a = pool.Checkout(base);
+    RuntimePool::Lease b = pool.Checkout(other);
+    EXPECT_EQ(pool.built_count(), 3u) << "idle runtimes are reused, not rebuilt";
+    EXPECT_EQ(pool.idle_count(), 1u);
+  }
+  EXPECT_EQ(pool.idle_count(), 3u);
 }
 
 TEST(InferenceEngineTest, StructuralHashIgnoresNameButNotGeometry) {

@@ -1,0 +1,396 @@
+#include "runtime/server.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <future>
+#include <vector>
+
+#include "common/deadline_queue.h"
+#include "nn/builders.h"
+#include "runtime/runtime.h"
+#include "tests/testing_util.h"
+
+namespace hdnn {
+namespace {
+
+using testing::MakeInput;
+using testing::TestConfig;
+using testing::TestSpec;
+
+std::vector<LayerMapping> UniformMapping(const Model& model, ConvMode mode,
+                                         Dataflow flow) {
+  return std::vector<LayerMapping>(
+      static_cast<std::size_t>(model.num_layers()), LayerMapping{mode, flow});
+}
+
+std::vector<Tensor<std::int16_t>> MakeInputs(const Model& model, int n,
+                                             std::uint64_t seed) {
+  std::vector<Tensor<std::int16_t>> inputs;
+  inputs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    inputs.push_back(
+        MakeInput(model.InputOf(0), seed + static_cast<std::uint64_t>(i)));
+  }
+  return inputs;
+}
+
+// --- deadline queue policy ---
+
+TEST(DeadlineQueueTest, SizeAndTimeoutTriggers) {
+  DeadlineQueue<int> q(/*capacity=*/8, /*max_batch=*/3,
+                       /*max_queue_delay_s=*/0.010);
+  std::vector<DeadlineQueue<int>::Entry> expired;
+  DeadlineQueue<int>::Entry evicted;
+
+  auto push = [&](int v, double at, double deadline = kNoDeadline) {
+    DeadlineQueue<int>::Entry e{v, at, deadline};
+    return q.Push(e, at, &evicted, expired);
+  };
+
+  EXPECT_FALSE(q.DispatchReady(0.0));
+  EXPECT_EQ(push(1, 0.000), AdmitResult::kAdmitted);
+  EXPECT_FALSE(q.DispatchReady(0.005)) << "one waiter, delay not reached";
+  EXPECT_DOUBLE_EQ(q.NextTriggerTime(), 0.010);
+  EXPECT_TRUE(q.DispatchReady(0.010)) << "timeout trigger";
+
+  EXPECT_EQ(push(2, 0.001), AdmitResult::kAdmitted);
+  EXPECT_EQ(push(3, 0.002), AdmitResult::kAdmitted);
+  EXPECT_TRUE(q.DispatchReady(0.002)) << "size trigger at max_batch";
+
+  const auto batch = q.TakeBatch();
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].value, 1);  // FIFO prefix
+  EXPECT_EQ(batch[1].value, 2);
+  EXPECT_EQ(batch[2].value, 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(DeadlineQueueTest, DeadlineAwareEviction) {
+  DeadlineQueue<int> q(/*capacity=*/2, /*max_batch=*/8, 0.010);
+  std::vector<DeadlineQueue<int>::Entry> expired;
+  DeadlineQueue<int>::Entry evicted;
+
+  DeadlineQueue<int>::Entry a{1, 0.0, /*deadline=*/0.100};
+  DeadlineQueue<int>::Entry b{2, 0.0, /*deadline=*/0.050};
+  ASSERT_EQ(q.Push(a, 0.0, &evicted, expired), AdmitResult::kAdmitted);
+  ASSERT_EQ(q.Push(b, 0.0, &evicted, expired), AdmitResult::kAdmitted);
+
+  // Full. A later-deadline arrival is rejected outright...
+  DeadlineQueue<int>::Entry lax{3, 0.001, /*deadline=*/0.200};
+  EXPECT_EQ(q.Push(lax, 0.001, &evicted, expired), AdmitResult::kRejected);
+  EXPECT_EQ(lax.value, 3) << "rejected entry stays with the caller";
+
+  // ...while a more urgent one evicts the latest-deadline waiter (value 1).
+  DeadlineQueue<int>::Entry urgent{4, 0.001, /*deadline=*/0.020};
+  EXPECT_EQ(q.Push(urgent, 0.001, &evicted, expired), AdmitResult::kEvicted);
+  EXPECT_EQ(evicted.value, 1);
+  ASSERT_EQ(q.size(), 2);
+
+  // Expired entries are swept before anything is evicted or rejected: by
+  // t=0.060 both waiters (deadlines 0.050 and 0.020) have expired.
+  DeadlineQueue<int>::Entry late{5, 0.060, kNoDeadline};
+  EXPECT_EQ(q.Push(late, /*now=*/0.060, &evicted, expired),
+            AdmitResult::kAdmitted)
+      << "expired waiters are swept, freeing slots";
+  ASSERT_EQ(expired.size(), 2u);
+  EXPECT_EQ(expired[0].value, 2);
+  EXPECT_EQ(expired[1].value, 4);
+  EXPECT_EQ(q.size(), 1);
+}
+
+// --- server fixture ---
+
+struct ServerFixture {
+  Model model = BuildTinyCnn();
+  AccelConfig cfg = TestConfig();
+  FpgaSpec spec = TestSpec();
+  std::vector<LayerMapping> mapping =
+      UniformMapping(model, ConvMode::kSpatial, Dataflow::kInputStationary);
+  ModelWeightsQ weights = SyntheticWeights(model, 7);
+  InferenceEngine engine{spec, 1};
+};
+
+// --- deterministic trace mode ---
+
+TEST(InferenceServerTraceTest, BatchCompositionIsDeterministic) {
+  ServerFixture f;
+  ServerOptions opts;
+  opts.num_workers = 1;
+  opts.max_batch = 4;
+  opts.max_queue_delay_seconds = 0.010;
+  opts.mode = ExecMode::kDevicePaced;
+  InferenceServer server(f.engine, opts);
+  const ModelHandle h =
+      server.RegisterModel(f.model, f.cfg, f.mapping, f.weights);
+  const double dev = server.device_seconds_per_item(h);
+  ASSERT_GT(dev, 0);
+
+  const auto inputs = MakeInputs(f.model, 1, 10);
+  // Four arrivals in one delay window (size trigger at 4), then two
+  // stragglers that only the timeout trigger can dispatch.
+  std::vector<InferenceServer::TraceArrival> trace = {
+      {0.000, 0}, {0.001, 0}, {0.002, 0}, {0.003, 0},
+      {0.100, 0}, {0.101, 0},
+  };
+  const auto a = server.ServeTrace(h, inputs, trace);
+  const auto b = server.ServeTrace(h, inputs, trace);
+
+  ASSERT_EQ(a.batch_sizes, (std::vector<int>{4, 2}));
+  ASSERT_EQ(b.batch_sizes, a.batch_sizes) << "composition must be stable";
+  ASSERT_EQ(a.items.size(), trace.size());
+  for (std::size_t i = 0; i < a.items.size(); ++i) {
+    EXPECT_EQ(a.items[i].outcome, ServeOutcome::kOk);
+    EXPECT_DOUBLE_EQ(a.items[i].total_seconds, b.items[i].total_seconds)
+        << "item " << i;
+    EXPECT_EQ(a.items[i].batch_seq, b.items[i].batch_seq);
+  }
+  // First batch dispatches on the size trigger at t=0.003: item 0 waited
+  // 3ms and completes after one device quantum.
+  EXPECT_DOUBLE_EQ(a.items[0].queue_seconds, 0.003);
+  EXPECT_NEAR(a.items[0].service_seconds, dev, 1e-12);
+  // Second batch dispatches when the 0.100 arrival's delay elapses.
+  EXPECT_DOUBLE_EQ(a.items[4].queue_seconds, opts.max_queue_delay_seconds);
+}
+
+TEST(InferenceServerTraceTest, FunctionalTraceBitIdenticalToSequential) {
+  ServerFixture f;
+  ServerOptions opts;
+  opts.num_workers = 1;
+  opts.max_batch = 3;
+  opts.max_queue_delay_seconds = 0.005;
+  opts.mode = ExecMode::kFunctional;
+  InferenceServer server(f.engine, opts);
+  const ModelHandle h =
+      server.RegisterModel(f.model, f.cfg, f.mapping, f.weights);
+
+  const auto inputs = MakeInputs(f.model, 5, 60);
+  std::vector<InferenceServer::TraceArrival> trace;
+  for (int i = 0; i < 5; ++i) {
+    trace.push_back({0.001 * i, i, kNoDeadline});
+  }
+  const auto report = server.ServeTrace(h, inputs, trace);
+
+  const Compiler compiler(f.cfg, f.spec);
+  const CompiledModel cm = compiler.Compile(f.model, f.mapping);
+  Runtime runtime(f.cfg, f.spec);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    ASSERT_EQ(report.items[i].outcome, ServeOutcome::kOk) << "item " << i;
+    const RunReport seq =
+        runtime.Execute(f.model, cm, f.weights, inputs[i]);
+    EXPECT_EQ(report.items[i].run.output, seq.output) << "item " << i;
+    EXPECT_EQ(report.items[i].run.stats.total_cycles,
+              seq.stats.total_cycles)
+        << "item " << i;
+  }
+}
+
+TEST(InferenceServerTraceTest, DeadlinesShedDeterministically) {
+  ServerFixture f;
+  ServerOptions opts;
+  opts.num_workers = 1;
+  opts.max_batch = 2;
+  opts.max_queue_delay_seconds = 0.001;
+  opts.max_queue_depth = 2;
+  opts.mode = ExecMode::kDevicePaced;
+  InferenceServer server(f.engine, opts);
+  const ModelHandle h =
+      server.RegisterModel(f.model, f.cfg, f.mapping, f.weights);
+  const double dev = server.device_seconds_per_item(h);
+
+  const auto inputs = MakeInputs(f.model, 1, 20);
+  // A same-instant burst far beyond one device's capacity (all outcomes
+  // below hold for any positive device quantum `dev`): items 0/1 dispatch
+  // immediately as a full batch, occupying the drainer until 2*dev. Items
+  // 2/3 fill the two-slot queue. Item 4's deadline (1*dev) makes it more
+  // urgent than the deadline-less waiters, so it EVICTS the latest-deadline
+  // one (item 2 -> kRejected) — but it still cannot start before the
+  // drainer frees at 2*dev, so it expires at dispatch. Item 5 (no deadline)
+  // finds the queue full of no-later-deadline work -> kRejected.
+  std::vector<InferenceServer::TraceArrival> trace = {
+      {0.0, 0, kNoDeadline}, {0.0, 0, kNoDeadline},  // batch 0
+      {0.0, 0, kNoDeadline}, {0.0, 0, kNoDeadline},  // fill the queue
+      {0.0, 0, 1.0 * dev},                           // evicts 2, then expires
+      {0.0, 0, kNoDeadline},                         // rejected: queue full
+  };
+  const auto a = server.ServeTrace(h, inputs, trace);
+  const auto b = server.ServeTrace(h, inputs, trace);
+
+  EXPECT_EQ(a.items[0].outcome, ServeOutcome::kOk);
+  EXPECT_EQ(a.items[1].outcome, ServeOutcome::kOk);
+  EXPECT_EQ(a.items[2].outcome, ServeOutcome::kRejected)
+      << "evicted by the strictly-more-urgent item 4";
+  EXPECT_EQ(a.items[3].outcome, ServeOutcome::kOk);
+  EXPECT_EQ(a.items[4].outcome, ServeOutcome::kExpired)
+      << "deadline passed while the first batch held the drainer";
+  EXPECT_EQ(a.items[5].outcome, ServeOutcome::kRejected);
+  EXPECT_EQ(a.batch_sizes, (std::vector<int>{2, 1}));
+  for (std::size_t i = 0; i < a.items.size(); ++i) {
+    EXPECT_EQ(a.items[i].outcome, b.items[i].outcome) << "item " << i;
+  }
+  EXPECT_EQ(a.batch_sizes, b.batch_sizes);
+}
+
+// --- live serving ---
+
+TEST(InferenceServerTest, LiveFunctionalServingBitIdenticalToSequential) {
+  ServerFixture f;
+  ServerOptions opts;
+  opts.num_workers = 2;
+  opts.max_batch = 4;
+  opts.max_queue_delay_seconds = 0.002;
+  opts.mode = ExecMode::kFunctional;
+  InferenceServer server(f.engine, opts);
+  const ModelHandle h =
+      server.RegisterModel(f.model, f.cfg, f.mapping, f.weights);
+
+  const int kRequests = 10;
+  const auto inputs = MakeInputs(f.model, kRequests, 300);
+  std::vector<std::future<ItemReport>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    futures.push_back(server.Submit(h, inputs[static_cast<std::size_t>(i)]));
+  }
+
+  const Compiler compiler(f.cfg, f.spec);
+  const CompiledModel cm = compiler.Compile(f.model, f.mapping);
+  Runtime runtime(f.cfg, f.spec);
+  for (int i = 0; i < kRequests; ++i) {
+    ItemReport report = futures[static_cast<std::size_t>(i)].get();
+    ASSERT_EQ(report.outcome, ServeOutcome::kOk) << "item " << i;
+    EXPECT_GE(report.batch_size, 1);
+    EXPECT_GE(report.total_seconds, report.service_seconds);
+    const RunReport seq = runtime.Execute(
+        f.model, cm, f.weights, inputs[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(report.run.output, seq.output) << "item " << i;
+    EXPECT_EQ(report.run.stats.total_cycles, seq.stats.total_cycles);
+  }
+
+  const ServerStats stats = server.stats(h);
+  EXPECT_EQ(stats.submitted, kRequests);
+  EXPECT_EQ(stats.ok, kRequests);
+  EXPECT_EQ(stats.rejected, 0);
+  EXPECT_EQ(stats.expired, 0);
+  EXPECT_EQ(stats.batched_items, kRequests);
+  EXPECT_GE(stats.batches, 1);
+}
+
+TEST(InferenceServerTest, MultiModelServingSharesTheProgramCache) {
+  ServerFixture f;
+  const Model second = BuildTinyResidualBlock();
+  std::vector<LayerMapping> second_mapping =
+      UniformMapping(second, ConvMode::kSpatial, Dataflow::kInputStationary);
+  const ModelWeightsQ second_weights = SyntheticWeights(second, 21);
+
+  ServerOptions opts;
+  opts.num_workers = 2;
+  opts.max_batch = 2;
+  opts.max_queue_delay_seconds = 0.001;
+  opts.mode = ExecMode::kFunctional;
+  InferenceServer server(f.engine, opts);
+  const ModelHandle h1 =
+      server.RegisterModel(f.model, f.cfg, f.mapping, f.weights);
+  const ModelHandle h2 =
+      server.RegisterModel(second, f.cfg, second_mapping, second_weights);
+  ASSERT_NE(h1, h2);
+  EXPECT_EQ(f.engine.cache_misses(), 2);
+
+  // Re-registering an identical deployment hits the engine's program cache.
+  server.RegisterModel(f.model, f.cfg, f.mapping, f.weights);
+  EXPECT_EQ(f.engine.cache_misses(), 2);
+  EXPECT_GE(f.engine.cache_hits(), 1);
+
+  const auto in1 = MakeInputs(f.model, 3, 40);
+  const auto in2 = MakeInputs(second, 3, 41);
+  std::vector<std::future<ItemReport>> fut1, fut2;
+  for (int i = 0; i < 3; ++i) {
+    fut1.push_back(server.Submit(h1, in1[static_cast<std::size_t>(i)]));
+    fut2.push_back(server.Submit(h2, in2[static_cast<std::size_t>(i)]));
+  }
+
+  const Compiler compiler(f.cfg, f.spec);
+  const CompiledModel cm1 = compiler.Compile(f.model, f.mapping);
+  const CompiledModel cm2 = compiler.Compile(second, second_mapping);
+  Runtime runtime(f.cfg, f.spec);
+  for (int i = 0; i < 3; ++i) {
+    const ItemReport r1 = fut1[static_cast<std::size_t>(i)].get();
+    const ItemReport r2 = fut2[static_cast<std::size_t>(i)].get();
+    ASSERT_EQ(r1.outcome, ServeOutcome::kOk);
+    ASSERT_EQ(r2.outcome, ServeOutcome::kOk);
+    EXPECT_EQ(r1.run.output,
+              runtime
+                  .Execute(f.model, cm1, f.weights,
+                           in1[static_cast<std::size_t>(i)])
+                  .output);
+    EXPECT_EQ(r2.run.output,
+              runtime
+                  .Execute(second, cm2, second_weights,
+                           in2[static_cast<std::size_t>(i)])
+                  .output);
+  }
+}
+
+TEST(InferenceServerTest, OverloadShedsInsteadOfQueueingUnboundedly) {
+  ServerFixture f;
+  ServerOptions opts;
+  opts.num_workers = 1;
+  opts.max_batch = 2;
+  opts.max_queue_delay_seconds = 0.0;
+  opts.max_queue_depth = 4;
+  opts.mode = ExecMode::kDevicePaced;
+  InferenceServer server(f.engine, opts);
+  const ModelHandle h =
+      server.RegisterModel(f.model, f.cfg, f.mapping, f.weights);
+
+  // Flood far past the queue bound in one burst. The bound caps what can
+  // ever be in flight; everything else must resolve as shed, not hang.
+  const int kRequests = 64;
+  const Tensor<std::int16_t> input = MakeInput(f.model.InputOf(0), 5);
+  std::vector<std::future<ItemReport>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    futures.push_back(server.Submit(h, input, /*deadline_seconds=*/0.250));
+  }
+  int ok = 0, shed = 0;
+  for (auto& fut : futures) {
+    const ItemReport r = fut.get();
+    if (r.outcome == ServeOutcome::kOk) {
+      ++ok;
+    } else {
+      ++shed;
+    }
+  }
+  EXPECT_GT(ok, 0);
+  EXPECT_GT(shed, 0) << "a bounded queue must reject under a burst";
+  EXPECT_EQ(ok + shed, kRequests);
+  const ServerStats stats = server.stats(h);
+  EXPECT_EQ(stats.submitted, kRequests);
+  EXPECT_EQ(stats.ok, ok);
+  EXPECT_EQ(stats.rejected + stats.expired, shed);
+  EXPECT_LE(stats.mean_batch_size(), opts.max_batch);
+  EXPECT_GT(stats.shed_rate(), 0.0);
+}
+
+TEST(InferenceServerTest, StopDrainsAdmittedRequests) {
+  ServerFixture f;
+  ServerOptions opts;
+  opts.num_workers = 1;
+  opts.max_batch = 16;
+  // A long batching window: without the Stop flush these would sit for 10s.
+  opts.max_queue_delay_seconds = 10.0;
+  opts.mode = ExecMode::kDevicePaced;
+  InferenceServer server(f.engine, opts);
+  const ModelHandle h =
+      server.RegisterModel(f.model, f.cfg, f.mapping, f.weights);
+
+  const Tensor<std::int16_t> input = MakeInput(f.model.InputOf(0), 5);
+  std::vector<std::future<ItemReport>> futures;
+  for (int i = 0; i < 3; ++i) futures.push_back(server.Submit(h, input));
+  server.Stop();
+  for (auto& fut : futures) {
+    EXPECT_EQ(fut.get().outcome, ServeOutcome::kOk);
+  }
+  // Post-stop submissions resolve as rejected rather than hanging.
+  EXPECT_EQ(server.Submit(h, input).get().outcome, ServeOutcome::kRejected);
+}
+
+}  // namespace
+}  // namespace hdnn

@@ -32,17 +32,47 @@ RATE_KEYS = (
     "speedup_4v1",
     "gops_1_worker",
     "gops_4_workers",
+    # serving front door (BENCH_serve_latency.json)
+    "achieved_qps",
+    "achieved_qps_1w",
+    "achieved_qps_4w",
+    "scaling_4v1",
+    "p50_ms",
+    "p99_ms",
+    "p999_ms",
+    "mean_batch",
+    "shed_rate",
 )
+
+# Latency percentiles and shed rate improve when they go DOWN; everything
+# else in RATE_KEYS improves when it goes up (mean_batch is informational).
+LOWER_BETTER = {"p50_ms", "p99_ms", "p999_ms", "shed_rate"}
+NEUTRAL = {"mean_batch"}
+
+
+def trend(key, before, after):
+    """Direction-aware verdict for the delta column."""
+    if not before or after is None:
+        return ""
+    ratio = after / before
+    if 0.95 <= ratio <= 1.05:
+        return "~"
+    improved = ratio < 1 if key in LOWER_BETTER else ratio > 1
+    if key in NEUTRAL:
+        return "~"
+    return "better" if improved else "WORSE"
 
 
 def row_label(obj):
     if "name" in obj:
         return str(obj["name"])
     parts = []
-    for key in ("platform", "model", "workers", "batch"):
+    for key in ("platform", "model", "pattern", "workers", "batch",
+                "offered_ratio", "max_batch", "max_queue_delay_ms"):
         if key in obj:
-            parts.append(f"{key[0]}{obj[key]}" if key in ("workers", "batch")
-                         else str(obj[key]))
+            short = {"workers": "w", "batch": "b", "offered_ratio": "x",
+                     "max_batch": "mb", "max_queue_delay_ms": "d"}.get(key)
+            parts.append(f"{short}{obj[key]}" if short else str(obj[key]))
     return "/".join(parts) or "(row)"
 
 
@@ -107,11 +137,13 @@ def main(argv):
             print("  (missing from the current run)")
         if not baseline:
             print("  (no cached baseline — first run or cold cache)")
-        print(f"  {'metric':<{width}} {'before':>12} {'after':>12} {'delta':>8}")
+        print(f"  {'metric':<{width}} {'before':>12} {'after':>12} "
+              f"{'delta':>8} {'trend':>7}")
         for key in sorted(set(current) | set(baseline)):
             after = current.get(key)
             before = baseline.get(key)
             after_s = "-" if after is None else f"{after:.3f}"
+            trend_s = ""
             if before is None:
                 before_s, delta_s = "-", "-"
             else:
@@ -120,10 +152,12 @@ def main(argv):
                     delta_s = "gone"
                 elif before:
                     delta_s = f"{after / before:.2f}x"
+                    trend_s = trend(key.rsplit(".", 1)[-1], before, after)
                 else:
                     delta_s = "-" if after == 0 else "new"
             label = key if len(key) <= width else "…" + key[-(width - 1):]
-            print(f"  {label:<{width}} {before_s:>12} {after_s:>12} {delta_s:>8}")
+            print(f"  {label:<{width}} {before_s:>12} {after_s:>12} "
+                  f"{delta_s:>8} {trend_s:>7}")
     if errors:
         print(f"\nbench_delta: {len(errors)} unparseable bench file(s)",
               file=sys.stderr)
