@@ -44,6 +44,12 @@ std::int64_t QuantizeValue(double value, int frac_bits, int bits) {
   const double scaled = value * static_cast<double>(std::int64_t{1} << frac_bits);
   const double rounded = scaled >= 0 ? std::floor(scaled + 0.5)
                                      : std::ceil(scaled - 0.5);
+  // Saturate in the double domain first: a double beyond int64 range would
+  // make the cast undefined (and in practice wrap huge positives to the
+  // NEGATIVE rail). 2^62 is exact in double and covers every `bits` <= 63.
+  const double kRail = 4611686018427387904.0;  // 2^62
+  if (rounded >= kRail) return SignedRangeOf(bits).max;
+  if (rounded <= -kRail) return SignedRangeOf(bits).min;
   return SaturateSigned(static_cast<std::int64_t>(rounded), bits);
 }
 

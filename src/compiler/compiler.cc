@@ -8,6 +8,7 @@
 #include "compiler/fusion.h"
 #include "compiler/stream_check.h"
 #include "compiler/weight_pack.h"
+#include "quant/quant_config.h"
 #include "sim/decoded_program.h"
 #include "winograd/matrices.h"
 
@@ -83,8 +84,10 @@ GroupGeom MakeGroupGeom(const ConvLayer& layer, const FmapShape& in,
 class Codegen {
  public:
   Codegen(const Model& model, const std::vector<LayerMapping>& mapping,
-          const AccelConfig& cfg, const FpgaSpec& spec)
-      : model_(model), mapping_(mapping), cfg_(cfg), spec_(spec) {}
+          const AccelConfig& cfg, const FpgaSpec& spec,
+          const QuantConfig* quant)
+      : model_(model), mapping_(mapping), cfg_(cfg), spec_(spec),
+        quant_(quant) {}
 
   CompiledModel Run() {
     CompiledModel cm;
@@ -146,6 +149,7 @@ class Codegen {
           RoundUp<std::int64_t>(plan.in_shape.channels, chan_quantum));
       plan.cp_out = static_cast<int>(
           RoundUp<std::int64_t>(layer.out_channels, chan_quantum));
+      if (quant_ != nullptr) PlanQuantization(plan, i);
       cm.plans.push_back(plan);
     }
 
@@ -185,6 +189,56 @@ class Codegen {
       if (res >= 0) {
         plan.res_wino = wino_tensor[static_cast<std::size_t>(res + 1)];
       }
+    }
+  }
+
+  /// Adopts the QuantConfig's grids for layer `i`: per-layer fracs and the
+  /// COMP shift, plus per-output-channel shifts clamped to the minimum
+  /// fraction bits within each weight block (every COMP instruction covers
+  /// exactly one k-block, so a per-block shift needs no ISA change).
+  /// Winograd layers stay uniform — their offline kernel transform (and the
+  /// u_shift folded into it) is shared by the whole layer.
+  void PlanQuantization(LayerPlan& plan, int i) {
+    const ConvLayer& layer = model_.layer(i);
+    plan.in_frac = quant_->act_frac[static_cast<std::size_t>(InputTensorOf(i))];
+    plan.out_frac = quant_->act_frac[static_cast<std::size_t>(i) + 1];
+    plan.wgt_frac = quant_->wgt_frac[static_cast<std::size_t>(i)];
+    plan.quan_shift =
+        plan.in_frac + plan.wgt_frac + plan.u_shift - plan.out_frac;
+    HDNN_CHECK(plan.quan_shift >= 0 && plan.quan_shift < 63)
+        << layer.name << ": quantisation shift " << plan.quan_shift
+        << " outside the datapath's [0, 63) requantise range";
+    const std::vector<int>& want =
+        quant_->wgt_frac_ch[static_cast<std::size_t>(i)];
+    if (want.empty() || plan.mapping.mode == ConvMode::kWinograd) return;
+    HDNN_CHECK(static_cast<int>(want.size()) == layer.out_channels)
+        << layer.name << ": per-channel fracs for " << want.size()
+        << " channels, layer has " << layer.out_channels;
+    plan.wgt_frac_ch.assign(static_cast<std::size_t>(layer.out_channels),
+                            plan.wgt_frac);
+    ForEachWeightBlock(plan, layer, cfg_, [&](const WeightBlock& block) {
+      int m = want[static_cast<std::size_t>(block.k0)];
+      for (int k = block.k0; k < block.k0 + block.k_count; ++k) {
+        m = std::min(m, want[static_cast<std::size_t>(k)]);
+      }
+      for (int k = block.k0; k < block.k0 + block.k_count; ++k) {
+        plan.wgt_frac_ch[static_cast<std::size_t>(k)] = m;
+      }
+    });
+    bool uniform = true;
+    plan.quan_shift_ch.resize(static_cast<std::size_t>(layer.out_channels));
+    for (int k = 0; k < layer.out_channels; ++k) {
+      const int shift = plan.in_frac + plan.wgt_frac_ch[static_cast<std::size_t>(k)] +
+                        plan.u_shift - plan.out_frac;
+      HDNN_CHECK(shift >= 0 && shift < 63)
+          << layer.name << " channel " << k << ": shift " << shift
+          << " outside the datapath's [0, 63) requantise range";
+      plan.quan_shift_ch[static_cast<std::size_t>(k)] = shift;
+      uniform &= shift == plan.quan_shift;
+    }
+    if (uniform) {  // block clamping flattened every boost — keep it scalar
+      plan.wgt_frac_ch.clear();
+      plan.quan_shift_ch.clear();
     }
   }
 
@@ -374,7 +428,12 @@ class Codegen {
     // A residual layer's ReLU applies to the sum, so COMP emits the raw
     // requantised convolution and SAVE_RES rectifies after the add.
     f.relu = layer.relu && !layer.has_residual();
-    f.quan = static_cast<std::uint8_t>(plan.quan_shift);
+    // Each COMP covers one weight block (one k0..k0+k_count output-channel
+    // range), so a per-channel plan lowers to the block's clamped shift.
+    f.quan = static_cast<std::uint8_t>(
+        plan.quan_shift_ch.empty()
+            ? plan.quan_shift
+            : plan.quan_shift_ch[static_cast<std::size_t>(block.k0)]);
     f.wino = wino;
     f.wino_offset = static_cast<std::uint8_t>(block.slice);
     if (wino) {
@@ -580,6 +639,7 @@ class Codegen {
   const std::vector<LayerMapping>& mapping_;
   AccelConfig cfg_;
   FpgaSpec spec_;
+  const QuantConfig* quant_;  ///< adopted grids (null = legacy Q5.6 point)
   int ldi_count_ = 0;
   int ldw_count_ = 0;
   int save_count_ = 0;
@@ -593,12 +653,21 @@ Compiler::Compiler(const AccelConfig& cfg, const FpgaSpec& spec)
 }
 
 CompiledModel Compiler::Compile(const Model& model,
-                                const std::vector<LayerMapping>& mapping) const {
+                                const std::vector<LayerMapping>& mapping,
+                                const QuantConfig* quant) const {
   HDNN_CHECK(model.num_layers() > 0) << "empty model";
   HDNN_CHECK(static_cast<int>(mapping.size()) == model.num_layers())
       << "mapping size mismatch";
   ValidateFusionFlags(model, mapping, cfg_);
-  Codegen codegen(model, mapping, cfg_, spec_);
+  if (quant != nullptr) {
+    HDNN_CHECK(quant->feature_bits == cfg_.data_width &&
+               quant->weight_bits == cfg_.wgt_width)
+        << "QuantConfig is for " << quant->feature_bits << "/"
+        << quant->weight_bits << "-bit data, config is " << cfg_.data_width
+        << "/" << cfg_.wgt_width;
+    quant->Validate(model);
+  }
+  Codegen codegen(model, mapping, cfg_, spec_, quant);
   CompiledModel cm = codegen.Run();
   // QA + decode once at compile time: the stream check and the decoded
   // per-module queues used to run per Runtime::Execute; hoisting them here

@@ -36,13 +36,31 @@
 namespace hdnn {
 
 struct DecodedProgram;  // sim/decoded_program.h
+struct QuantConfig;     // quant/quant_config.h
 
 /// Per-layer compilation record.
 struct LayerPlan {
   LayerMapping mapping;
   GroupCounts groups;
   int u_shift = 0;      ///< offline kernel-transform shift (Winograd)
-  int quan_shift = 0;   ///< COMP QUAN_PARAM (base shift + u_shift)
+  /// COMP QUAN_PARAM. Without a QuantConfig this is the historical
+  /// hand-assigned base shift (6) + u_shift; with one it derives from the
+  /// adopted grids: in_frac + wgt_frac + u_shift - out_frac.
+  int quan_shift = 0;
+  // Adopted quantisation grids (defaults reproduce the legacy Q5.6 / Q1.6
+  // hand-assigned point). Weight quantisation (quant/scale_select.h) and
+  // the golden reference (quant/golden.h) read these, so the plan is the
+  // single source of truth for what the instruction stream implements.
+  int in_frac = 6;      ///< feature fraction bits of the input tensor
+  int out_frac = 6;     ///< feature fraction bits of the output tensor
+  int wgt_frac = 6;     ///< per-layer weight fraction bits (floor)
+  /// Effective per-output-channel weight fraction bits after clamping to
+  /// the minimum within each weight block (empty = uniform wgt_frac).
+  std::vector<int> wgt_frac_ch;
+  /// Per-output-channel COMP shifts matching wgt_frac_ch (empty = uniform
+  /// quan_shift). Constant within every weight block by construction, which
+  /// is what lets each COMP instruction carry its block's shift.
+  std::vector<int> quan_shift_ch;
   ConvMode input_layout = ConvMode::kSpatial;   ///< DDR layout read
   ConvMode output_layout = ConvMode::kSpatial;  ///< DDR layout written
   int cp_in = 0;        ///< padded input channels in DRAM
@@ -97,9 +115,14 @@ class Compiler {
   Compiler(const AccelConfig& cfg, const FpgaSpec& spec);
 
   /// Lowers `model` under the given per-layer mapping. Throws CapacityError
-  /// when a layer cannot be scheduled on this configuration.
+  /// when a layer cannot be scheduled on this configuration. When `quant`
+  /// is non-null the calibrated per-tensor/per-channel grids replace the
+  /// hand-assigned base shift in every COMP QUAN_PARAM (per-channel scales
+  /// are clamped to the minimum within each weight block, and to the layer
+  /// value for Winograd layers, whose kernel transform is per-layer).
   CompiledModel Compile(const Model& model,
-                        const std::vector<LayerMapping>& mapping) const;
+                        const std::vector<LayerMapping>& mapping,
+                        const QuantConfig* quant = nullptr) const;
 
  private:
   AccelConfig cfg_;

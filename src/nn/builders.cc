@@ -1,5 +1,7 @@
 #include "nn/builders.h"
 
+#include <algorithm>
+
 namespace hdnn {
 namespace {
 
@@ -20,29 +22,41 @@ ConvLayer Conv3x3(const std::string& name, int in_c, int out_c,
 
 }  // namespace
 
-Model BuildVgg16() {
-  Model m = BuildVgg16ConvOnly();
-  m.AppendFullyConnected("fc6", 4096, /*relu=*/true);
-  m.AppendFullyConnected("fc7", 4096, /*relu=*/true);
-  m.AppendFullyConnected("fc8", 1000, /*relu=*/false);
+Model BuildVgg16() { return BuildVgg16Style(224, 1); }
+
+namespace {
+
+Model Vgg16Body(const std::string& name, int input_hw, int width_div) {
+  const auto ch = [width_div](int c) { return std::max(1, c / width_div); };
+  Model m(name, FmapShape{3, input_hw, input_hw});
+  m.Append(Conv3x3("conv1_1", 3, ch(64), false));
+  m.Append(Conv3x3("conv1_2", ch(64), ch(64), true));
+  m.Append(Conv3x3("conv2_1", ch(64), ch(128), false));
+  m.Append(Conv3x3("conv2_2", ch(128), ch(128), true));
+  m.Append(Conv3x3("conv3_1", ch(128), ch(256), false));
+  m.Append(Conv3x3("conv3_2", ch(256), ch(256), false));
+  m.Append(Conv3x3("conv3_3", ch(256), ch(256), true));
+  m.Append(Conv3x3("conv4_1", ch(256), ch(512), false));
+  m.Append(Conv3x3("conv4_2", ch(512), ch(512), false));
+  m.Append(Conv3x3("conv4_3", ch(512), ch(512), true));
+  m.Append(Conv3x3("conv5_1", ch(512), ch(512), false));
+  m.Append(Conv3x3("conv5_2", ch(512), ch(512), false));
+  m.Append(Conv3x3("conv5_3", ch(512), ch(512), true));
   return m;
 }
 
-Model BuildVgg16ConvOnly() {
-  Model m("vgg16", FmapShape{3, 224, 224});
-  m.Append(Conv3x3("conv1_1", 3, 64, false));
-  m.Append(Conv3x3("conv1_2", 64, 64, true));
-  m.Append(Conv3x3("conv2_1", 64, 128, false));
-  m.Append(Conv3x3("conv2_2", 128, 128, true));
-  m.Append(Conv3x3("conv3_1", 128, 256, false));
-  m.Append(Conv3x3("conv3_2", 256, 256, false));
-  m.Append(Conv3x3("conv3_3", 256, 256, true));
-  m.Append(Conv3x3("conv4_1", 256, 512, false));
-  m.Append(Conv3x3("conv4_2", 512, 512, false));
-  m.Append(Conv3x3("conv4_3", 512, 512, true));
-  m.Append(Conv3x3("conv5_1", 512, 512, false));
-  m.Append(Conv3x3("conv5_2", 512, 512, false));
-  m.Append(Conv3x3("conv5_3", 512, 512, true));
+}  // namespace
+
+Model BuildVgg16ConvOnly() { return Vgg16Body("vgg16", 224, 1); }
+
+Model BuildVgg16Style(int input_hw, int width_div) {
+  Model m = Vgg16Body(width_div == 1 && input_hw == 224 ? "vgg16"
+                                                        : "vgg16_style",
+                      input_hw, width_div);
+  const auto ch = [width_div](int c) { return std::max(10, c / width_div); };
+  m.AppendFullyConnected("fc6", ch(4096), /*relu=*/true);
+  m.AppendFullyConnected("fc7", ch(4096), /*relu=*/true);
+  m.AppendFullyConnected("fc8", ch(1000), /*relu=*/false);
   return m;
 }
 
@@ -124,18 +138,22 @@ Model BuildResNet18Style() {
   return m;
 }
 
-Model BuildResNet18() {
-  Model m("resnet18", FmapShape{3, 224, 224});
+Model BuildResNet18() { return BuildResNet18Scaled(224, 1); }
+
+Model BuildResNet18Scaled(int input_hw, int width_div) {
+  const auto ch = [width_div](int c) { return std::max(1, c / width_div); };
+  Model m(width_div == 1 && input_hw == 224 ? "resnet18" : "resnet18_scaled",
+          FmapShape{3, input_hw, input_hw});
 
   ConvLayer stem;
   stem.name = "conv1";
   stem.in_channels = 3;
-  stem.out_channels = 64;
+  stem.out_channels = ch(64);
   stem.kernel_h = stem.kernel_w = 7;
   stem.stride = 2;
-  stem.pad = 3;  // (224 + 6 - 7)/2 + 1 = 112
+  stem.pad = 3;  // (hw + 6 - 7)/2 + 1 = hw/2 for even hw
   stem.relu = true;
-  stem.pool = 2;  // stands in for the 3x3/s2 max-pool -> 56x56
+  stem.pool = 2;  // stands in for the 3x3/s2 max-pool -> hw/4
   m.Append(stem);
 
   // One basic block: two 3x3 convolutions; the second adds the skip tensor
@@ -173,15 +191,16 @@ Model BuildResNet18() {
     prev = b.name;
   };
 
-  append_block("conv2_1", 64, 64, 1);     // 56x56
-  append_block("conv2_2", 64, 64, 1);
-  append_block("conv3_1", 64, 128, 2);    // 28x28
-  append_block("conv3_2", 128, 128, 1);
-  append_block("conv4_1", 128, 256, 2);   // 14x14
-  append_block("conv4_2", 256, 256, 1);
-  append_block("conv5_1", 256, 512, 2);   // 7x7
-  append_block("conv5_2", 512, 512, 1);
-  m.AppendFullyConnected("fc", 1000, /*relu=*/false);
+  append_block("conv2_1", ch(64), ch(64), 1);      // hw/4
+  append_block("conv2_2", ch(64), ch(64), 1);
+  append_block("conv3_1", ch(64), ch(128), 2);     // hw/8
+  append_block("conv3_2", ch(128), ch(128), 1);
+  append_block("conv4_1", ch(128), ch(256), 2);    // hw/16
+  append_block("conv4_2", ch(256), ch(256), 1);
+  append_block("conv5_1", ch(256), ch(512), 2);    // hw/32
+  append_block("conv5_2", ch(512), ch(512), 1);
+  m.AppendFullyConnected("fc", std::max(10, 1000 / width_div),
+                         /*relu=*/false);
   return m;
 }
 

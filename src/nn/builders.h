@@ -15,6 +15,13 @@ Model BuildVgg16();
 /// sweeps.
 Model BuildVgg16ConvOnly();
 
+/// VGG16-shaped network at reduced scale: the same 13-conv / 5-pool / 3-FC
+/// topology with a square `input_hw` input and every width (conv channels,
+/// FC features) divided by `width_div`. BuildVgg16Style(224, 1) is exactly
+/// BuildVgg16(). The quantisation-accuracy bench runs it at (32, 4), where
+/// the FP32 reference path is fast enough for CI.
+Model BuildVgg16Style(int input_hw, int width_div);
+
 /// AlexNet-style network (large kernels 11x11/5x5 exercise the Winograd
 /// kernel-decomposition path of Sec. 4.2.5).
 Model BuildAlexNetStyle();
@@ -33,6 +40,12 @@ Model BuildResNet18Style();
 /// carries `add=<skip source>`; its ReLU applies after the element-wise add
 /// (fused into the accelerator's SAVE stage).
 Model BuildResNet18();
+
+/// BuildResNet18's topology (real residual edges included) at reduced
+/// scale: square `input_hw` input, widths divided by `width_div`.
+/// BuildResNet18Scaled(224, 1) is exactly BuildResNet18(). The
+/// quantisation-accuracy bench runs it at (64, 4).
+Model BuildResNet18Scaled(int input_hw, int width_div);
 
 /// A small CIFAR-scale CNN (32x32 input) for fast tests and the quickstart
 /// example.

@@ -85,6 +85,13 @@ struct ConvLayer {
     HDNN_CHECK(in.channels == in_channels)
         << name << ": input channels " << in.channels << " != layer "
         << in_channels;
+    // Validate before dividing: a negative numerator truncates toward zero,
+    // so an undersized input could pass the `oh > 0` check with oh == 1.
+    HDNN_CHECK(in.height + 2 * pad >= kernel_h &&
+               in.width + 2 * pad >= kernel_w)
+        << name << ": padded input " << in.height << "x" << in.width
+        << " (+2*" << pad << ") smaller than kernel " << kernel_h << "x"
+        << kernel_w;
     const int oh = (in.height + 2 * pad - kernel_h) / stride + 1;
     const int ow = (in.width + 2 * pad - kernel_w) / stride + 1;
     HDNN_CHECK(oh > 0 && ow > 0) << name << ": empty output";

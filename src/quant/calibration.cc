@@ -1,0 +1,181 @@
+#include "quant/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/prng.h"
+#include "refconv/direct.h"
+#include "refconv/pool.h"
+
+namespace hdnn {
+
+ModelWeightsF SyntheticWeightsF(const Model& model, std::uint64_t seed) {
+  Prng prng(seed);
+  ModelWeightsF out;
+  for (int i = 0; i < model.num_layers(); ++i) {
+    const ConvLayer& layer = model.layer(i);
+    LayerWeightsF lw{
+        Tensor<float>(Shape{layer.out_channels, layer.in_channels,
+                            layer.kernel_h, layer.kernel_w}),
+        Tensor<float>(Shape{layer.out_channels})};
+    const double fan_in = static_cast<double>(layer.in_channels) *
+                          layer.kernel_h * layer.kernel_w;
+    const double limit = std::sqrt(3.0 / fan_in);
+    lw.weights.FillRandomReal(prng, -limit, limit);
+    lw.bias.FillRandomReal(prng, -0.1, 0.1);
+    out.push_back(std::move(lw));
+  }
+  return out;
+}
+
+Tensor<float> MakeCalibrationInput(const FmapShape& shape, std::uint64_t seed,
+                                   float amplitude) {
+  Tensor<float> t(Shape{shape.channels, shape.height, shape.width});
+  Prng prng(seed);
+  t.FillRandomReal(prng, -static_cast<double>(amplitude),
+                   static_cast<double>(amplitude));
+  return t;
+}
+
+namespace {
+
+/// Float residual add matching AddResidualQ's semantics (no saturation in
+/// the float domain; ReLU after the add).
+Tensor<float> AddResidualF(const Tensor<float>& conv, const Tensor<float>& skip,
+                           bool relu) {
+  HDNN_CHECK(conv.shape() == skip.shape())
+      << "residual shapes differ: " << conv.shape().ToString() << " vs "
+      << skip.shape().ToString();
+  Tensor<float> out(conv.shape());
+  for (std::int64_t i = 0; i < conv.elements(); ++i) {
+    float v = conv.flat(i) + skip.flat(i);
+    if (relu && v < 0) v = 0;
+    out.flat(i) = v;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Tensor<float>> Fp32Forward(const Model& model,
+                                       const ModelWeightsF& weights,
+                                       const Tensor<float>& input) {
+  HDNN_CHECK(static_cast<int>(weights.size()) == model.num_layers())
+      << "weights for " << weights.size() << " layers, model has "
+      << model.num_layers();
+  std::vector<Tensor<float>> acts(
+      static_cast<std::size_t>(model.num_layers()));
+  for (int i = 0; i < model.num_layers(); ++i) {
+    const ConvLayer& layer = model.layer(i);
+    const FmapShape in = model.InputOf(i);
+    const int producer = model.input_index(i);
+    Tensor<float> act =
+        producer < 0 ? input : acts[static_cast<std::size_t>(producer)];
+    // Flatten for FC layers (channel-major, matching the WINO DDR layout).
+    if (layer.is_fc && (act.shape().dim(1) != 1 || act.shape().dim(2) != 1)) {
+      act = Tensor<float>(Shape{act.elements(), 1, 1},
+                          std::vector<float>(act.storage()));
+    }
+    HDNN_CHECK(act.shape().dim(0) == in.channels) << "fp32 shape drift";
+    const LayerWeightsF& lw = weights[static_cast<std::size_t>(i)];
+    // Residual layers rectify after the add, so the conv itself runs raw.
+    const bool conv_relu = layer.relu && !layer.has_residual();
+    Tensor<float> conv = Conv2dDirect(act, lw.weights, lw.bias, layer.stride,
+                                      layer.pad, conv_relu);
+    if (layer.has_residual()) {
+      const int res = model.residual_index(i);
+      conv = AddResidualF(conv, acts[static_cast<std::size_t>(res)],
+                          layer.relu);
+    }
+    if (layer.pool > 1) conv = MaxPool2d(conv, layer.pool);
+    acts[static_cast<std::size_t>(i)] = std::move(conv);
+  }
+  return acts;
+}
+
+void RangeStats::Observe(const Tensor<float>& t) {
+  if (bins_.empty()) bins_.assign(kBins, 0);
+  for (std::int64_t i = 0; i < t.elements(); ++i) {
+    const double v = static_cast<double>(t.flat(i));
+    HDNN_CHECK(std::isfinite(v))
+        << "non-finite activation " << t.flat(i)
+        << " during calibration (flat index " << i << ")";
+    if (count_ == 0) {
+      min_ = max_ = v;
+    } else {
+      min_ = std::min(min_, v);
+      max_ = std::max(max_, v);
+    }
+    ++count_;
+    const double a = std::abs(v);
+    if (a == 0) continue;  // zeros land in no bin; percentiles count them
+    max_abs_ = std::max(max_abs_, a);
+    if (bin_width_ == 0) {
+      // First non-zero value: the smallest power-of-two width covering it.
+      // Power-of-two widths anchored at zero are what make the histogram
+      // observation-order independent — every order converges on the same
+      // width (the smallest power of two whose range holds the global max,
+      // via the grow loop below), and values binned at a finer width then
+      // 2:1-merged land exactly where direct binning at the final width
+      // would put them (floor(floor(a/w)/2) == floor(a/2w)).
+      bin_width_ = std::max(std::exp2(std::ceil(std::log2(a / kBins))),
+                            std::numeric_limits<double>::min());
+    }
+    // Grow by doubling: merging bin pairs keeps earlier counts exact.
+    while (a >= bin_width_ * kBins) {
+      for (int b = 0; b < kBins / 2; ++b) {
+        bins_[static_cast<std::size_t>(b)] =
+            bins_[static_cast<std::size_t>(2 * b)] +
+            bins_[static_cast<std::size_t>(2 * b + 1)];
+      }
+      std::fill(bins_.begin() + kBins / 2, bins_.end(), 0);
+      bin_width_ *= 2;
+    }
+    // Clamp against the rare rounding case where a/bin_width_ lands exactly
+    // on kBins despite a < bin_width_ * kBins holding above.
+    const auto bin = std::min<std::int64_t>(
+        static_cast<std::int64_t>(a / bin_width_), kBins - 1);
+    ++bins_[static_cast<std::size_t>(bin)];
+  }
+}
+
+double RangeStats::Percentile(double p) const {
+  HDNN_CHECK(p > 0 && p <= 1) << "percentile fraction " << p;
+  HDNN_CHECK(count_ > 0) << "Percentile on an empty RangeStats";
+  if (p >= 1 || bin_width_ == 0) return max_abs_;
+  // Zeros were not binned but count toward the population below any bound.
+  std::int64_t seen = count_;
+  for (const std::int64_t b : bins_) seen -= b;
+  const auto target = static_cast<std::int64_t>(
+      std::ceil(p * static_cast<double>(count_)));
+  for (int b = 0; b < kBins; ++b) {
+    seen += bins_[static_cast<std::size_t>(b)];
+    if (seen >= target) {
+      // Upper edge of the covering bin, clipped to the exact max.
+      return std::min(max_abs_, bin_width_ * (b + 1));
+    }
+  }
+  return max_abs_;
+}
+
+CalibrationResult Calibrate(const Model& model, const ModelWeightsF& weights,
+                            std::span<const Tensor<float>> batches) {
+  HDNN_CHECK(!batches.empty()) << "calibration needs at least one batch";
+  CalibrationResult result;
+  result.tensors.resize(static_cast<std::size_t>(model.num_layers()) + 1);
+  for (const Tensor<float>& input : batches) {
+    result.tensors[0].Observe(input);
+    const std::vector<Tensor<float>> acts =
+        Fp32Forward(model, weights, input);
+    for (int i = 0; i < model.num_layers(); ++i) {
+      result.tensors[static_cast<std::size_t>(i) + 1].Observe(
+          acts[static_cast<std::size_t>(i)]);
+    }
+    ++result.batches;
+  }
+  return result;
+}
+
+}  // namespace hdnn

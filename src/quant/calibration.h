@@ -1,0 +1,90 @@
+// Activation-range calibration: runs the FP32 golden path over seeded
+// sample batches and records per-tensor magnitude statistics (min/max plus
+// an |value| histogram for percentile clipping). Scale selection
+// (quant/scale_select.h) turns these ranges into fraction bits.
+//
+// Discipline mirrors the CPRE Lab6 sw_quant_framework exemplar: the float
+// reference is the single source of truth, every quantised stage is later
+// compared against it stage-by-stage, and calibration itself rejects
+// non-finite activations instead of silently folding them into a range.
+#ifndef HDNN_QUANT_CALIBRATION_H_
+#define HDNN_QUANT_CALIBRATION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/model.h"
+#include "tensor/tensor.h"
+
+namespace hdnn {
+
+/// Float (pre-quantisation) parameters of one layer.
+struct LayerWeightsF {
+  Tensor<float> weights;  ///< K x C x R x S
+  Tensor<float> bias;     ///< K (may be empty)
+};
+
+using ModelWeightsF = std::vector<LayerWeightsF>;
+
+/// Deterministic synthetic float weights with fan-in (He-style uniform)
+/// scaling, so activation magnitudes drift layer to layer the way trained
+/// networks' do — which is exactly what makes calibrated per-layer scales
+/// beat one hand-assigned shift. Biases are small uniforms.
+ModelWeightsF SyntheticWeightsF(const Model& model, std::uint64_t seed);
+
+/// Deterministic float input fmap, uniform in [-amplitude, amplitude].
+Tensor<float> MakeCalibrationInput(const FmapShape& shape, std::uint64_t seed,
+                                   float amplitude = 1.0f);
+
+/// FP32 golden forward pass: per-layer activations in topological order,
+/// using the same graph semantics as the integer golden (refconv direct
+/// convolution, residual add before the deferred ReLU, fused max-pool, FC
+/// flattening). Returns num_layers tensors; .back() is the model output.
+std::vector<Tensor<float>> Fp32Forward(const Model& model,
+                                       const ModelWeightsF& weights,
+                                       const Tensor<float>& input);
+
+/// Running magnitude statistics of one tensor across calibration batches.
+/// Percentiles come from a fixed-bin histogram of |value| whose range grows
+/// by doubling the bin width (exact 2:1 bin merges), so observation order
+/// does not change the result.
+class RangeStats {
+ public:
+  void Observe(const Tensor<float>& t);
+
+  std::int64_t count() const { return count_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double max_abs() const { return max_abs_; }
+
+  /// Smallest magnitude bound covering at least fraction `p` (0 < p <= 1)
+  /// of the observed values; p == 1 returns the exact max_abs.
+  double Percentile(double p) const;
+
+ private:
+  static constexpr int kBins = 2048;
+
+  double min_ = 0;
+  double max_ = 0;
+  double max_abs_ = 0;
+  std::int64_t count_ = 0;
+  double bin_width_ = 0;  ///< 0 until the first non-zero observation
+  std::vector<std::int64_t> bins_;
+};
+
+/// Per-tensor calibration result: index 0 is the model input, index i+1 is
+/// layer i's output (same tensor numbering as QuantConfig::act_frac).
+struct CalibrationResult {
+  std::vector<RangeStats> tensors;
+  int batches = 0;
+};
+
+/// Runs every batch through Fp32Forward and accumulates range statistics
+/// for the model input and each layer output.
+CalibrationResult Calibrate(const Model& model, const ModelWeightsF& weights,
+                            std::span<const Tensor<float>> batches);
+
+}  // namespace hdnn
+
+#endif  // HDNN_QUANT_CALIBRATION_H_

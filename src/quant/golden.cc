@@ -1,0 +1,60 @@
+#include "quant/golden.h"
+
+#include "common/check.h"
+#include "refconv/direct.h"
+#include "refconv/pool.h"
+#include "winograd/wino_conv.h"
+
+namespace hdnn {
+
+std::vector<Tensor<std::int16_t>> QuantGoldenForward(
+    const Model& model, const CompiledModel& cm, const ModelWeightsQ& weights,
+    const Tensor<std::int16_t>& input) {
+  HDNN_CHECK(static_cast<int>(weights.size()) == model.num_layers())
+      << "weights for " << weights.size() << " layers, model has "
+      << model.num_layers();
+  std::vector<Tensor<std::int16_t>> acts(
+      static_cast<std::size_t>(model.num_layers()));
+  for (int i = 0; i < model.num_layers(); ++i) {
+    const ConvLayer& layer = model.layer(i);
+    const LayerPlan& plan = cm.plans[static_cast<std::size_t>(i)];
+    const FmapShape in = model.InputOf(i);
+    const int producer = model.input_index(i);
+    Tensor<std::int16_t> act =
+        producer < 0 ? input : acts[static_cast<std::size_t>(producer)];
+    if (layer.is_fc && (act.shape().dim(1) != 1 || act.shape().dim(2) != 1)) {
+      act = Tensor<std::int16_t>(Shape{act.elements(), 1, 1},
+                                 std::vector<std::int16_t>(act.storage()));
+    }
+    HDNN_CHECK(act.shape().dim(0) == in.channels) << "golden shape drift";
+    const LayerWeightsQ& lw = weights[static_cast<std::size_t>(i)];
+    const bool conv_relu = layer.relu && !layer.has_residual();
+    Tensor<std::int16_t> conv;
+    if (plan.mapping.mode == ConvMode::kWinograd) {
+      // Winograd layers keep a uniform layer shift (the offline kernel
+      // transform is per-layer); Conv2dWinogradQ adds u_shift internally.
+      HDNN_INTERNAL(plan.quan_shift_ch.empty())
+          << layer.name << ": per-channel shifts on a Winograd layer";
+      conv = Conv2dWinogradQ(act, lw.weights, lw.bias, layer.pad,
+                             plan.quan_shift - plan.u_shift,
+                             cm.cfg.data_width, conv_relu, cm.cfg.pt,
+                             plan.u_shift);
+    } else if (!plan.quan_shift_ch.empty()) {
+      conv = Conv2dDirectQ(act, lw.weights, lw.bias, layer.stride, layer.pad,
+                           plan.quan_shift_ch, cm.cfg.data_width, conv_relu);
+    } else {
+      conv = Conv2dDirectQ(act, lw.weights, lw.bias, layer.stride, layer.pad,
+                           plan.quan_shift, cm.cfg.data_width, conv_relu);
+    }
+    if (layer.has_residual()) {
+      const int res = model.residual_index(i);
+      conv = AddResidualQ(conv, acts[static_cast<std::size_t>(res)],
+                          cm.cfg.data_width, layer.relu);
+    }
+    if (layer.pool > 1) conv = MaxPool2dQ(conv, layer.pool);
+    acts[static_cast<std::size_t>(i)] = std::move(conv);
+  }
+  return acts;
+}
+
+}  // namespace hdnn

@@ -1,0 +1,31 @@
+// Quantised golden forward pass driven by a compiled model's adopted
+// quantisation plan. This is the per-stage reference the simulator must
+// match bit-for-bit and the per-layer anchor of the accuracy harness: each
+// layer's activation is produced with exactly the shifts (per-layer, or
+// per-output-channel after weight-block clamping) the compiler wired into
+// the COMP QUAN_PARAM fields, so an accuracy regression localises to the
+// first layer whose golden/simulator or golden/FP32 comparison moves.
+#ifndef HDNN_QUANT_GOLDEN_H_
+#define HDNN_QUANT_GOLDEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/compiler.h"
+#include "compiler/weight_pack.h"
+#include "nn/model.h"
+#include "tensor/tensor.h"
+
+namespace hdnn {
+
+/// Runs the whole model in the quantised domain, layer by layer, using each
+/// LayerPlan's effective mode, u_shift and quantisation shifts. Returns all
+/// per-layer activations (post pool/residual); .back() is the model output,
+/// bit-identical to what Runtime::Execute collects for the same compile.
+std::vector<Tensor<std::int16_t>> QuantGoldenForward(
+    const Model& model, const CompiledModel& cm, const ModelWeightsQ& weights,
+    const Tensor<std::int16_t>& input);
+
+}  // namespace hdnn
+
+#endif  // HDNN_QUANT_GOLDEN_H_

@@ -1,0 +1,165 @@
+#include "quant/scale_select.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/fixed_point.h"
+#include "tensor/quantize.h"
+
+namespace hdnn {
+namespace {
+
+/// Max |w| over one output channel's KCRS slice, rejecting non-finite
+/// values the same way ChooseFracBits does.
+double ChannelMaxAbs(const Tensor<float>& w, int k) {
+  const std::int64_t per_k = w.elements() / w.shape().dim(0);
+  double max_mag = 0;
+  for (std::int64_t i = 0; i < per_k; ++i) {
+    const double v = static_cast<double>(w.flat(k * per_k + i));
+    HDNN_CHECK(std::isfinite(v)) << "non-finite weight in channel " << k;
+    max_mag = std::max(max_mag, std::abs(v));
+  }
+  return max_mag;
+}
+
+}  // namespace
+
+QuantConfig SelectScales(const Model& model, const AccelConfig& cfg,
+                         const CalibrationResult& calib,
+                         const ModelWeightsF& weights,
+                         const ScaleOptions& options) {
+  const int n = model.num_layers();
+  HDNN_CHECK(static_cast<int>(calib.tensors.size()) == n + 1)
+      << "calibration covers " << calib.tensors.size()
+      << " tensors, model has " << n + 1;
+  HDNN_CHECK(static_cast<int>(weights.size()) == n)
+      << "weights for " << weights.size() << " layers, model has " << n;
+
+  QuantConfig qc;
+  qc.feature_bits = cfg.data_width;
+  qc.weight_bits = cfg.wgt_width;
+  const int max_feat = std::min(options.max_feature_frac, cfg.data_width - 1);
+
+  for (int t = 0; t <= n; ++t) {
+    const double range =
+        calib.tensors[static_cast<std::size_t>(t)].Percentile(
+            options.percentile);
+    qc.act_frac.push_back(
+        ChooseFracBitsForMagnitude(range, cfg.data_width, max_feat)
+            .frac_bits);
+  }
+
+  for (int i = 0; i < n; ++i) {
+    const Tensor<float>& w = weights[static_cast<std::size_t>(i)].weights;
+    const int layer_frac =
+        ChooseFracBits(w, cfg.wgt_width, options.max_weight_frac).frac_bits;
+    qc.wgt_frac.push_back(layer_frac);
+    std::vector<int> per_ch;
+    if (options.per_channel) {
+      const int K = model.layer(i).out_channels;
+      per_ch.reserve(static_cast<std::size_t>(K));
+      bool any_boost = false;
+      for (int k = 0; k < K; ++k) {
+        // A channel's own max magnitude is <= the layer's, so its fraction
+        // bits are >= the layer floor; cap the boost to bound the per-block
+        // shift spread.
+        const int ch_frac =
+            ChooseFracBitsForMagnitude(ChannelMaxAbs(w, k), cfg.wgt_width,
+                                       layer_frac +
+                                           options.max_per_channel_boost)
+                .frac_bits;
+        per_ch.push_back(std::max(ch_frac, layer_frac));
+        any_boost |= per_ch.back() != layer_frac;
+      }
+      if (!any_boost) per_ch.clear();  // uniform layer — keep it scalar
+    }
+    qc.wgt_frac_ch.push_back(std::move(per_ch));
+  }
+
+  // Constraint propagation to a fixpoint. Both rules only ever lower a
+  // tensor's fraction bits, so the loop terminates.
+  //   1. Residual adds mix raw integers: the two tensors of a skip
+  //      connection share a grid (min of the pair).
+  //   2. Requantisation is a right shift: out_frac <= in_frac + wgt_frac.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int i = 0; i < n; ++i) {
+      const int res = model.residual_index(i);
+      if (res >= 0) {
+        const int m = std::min(qc.out_frac(i), qc.out_frac(res));
+        if (qc.act_frac[static_cast<std::size_t>(i) + 1] != m ||
+            qc.act_frac[static_cast<std::size_t>(res) + 1] != m) {
+          qc.act_frac[static_cast<std::size_t>(i) + 1] = m;
+          qc.act_frac[static_cast<std::size_t>(res) + 1] = m;
+          changed = true;
+        }
+      }
+      const int limit =
+          qc.in_frac(model, i) + qc.wgt_frac[static_cast<std::size_t>(i)];
+      if (qc.out_frac(i) > limit) {
+        qc.act_frac[static_cast<std::size_t>(i) + 1] = limit;
+        changed = true;
+      }
+    }
+  }
+
+  qc.Validate(model);
+  return qc;
+}
+
+ModelWeightsQ QuantizeParams(const Model& model, const ModelWeightsF& weights,
+                             const CompiledModel& cm) {
+  HDNN_CHECK(static_cast<int>(weights.size()) == model.num_layers())
+      << "weights for " << weights.size() << " layers, model has "
+      << model.num_layers();
+  HDNN_CHECK(cm.cfg.wgt_width <= 8)
+      << "LayerWeightsQ stores int8 weights; wgt_width=" << cm.cfg.wgt_width;
+  const SignedRange bias_range = SignedRangeOf(32);
+  ModelWeightsQ out;
+  for (int i = 0; i < model.num_layers(); ++i) {
+    const ConvLayer& layer = model.layer(i);
+    const LayerPlan& plan = cm.plans[static_cast<std::size_t>(i)];
+    const LayerWeightsF& lw = weights[static_cast<std::size_t>(i)];
+    HDNN_CHECK(lw.weights.shape() ==
+               Shape({layer.out_channels, layer.in_channels, layer.kernel_h,
+                      layer.kernel_w}))
+        << layer.name << ": weight shape " << lw.weights.shape().ToString();
+    LayerWeightsQ q{Tensor<std::int8_t>(lw.weights.shape()),
+                    Tensor<std::int32_t>(Shape{layer.out_channels})};
+    const std::int64_t per_k =
+        lw.weights.elements() / lw.weights.shape().dim(0);
+    for (int k = 0; k < layer.out_channels; ++k) {
+      const int wf = plan.wgt_frac_ch.empty()
+                         ? plan.wgt_frac
+                         : plan.wgt_frac_ch[static_cast<std::size_t>(k)];
+      for (std::int64_t e = 0; e < per_k; ++e) {
+        q.weights.flat(k * per_k + e) = static_cast<std::int8_t>(
+            QuantizeValue(lw.weights.flat(k * per_k + e), wf,
+                          cm.cfg.wgt_width));
+      }
+      // Bias on the accumulator grid: in_frac + wgt_frac fraction bits add
+      // directly into the MAC sum. Saturation here would be a silent,
+      // hard-to-localise accuracy bug, so overflow is rejected instead.
+      const double b =
+          lw.bias.empty() ? 0.0
+                          : static_cast<double>(lw.bias.flat(k));
+      const std::int64_t bq = QuantizeValue(b, plan.in_frac + wf, 32);
+      HDNN_CHECK(bq > bias_range.min && bq < bias_range.max)
+          << layer.name << ": bias " << b << " overflows int32 on the Q"
+          << plan.in_frac + wf << " accumulator grid";
+      q.bias.flat(k) = static_cast<std::int32_t>(bq);
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+Tensor<std::int16_t> QuantizeInputFmap(const Tensor<float>& input,
+                                       const CompiledModel& cm) {
+  return QuantizeTensor(input,
+                        QuantSpec{cm.cfg.data_width, cm.plans[0].in_frac});
+}
+
+}  // namespace hdnn

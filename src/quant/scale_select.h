@@ -1,0 +1,62 @@
+// Scale selection: turns calibrated activation ranges and float weights
+// into a QuantConfig (per-tensor feature fraction bits, per-layer and
+// per-output-channel weight fraction bits), and quantises float parameters
+// onto the grids a compiled model adopted.
+//
+// Selection enforces the datapath's structural constraints:
+//   * residual adds mix raw integers, so the two tensors of a skip
+//     connection are forced onto the same feature grid (min of the pair);
+//   * requantisation is a right shift, so a layer's output grid can never
+//     be finer than input grid + weight grid (shift >= 0);
+//   * per-channel weight grids are floored at the per-layer grid and capped
+//     a few bits above it, bounding the COMP QUAN_PARAM spread.
+#ifndef HDNN_QUANT_SCALE_SELECT_H_
+#define HDNN_QUANT_SCALE_SELECT_H_
+
+#include "compiler/compiler.h"
+#include "compiler/weight_pack.h"
+#include "quant/calibration.h"
+#include "quant/quant_config.h"
+
+namespace hdnn {
+
+struct ScaleOptions {
+  /// Fraction of |activation| mass the chosen range must cover; 1.0 clips
+  /// nothing (absolute max), 0.999 sheds extreme outliers for a finer grid.
+  double percentile = 1.0;
+  /// Select per-output-channel weight scales (folded into each weight
+  /// block's COMP QUAN_PARAM by the compiler) on top of per-layer scales.
+  bool per_channel = true;
+  /// Caps on fraction bits: features stay below the feature width; weights
+  /// may exceed the weight width (values < 1 quantise to more fraction bits
+  /// than the storage has), bounded to keep shifts and bias grids sane.
+  int max_feature_frac = 11;
+  int max_weight_frac = 14;
+  /// Cap on wgt_frac_ch[k] - wgt_frac (per-channel boost), bounding the
+  /// per-block shift spread.
+  int max_per_channel_boost = 4;
+};
+
+/// Selects a QuantConfig for `model` from calibration statistics and the
+/// float weights. `feature_bits`/`weight_bits` come from `cfg`.
+QuantConfig SelectScales(const Model& model, const AccelConfig& cfg,
+                         const CalibrationResult& calib,
+                         const ModelWeightsF& weights,
+                         const ScaleOptions& options = {});
+
+/// Quantises float parameters onto the grids the compiled model adopted
+/// (LayerPlan::wgt_frac / wgt_frac_ch after per-block clamping): weights at
+/// the per-channel fraction bits, biases on the accumulator grid
+/// in_frac + wgt_frac so they add into the MAC sum without alignment.
+/// Checks that no bias overflows its int32 storage.
+ModelWeightsQ QuantizeParams(const Model& model, const ModelWeightsF& weights,
+                             const CompiledModel& cm);
+
+/// Quantises a float input fmap onto the grid the compiled model expects
+/// for its first layer (plans[0].in_frac, feature_bits wide).
+Tensor<std::int16_t> QuantizeInputFmap(const Tensor<float>& input,
+                                       const CompiledModel& cm);
+
+}  // namespace hdnn
+
+#endif  // HDNN_QUANT_SCALE_SELECT_H_

@@ -18,6 +18,67 @@ void CheckConvShapes(const Shape& in, const Shape& w, std::int64_t bias_k) {
       << "bias size " << bias_k << " != output channels " << w.dim(0);
 }
 
+/// Output extent of one spatial dimension. The padded input must cover at
+/// least one kernel placement *before* the division: (H + 2*pad - R) is
+/// negative for an undersized input, and C++ division truncates it toward
+/// zero, so e.g. H=1, R=3, stride=3 would yield OH = 0/3 + 1 = 1 and sail
+/// past an `OH > 0` check on a geometrically empty convolution.
+std::int64_t OutExtent(std::int64_t in, std::int64_t kernel, int stride,
+                       int pad, const char* dim) {
+  HDNN_CHECK(in + 2 * pad >= kernel)
+      << "padded input " << dim << " " << in << "+2*" << pad
+      << " is smaller than the kernel " << dim << " " << kernel
+      << ": empty convolution";
+  return (in + 2 * pad - kernel) / stride + 1;
+}
+
+/// Shared integer direct-convolution core; `shift_at(k)` supplies the
+/// requantisation shift of output channel k.
+template <typename ShiftAt>
+Tensor<std::int16_t> Conv2dDirectQImpl(const Tensor<std::int16_t>& input,
+                                       const Tensor<std::int8_t>& weights,
+                                       const Tensor<std::int32_t>& bias,
+                                       int stride, int pad,
+                                       const ShiftAt& shift_at,
+                                       int feature_bits, bool relu) {
+  CheckConvShapes(input.shape(), weights.shape(),
+                  bias.empty() ? 0 : bias.elements());
+  const std::int64_t C = input.shape().dim(0);
+  const std::int64_t H = input.shape().dim(1);
+  const std::int64_t W = input.shape().dim(2);
+  const std::int64_t K = weights.shape().dim(0);
+  const std::int64_t R = weights.shape().dim(2);
+  const std::int64_t S = weights.shape().dim(3);
+  const std::int64_t OH = OutExtent(H, R, stride, pad, "height");
+  const std::int64_t OW = OutExtent(W, S, stride, pad, "width");
+
+  Tensor<std::int16_t> out(Shape{K, OH, OW});
+  for (std::int64_t k = 0; k < K; ++k) {
+    const std::int64_t b = bias.empty() ? 0 : bias.flat(k);
+    const int shift = shift_at(k);
+    for (std::int64_t oh = 0; oh < OH; ++oh) {
+      for (std::int64_t ow = 0; ow < OW; ++ow) {
+        std::int64_t acc = b;
+        for (std::int64_t c = 0; c < C; ++c) {
+          for (std::int64_t r = 0; r < R; ++r) {
+            for (std::int64_t s = 0; s < S; ++s) {
+              const std::int64_t ih = oh * stride - pad + r;
+              const std::int64_t iw = ow * stride - pad + s;
+              if (ih < 0 || iw < 0 || ih >= H || iw >= W) continue;
+              acc += static_cast<std::int64_t>(input.at(c, ih, iw)) *
+                     static_cast<std::int64_t>(weights.at(k, c, r, s));
+            }
+          }
+        }
+        std::int64_t q = Requantize(acc, shift, feature_bits);
+        if (relu && q < 0) q = 0;
+        out.at(k, oh, ow) = static_cast<std::int16_t>(q);
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 Tensor<float> Conv2dDirect(const Tensor<float>& input,
@@ -31,9 +92,8 @@ Tensor<float> Conv2dDirect(const Tensor<float>& input,
   const std::int64_t K = weights.shape().dim(0);
   const std::int64_t R = weights.shape().dim(2);
   const std::int64_t S = weights.shape().dim(3);
-  const std::int64_t OH = (H + 2 * pad - R) / stride + 1;
-  const std::int64_t OW = (W + 2 * pad - S) / stride + 1;
-  HDNN_CHECK(OH > 0 && OW > 0) << "empty convolution output";
+  const std::int64_t OH = OutExtent(H, R, stride, pad, "height");
+  const std::int64_t OW = OutExtent(W, S, stride, pad, "width");
 
   Tensor<float> out(Shape{K, OH, OW});
   for (std::int64_t k = 0; k < K; ++k) {
@@ -64,41 +124,27 @@ Tensor<std::int16_t> Conv2dDirectQ(const Tensor<std::int16_t>& input,
                                    const Tensor<std::int32_t>& bias,
                                    int stride, int pad, int shift,
                                    int feature_bits, bool relu) {
-  CheckConvShapes(input.shape(), weights.shape(), bias.empty() ? 0 : bias.elements());
-  const std::int64_t C = input.shape().dim(0);
-  const std::int64_t H = input.shape().dim(1);
-  const std::int64_t W = input.shape().dim(2);
-  const std::int64_t K = weights.shape().dim(0);
-  const std::int64_t R = weights.shape().dim(2);
-  const std::int64_t S = weights.shape().dim(3);
-  const std::int64_t OH = (H + 2 * pad - R) / stride + 1;
-  const std::int64_t OW = (W + 2 * pad - S) / stride + 1;
-  HDNN_CHECK(OH > 0 && OW > 0) << "empty convolution output";
+  return Conv2dDirectQImpl(input, weights, bias, stride, pad,
+                           [shift](std::int64_t) { return shift; },
+                           feature_bits, relu);
+}
 
-  Tensor<std::int16_t> out(Shape{K, OH, OW});
-  for (std::int64_t k = 0; k < K; ++k) {
-    const std::int64_t b = bias.empty() ? 0 : bias.flat(k);
-    for (std::int64_t oh = 0; oh < OH; ++oh) {
-      for (std::int64_t ow = 0; ow < OW; ++ow) {
-        std::int64_t acc = b;
-        for (std::int64_t c = 0; c < C; ++c) {
-          for (std::int64_t r = 0; r < R; ++r) {
-            for (std::int64_t s = 0; s < S; ++s) {
-              const std::int64_t ih = oh * stride - pad + r;
-              const std::int64_t iw = ow * stride - pad + s;
-              if (ih < 0 || iw < 0 || ih >= H || iw >= W) continue;
-              acc += static_cast<std::int64_t>(input.at(c, ih, iw)) *
-                     static_cast<std::int64_t>(weights.at(k, c, r, s));
-            }
-          }
-        }
-        std::int64_t q = Requantize(acc, shift, feature_bits);
-        if (relu && q < 0) q = 0;
-        out.at(k, oh, ow) = static_cast<std::int16_t>(q);
-      }
-    }
-  }
-  return out;
+Tensor<std::int16_t> Conv2dDirectQ(const Tensor<std::int16_t>& input,
+                                   const Tensor<std::int8_t>& weights,
+                                   const Tensor<std::int32_t>& bias,
+                                   int stride, int pad,
+                                   const std::vector<int>& shift_per_k,
+                                   int feature_bits, bool relu) {
+  HDNN_CHECK(static_cast<std::int64_t>(shift_per_k.size()) ==
+             weights.shape().dim(0))
+      << "per-channel shifts for " << shift_per_k.size()
+      << " channels, weights have " << weights.shape().dim(0);
+  return Conv2dDirectQImpl(
+      input, weights, bias, stride, pad,
+      [&shift_per_k](std::int64_t k) {
+        return shift_per_k[static_cast<std::size_t>(k)];
+      },
+      feature_bits, relu);
 }
 
 Tensor<std::int16_t> AddResidualQ(const Tensor<std::int16_t>& conv,

@@ -9,6 +9,7 @@
 #define HDNN_REFCONV_DIRECT_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "nn/model.h"
 #include "tensor/tensor.h"
@@ -29,6 +30,17 @@ Tensor<std::int16_t> Conv2dDirectQ(const Tensor<std::int16_t>& input,
                                    const Tensor<std::int8_t>& weights,
                                    const Tensor<std::int32_t>& bias,
                                    int stride, int pad, int shift,
+                                   int feature_bits, bool relu);
+
+/// Per-output-channel variant: channel k requantises with shift_per_k[k]
+/// (size must equal the output-channel count). This is the golden model for
+/// per-channel weight scales: the compiler folds a channel's extra weight
+/// fraction bits into the COMP QUAN_PARAM of the weight block covering it.
+Tensor<std::int16_t> Conv2dDirectQ(const Tensor<std::int16_t>& input,
+                                   const Tensor<std::int8_t>& weights,
+                                   const Tensor<std::int32_t>& bias,
+                                   int stride, int pad,
+                                   const std::vector<int>& shift_per_k,
                                    int feature_bits, bool relu);
 
 /// Runs a whole layer (conv + optional relu + optional fused max-pool) in the

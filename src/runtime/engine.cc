@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "quant/quant_config.h"
 
 namespace hdnn {
 
@@ -72,6 +73,7 @@ std::uint64_t ModelStructuralHash(const Model& model,
 std::size_t InferenceEngine::CacheKeyHash::operator()(
     const CacheKey& key) const {
   std::uint64_t h = key.structural_hash;
+  HashMix(h, key.quant_fingerprint);
   HashMix(h, static_cast<std::uint64_t>(key.cfg.pi));
   HashMix(h, static_cast<std::uint64_t>(key.cfg.po));
   HashMix(h, static_cast<std::uint64_t>(key.cfg.pt));
@@ -89,11 +91,13 @@ InferenceEngine::InferenceEngine(const FpgaSpec& spec, int num_workers)
 
 std::shared_ptr<const CompiledModel> InferenceEngine::GetOrCompile(
     const Model& model, const AccelConfig& cfg,
-    const std::vector<LayerMapping>& mapping, bool* was_hit) {
+    const std::vector<LayerMapping>& mapping, bool* was_hit,
+    const QuantConfig* quant) {
   HDNN_CHECK(static_cast<int>(mapping.size()) == model.num_layers())
       << "mapping has " << mapping.size() << " entries for "
       << model.num_layers() << " layers";
-  const CacheKey key{ModelStructuralHash(model, mapping), cfg};
+  const CacheKey key{ModelStructuralHash(model, mapping),
+                     quant != nullptr ? quant->Fingerprint() : 0, cfg};
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
     auto it = cache_.find(key);
@@ -106,8 +110,8 @@ std::shared_ptr<const CompiledModel> InferenceEngine::GetOrCompile(
   // Compile outside the lock: compilation is the expensive part and two
   // concurrent misses for the same key simply race to insert equal values.
   const Compiler compiler(cfg, spec_);
-  auto compiled =
-      std::make_shared<const CompiledModel>(compiler.Compile(model, mapping));
+  auto compiled = std::make_shared<const CompiledModel>(
+      compiler.Compile(model, mapping, quant));
   std::lock_guard<std::mutex> lock(cache_mu_);
   auto [it, inserted] = cache_.emplace(key, std::move(compiled));
   if (inserted) {
@@ -137,10 +141,11 @@ std::size_t InferenceEngine::cache_size() const {
 BatchReport InferenceEngine::ExecuteBatch(
     const Model& model, const AccelConfig& cfg,
     const std::vector<LayerMapping>& mapping, const ModelWeightsQ& weights,
-    std::span<const Tensor<std::int16_t>> inputs, bool functional) {
+    std::span<const Tensor<std::int16_t>> inputs, bool functional,
+    const QuantConfig* quant) {
   bool was_hit = false;
   std::shared_ptr<const CompiledModel> compiled =
-      GetOrCompile(model, cfg, mapping, &was_hit);
+      GetOrCompile(model, cfg, mapping, &was_hit, quant);
 
   BatchReport report;
   report.workers_used = num_workers();

@@ -84,9 +84,13 @@ class InferenceEngine {
   /// Compiles `model` for `cfg` under `mapping`, or returns the cached
   /// program compiled earlier for an identical deployment. When `was_hit`
   /// is non-null it reports whether this call was served from the cache.
+  /// `quant` selects the quantisation point (null = legacy hand-assigned
+  /// shifts); its scale fingerprint participates in the cache key, so the
+  /// same model deployed at two precision points never shares a program.
   std::shared_ptr<const CompiledModel> GetOrCompile(
       const Model& model, const AccelConfig& cfg,
-      const std::vector<LayerMapping>& mapping, bool* was_hit = nullptr);
+      const std::vector<LayerMapping>& mapping, bool* was_hit = nullptr,
+      const QuantConfig* quant = nullptr);
 
   /// Runs every input through the model, fanning the batch across the
   /// worker pool (item i runs on worker i % W; workers process their items
@@ -99,7 +103,8 @@ class InferenceEngine {
                            const std::vector<LayerMapping>& mapping,
                            const ModelWeightsQ& weights,
                            std::span<const Tensor<std::int16_t>> inputs,
-                           bool functional = true);
+                           bool functional = true,
+                           const QuantConfig* quant = nullptr);
 
   // Program-cache observability.
   std::int64_t cache_hits() const;
@@ -114,6 +119,10 @@ class InferenceEngine {
  private:
   struct CacheKey {
     std::uint64_t structural_hash = 0;
+    /// QuantConfig::Fingerprint() of the deployment's scales (0 = legacy
+    /// hand-assigned point). Same structure at a different precision point
+    /// compiles to different QUAN_PARAM fields, so it must key separately.
+    std::uint64_t quant_fingerprint = 0;
     AccelConfig cfg;
     friend bool operator==(const CacheKey&, const CacheKey&) = default;
   };

@@ -22,13 +22,24 @@ inline constexpr QuantSpec kFeatureQuant{12, 6};  // int12 features, Q5.6
 inline constexpr QuantSpec kWeightQuant{8, 6};    // int8 weights, Q1.6
 
 /// Quantises a float tensor to int16 storage under `spec` (saturating).
+/// `spec.bits` must fit the int16 storage (2..16) — wider specs would wrap
+/// silently in the narrowing cast even though the values saturated.
 Tensor<std::int16_t> QuantizeTensor(const Tensor<float>& t, QuantSpec spec);
 
 /// Dequantises back to float (exact for in-range values).
 Tensor<float> DequantizeTensor(const Tensor<std::int16_t>& t, QuantSpec spec);
 
-/// Picks the smallest frac_bits that avoids saturation for the tensor's max
-/// magnitude, capped at `max_frac_bits`; returns a spec with the same bits.
+/// Picks the smallest frac_bits in [0, max_frac_bits] that keeps a value of
+/// magnitude `max_mag` representable in `bits` signed bits without
+/// saturation. A zero magnitude (e.g. an all-zero tensor) yields
+/// max_frac_bits — any grid represents zero exactly, so the finest one wins.
+/// `max_mag` must be finite and non-negative.
+QuantSpec ChooseFracBitsForMagnitude(double max_mag, int bits,
+                                     int max_frac_bits);
+
+/// ChooseFracBitsForMagnitude over a tensor's max |element|. Rejects
+/// non-finite elements: a NaN/Inf would otherwise poison the magnitude
+/// comparison and silently select the maximum fraction bits.
 QuantSpec ChooseFracBits(const Tensor<float>& t, int bits, int max_frac_bits);
 
 }  // namespace hdnn

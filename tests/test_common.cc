@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <limits>
 
@@ -134,6 +135,50 @@ TEST(FixedPointTest, RequantizeCombinesShiftAndSaturate) {
   EXPECT_EQ(Requantize(1 << 20, 4, 12), 2047);
   EXPECT_EQ(Requantize(-(1 << 20), 4, 12), -2048);
   EXPECT_EQ(Requantize(160, 4, 12), 10);
+}
+
+TEST(FixedPointTest, QuantizeValueSaturationEdges) {
+  // Q1.6 in 8 bits: representable span is [-2.0, 1.984375].
+  EXPECT_EQ(QuantizeValue(1.984375, 6, 8), 127);
+  EXPECT_EQ(QuantizeValue(2.0, 6, 8), 127);      // just past the edge
+  EXPECT_EQ(QuantizeValue(1e18, 6, 8), 127);     // far past the edge
+  EXPECT_EQ(QuantizeValue(-2.0, 6, 8), -128);    // min is exactly on-grid
+  EXPECT_EQ(QuantizeValue(-2.1, 6, 8), -128);
+  EXPECT_EQ(QuantizeValue(-1e18, 6, 8), -128);
+}
+
+TEST(FixedPointTest, QuantizeValueRoundsHalfAwayFromZero) {
+  // 0.5-ULP ties at frac_bits=0: 0.5 -> 1, 1.5 -> 2, and symmetrically
+  // -0.5 -> -1, -1.5 -> -2 (away from zero, NOT to-even and NOT floor).
+  EXPECT_EQ(QuantizeValue(0.5, 0, 8), 1);
+  EXPECT_EQ(QuantizeValue(1.5, 0, 8), 2);
+  EXPECT_EQ(QuantizeValue(-0.5, 0, 8), -1);
+  EXPECT_EQ(QuantizeValue(-1.5, 0, 8), -2);
+  // Ties on a finer grid: 3/256 is halfway between 1 and 2 at Q.7.
+  EXPECT_EQ(QuantizeValue(3.0 / 256.0, 7, 8), 2);
+  EXPECT_EQ(QuantizeValue(-3.0 / 256.0, 7, 8), -2);
+}
+
+TEST(FixedPointTest, DequantizeValueIsExactInverseOnGrid) {
+  for (int frac : {0, 3, 6, 10}) {
+    for (std::int64_t q : {-128ll, -17ll, -1ll, 0ll, 1ll, 42ll, 127ll}) {
+      const double v = DequantizeValue(q, frac);
+      EXPECT_EQ(QuantizeValue(v, frac, 8), q) << "frac=" << frac;
+    }
+  }
+}
+
+TEST(FixedPointTest, QuantizeDequantizeRoundTripWithinHalfStep) {
+  // Property: on in-range values the round-trip error is <= step/2, with
+  // equality only at ties — checked across grids including edge values.
+  for (int frac : {0, 2, 6}) {
+    const double step = 1.0 / static_cast<double>(1 << frac);
+    for (double v = -1.9; v < 1.9; v += 0.0437) {
+      const std::int64_t q = QuantizeValue(v, frac, 8);
+      EXPECT_LE(std::abs(DequantizeValue(q, frac) - v), step / 2 + 1e-12)
+          << "frac=" << frac << " v=" << v;
+    }
+  }
 }
 
 TEST(FixedPointTest, RoundingShiftAtInt64Boundaries) {

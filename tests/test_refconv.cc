@@ -69,6 +69,26 @@ TEST(ResidualAddTest, ShapeMismatchThrows) {
   EXPECT_THROW(AddResidualQ(a, b, 12, false), InvalidArgument);
 }
 
+TEST(DirectConvTest, KernelLargerThanPaddedInputThrows) {
+  // Regression: H=1, R=3, stride=3, pad=0 used to slip past the output-size
+  // division as (1 + 0 - 3) / 3 + 1 == 1 (truncation toward zero) and then
+  // read rows that do not exist. The geometry must be rejected up front.
+  Tensor<float> in(Shape{1, 1, 8});
+  Tensor<float> w(Shape{1, 1, 3, 3});
+  Tensor<float> bias(Shape{1});
+  EXPECT_THROW(Conv2dDirect(in, w, bias, /*stride=*/3, /*pad=*/0, false),
+               InvalidArgument);
+
+  Tensor<std::int16_t> qin(Shape{1, 1, 8});
+  Tensor<std::int8_t> qw(Shape{1, 1, 3, 3});
+  Tensor<std::int32_t> qb(Shape{1});
+  EXPECT_THROW(
+      Conv2dDirectQ(qin, qw, qb, /*stride=*/3, /*pad=*/0, 6, 12, false),
+      InvalidArgument);
+  // One row of padding makes the window fit again: 1 + 2 - 3 == 0 rows.
+  EXPECT_NO_THROW(Conv2dDirect(in, w, bias, /*stride=*/3, /*pad=*/1, false));
+}
+
 TEST(DirectConvTest, ChannelMismatchThrows) {
   Tensor<float> in(Shape{2, 4, 4});
   Tensor<float> w(Shape{1, 3, 3, 3});

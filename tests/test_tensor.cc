@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "common/check.h"
 #include "common/fixed_point.h"
 #include "common/prng.h"
@@ -152,6 +155,68 @@ TEST_P(QuantWidthTest, ValuesStayInNBitRange) {
 
 INSTANTIATE_TEST_SUITE_P(Widths, QuantWidthTest,
                          ::testing::Values(4, 8, 12, 16));
+
+TEST(QuantizeTest, RejectsBitsOutsideInt16Storage) {
+  // QuantizeTensor stores into int16; more than 16 bits would silently
+  // truncate the saturated value.
+  Tensor<float> t(Shape{1}, 1.0f);
+  EXPECT_THROW(QuantizeTensor(t, QuantSpec{17, 4}), InvalidArgument);
+  EXPECT_THROW(QuantizeTensor(t, QuantSpec{1, 0}), InvalidArgument);
+  EXPECT_THROW(QuantizeTensor(t, QuantSpec{8, -1}), InvalidArgument);
+}
+
+TEST(QuantizeTest, ChooseFracBitsRejectsNonFinite) {
+  Tensor<float> nan_t(Shape{2});
+  nan_t.flat(0) = 1.0f;
+  nan_t.flat(1) = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_THROW(ChooseFracBits(nan_t, 8, 7), InvalidArgument);
+  Tensor<float> inf_t(Shape{1}, std::numeric_limits<float>::infinity());
+  EXPECT_THROW(ChooseFracBits(inf_t, 8, 7), InvalidArgument);
+}
+
+TEST(QuantizeTest, ChooseFracBitsAllZeroTensorUsesMaxFrac) {
+  // An all-zero tensor has no magnitude to bound the grid; the documented
+  // fast path picks the finest allowed grid (any grid represents 0 exactly).
+  Tensor<float> t(Shape{8});
+  const QuantSpec spec = ChooseFracBits(t, 8, 7);
+  EXPECT_EQ(spec.bits, 8);
+  EXPECT_EQ(spec.frac_bits, 7);
+}
+
+TEST(QuantizeTest, ChooseFracBitsForMagnitudeEdges) {
+  EXPECT_EQ(ChooseFracBitsForMagnitude(0.0, 8, 7).frac_bits, 7);
+  // magnitude 1.0 with 8 bits: 1.0 * 2^6 = 64 <= 127, 1.0 * 2^7 = 128 > 127.
+  EXPECT_EQ(ChooseFracBitsForMagnitude(1.0, 8, 7).frac_bits, 6);
+  // A huge magnitude cannot be represented even at 0 fraction bits — the
+  // chooser still returns its floor (0) and quantisation saturates.
+  EXPECT_EQ(ChooseFracBitsForMagnitude(1e9, 8, 7).frac_bits, 0);
+  // Tiny magnitudes are capped by max_frac_bits.
+  EXPECT_EQ(ChooseFracBitsForMagnitude(1e-9, 8, 7).frac_bits, 7);
+}
+
+TEST(QuantizeTest, RoundTripErrorBoundedByHalfUlp) {
+  // Property: for values inside the representable range, dequantize(
+  // quantize(v)) is within half a grid step of v, for every width/frac.
+  Prng prng(13);
+  for (int bits : {8, 12, 16}) {
+    for (int frac : {0, 3, 6}) {
+      const auto range = SignedRangeOf(bits);
+      const double step = 1.0 / static_cast<double>(1 << frac);
+      const double lo = static_cast<double>(range.min) * step;
+      const double hi = static_cast<double>(range.max) * step;
+      Tensor<float> t(Shape{256});
+      t.FillRandomReal(prng, lo, hi);
+      const auto q = QuantizeTensor(t, QuantSpec{bits, frac});
+      const auto d = DequantizeTensor(q, QuantSpec{bits, frac});
+      for (std::int64_t i = 0; i < t.elements(); ++i) {
+        EXPECT_LE(std::abs(static_cast<double>(t.flat(i)) -
+                           static_cast<double>(d.flat(i))),
+                  step / 2 + 1e-9)
+            << "bits=" << bits << " frac=" << frac << " v=" << t.flat(i);
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace hdnn

@@ -42,11 +42,19 @@ RATE_KEYS = (
     "p999_ms",
     "mean_batch",
     "shed_rate",
+    # quantization accuracy (BENCH_quant_error.json) — end-to-end only;
+    # per-layer metrics use non-rate key names so they stay out of the table
+    "e2e_sqnr_db",
+    "sqnr_gain_db",
+    "e2e_rmse",
+    "e2e_max_abs",
 )
 
-# Latency percentiles and shed rate improve when they go DOWN; everything
-# else in RATE_KEYS improves when it goes up (mean_batch is informational).
-LOWER_BETTER = {"p50_ms", "p99_ms", "p999_ms", "shed_rate"}
+# Latency percentiles, shed rate and quantization error improve when they go
+# DOWN; everything else in RATE_KEYS improves when it goes up (mean_batch is
+# informational).
+LOWER_BETTER = {"p50_ms", "p99_ms", "p999_ms", "shed_rate",
+                "e2e_rmse", "e2e_max_abs"}
 NEUTRAL = {"mean_batch"}
 
 
