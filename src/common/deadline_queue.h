@@ -119,7 +119,11 @@ class DeadlineQueue {
   bool DispatchReady(double now) const {
     if (entries_.empty()) return false;
     if (size() >= max_batch_) return true;
-    return now - entries_.front().enqueue_s >= max_queue_delay_s_;
+    // Same expression as NextTriggerTime(): comparing `now` against the
+    // rounded sum keeps the two agreeing at now == NextTriggerTime(), where
+    // the algebraically equal `now - enqueue >= delay` can round false and
+    // livelock a virtual-time loop that advanced to the trigger instant.
+    return now >= entries_.front().enqueue_s + max_queue_delay_s_;
   }
 
   /// Absolute time the pending timeout trigger fires; kNeverTriggers when

@@ -51,6 +51,24 @@ class Prng {
     return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
   }
 
+  /// Derives an independent child stream (splitmix-style stream derivation):
+  /// the child seed is the (state, stream_id) pair pushed through two rounds
+  /// of the splitmix64 finalizer with the id folded in under distinct odd
+  /// constants. Children of distinct ids — and of parents in distinct
+  /// states — produce decorrelated sequences, yet Fork is a pure function of
+  /// (state, id): forking shard k of N is reproducible for any shard count
+  /// and any fork order, and the parent's own sequence is unchanged.
+  Prng Fork(std::uint64_t stream_id) const {
+    std::uint64_t z = state_ + 0x9e3779b97f4a7c15ull * (stream_id + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    z += stream_id * 0xd1342543de82ef95ull + 0x8cb92ba72f3d8dd7ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return Prng(z ^ (z >> 31));
+  }
+
   /// Uniform in [lo, hi).
   double NextDouble(double lo, double hi) {
     return lo + NextDouble() * (hi - lo);

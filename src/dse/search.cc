@@ -499,6 +499,8 @@ DseFrontier DseEngine::ExploreFrontier(const Model& model,
         s.cand->implementation.bram18 / static_cast<double>(spec_.bram18);
     p.power_watts =
         DefaultPowerModel().TotalWatts(spec_, s.cand->implementation.AsUsage());
+    p.qps = p.objective > 0 ? spec_.freq_mhz * 1e6 / p.objective : 0;
+    p.qps_per_watt = p.power_watts > 0 ? p.qps / p.power_watts : 0;
     points.push_back(std::move(p));
   }
 

@@ -90,6 +90,12 @@ struct ParetoPoint {
   double dsp_utilization = 0;
   double bram_utilization = 0;
   double power_watts = 0;  ///< platform/power_model on implementation usage
+  /// Serving-plane annotations (derived, not dominance axes): sustained
+  /// whole-board throughput freq / objective — the NI instances pipelining
+  /// independent images — and its power efficiency. The fleet portfolio
+  /// planner (src/fleet/portfolio.h) consumes these.
+  double qps = 0;
+  double qps_per_watt = 0;
 };
 
 struct DseResult {

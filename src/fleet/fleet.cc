@@ -1,0 +1,479 @@
+#include "fleet/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+#include "common/prng.h"
+#include "platform/power_model.h"
+
+namespace hdnn {
+namespace {
+
+/// Nearest-rank percentile of an ascending-sorted sample (q in [0,1]).
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const auto n = static_cast<double>(sorted.size());
+  auto rank = static_cast<std::size_t>(std::ceil(q * n));
+  if (rank > 0) --rank;
+  if (rank >= sorted.size()) rank = sorted.size() - 1;
+  return sorted[rank];
+}
+
+std::vector<double> ClassWeights(const FleetOptions& options,
+                                 std::size_t num_classes) {
+  if (options.class_weights.empty())
+    return std::vector<double>(num_classes, 1.0);
+  HDNN_CHECK(options.class_weights.size() == num_classes)
+      << "class_weights must match the class count: "
+      << options.class_weights.size() << " vs " << num_classes;
+  for (double w : options.class_weights)
+    HDNN_CHECK(w > 0) << "class weight must be positive, got " << w;
+  return options.class_weights;
+}
+
+}  // namespace
+
+std::vector<FleetTraceArrival> MakePoissonTrace(
+    const std::vector<LatencyClass>& classes, double duration_seconds,
+    std::uint64_t seed) {
+  HDNN_CHECK(duration_seconds > 0)
+      << "trace duration must be positive, got " << duration_seconds;
+  std::vector<FleetTraceArrival> trace;
+  const Prng root(seed);
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    const double rate = classes[c].offered_qps;
+    if (rate <= 0) continue;
+    Prng stream = root.Fork(static_cast<std::uint64_t>(c));
+    double t = 0;
+    for (;;) {
+      t += -std::log1p(-stream.NextDouble()) / rate;
+      if (t >= duration_seconds) break;
+      trace.push_back({t, static_cast<int>(c)});
+    }
+  }
+  std::stable_sort(trace.begin(), trace.end(),
+                   [](const FleetTraceArrival& a, const FleetTraceArrival& b) {
+                     if (a.at_seconds != b.at_seconds)
+                       return a.at_seconds < b.at_seconds;
+                     return a.class_index < b.class_index;
+                   });
+  return trace;
+}
+
+FleetSimResult SimulateFleet(
+    const std::vector<BoardCandidate>& candidates,
+    const std::vector<int>& shard_candidates,
+    const std::vector<LatencyClass>& classes,
+    const std::vector<std::vector<double>>& device_seconds,
+    const std::vector<FleetTraceArrival>& arrivals,
+    const FleetOptions& options) {
+  HDNN_CHECK(!shard_candidates.empty()) << "fleet has no shards";
+  HDNN_CHECK(!classes.empty()) << "fleet has no latency classes";
+  HDNN_CHECK(device_seconds.size() == candidates.size())
+      << "device_seconds must have one row per candidate";
+  const std::size_t num_shards = shard_candidates.size();
+  const std::size_t num_classes = classes.size();
+  const std::vector<double> weights = ClassWeights(options, num_classes);
+
+  struct ShardSim {
+    int cand = 0;
+    std::vector<double> worker_free;       // per NI instance
+    std::vector<DeadlineQueue<int>> queues;  // per class
+    std::vector<double> credits;
+    std::size_t scan_start = 0;
+    std::int64_t items = 0;
+    std::int64_t batches = 0;
+    double busy_seconds = 0;
+  };
+  std::vector<ShardSim> shards(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    const int cand = shard_candidates[s];
+    HDNN_CHECK(cand >= 0 && cand < static_cast<int>(candidates.size()))
+        << "shard candidate index " << cand << " out of range";
+    HDNN_CHECK(device_seconds[static_cast<std::size_t>(cand)].size() ==
+               candidates[static_cast<std::size_t>(cand)].item_seconds.size())
+        << "device_seconds row " << cand << " must have one entry per model";
+    ShardSim& sim = shards[s];
+    sim.cand = cand;
+    const int ni = candidates[static_cast<std::size_t>(cand)].config.ni;
+    sim.worker_free.assign(static_cast<std::size_t>(ni), 0.0);
+    sim.credits.assign(num_classes, 0.0);
+    sim.queues.reserve(num_classes);
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      sim.queues.emplace_back(options.max_queue_depth, options.max_batch,
+                              options.max_queue_delay_seconds);
+    }
+  }
+  auto dev = [&](const ShardSim& sim, int model) {
+    return device_seconds[static_cast<std::size_t>(sim.cand)]
+                         [static_cast<std::size_t>(model)];
+  };
+  // Static feasibility: one item's device time fits the class deadline.
+  std::vector<std::vector<bool>> feasible_static(
+      num_shards, std::vector<bool>(num_classes, false));
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      feasible_static[s][c] = dev(shards[s], classes[c].model_index) <=
+                              classes[c].deadline_seconds;
+    }
+  }
+
+  Router router(static_cast<int>(num_shards), options.router);
+  FleetSimResult result;
+  result.decisions.reserve(arrivals.size());
+  result.classes.assign(num_classes, {});
+  std::vector<std::vector<double>> latencies(num_classes);
+
+  std::vector<double> arrival_time(arrivals.size());
+  std::vector<int> arrival_class(arrivals.size());
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    arrival_time[i] = arrivals[i].at_seconds;
+    arrival_class[i] = arrivals[i].class_index;
+    HDNN_CHECK(arrival_class[i] >= 0 &&
+               arrival_class[i] < static_cast<int>(num_classes))
+        << "arrival class " << arrival_class[i] << " out of range";
+    HDNN_CHECK(i == 0 || arrival_time[i] >= arrival_time[i - 1])
+        << "trace arrivals must be time-ordered";
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::size_t next_arrival = 0;
+  double now = 0;
+  std::vector<DeadlineQueue<int>::Entry> scratch;
+
+  auto min_free = [](const ShardSim& sim) {
+    return *std::min_element(sim.worker_free.begin(), sim.worker_free.end());
+  };
+
+  for (;;) {
+    // Earliest dispatch opportunity across shards (lowest shard wins ties).
+    double dispatch_t = kInf;
+    std::size_t dispatch_s = 0;
+    bool have_dispatch = false;
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      ShardSim& sim = shards[s];
+      const double mf = min_free(sim);
+      for (std::size_t c = 0; c < num_classes; ++c) {
+        const DeadlineQueue<int>& q = sim.queues[c];
+        if (q.empty()) continue;
+        const double ready_t =
+            q.size() >= q.max_batch() ? now : q.NextTriggerTime();
+        const double t = std::max({ready_t, mf, now});
+        if (t < dispatch_t) {
+          dispatch_t = t;
+          dispatch_s = s;
+          have_dispatch = true;
+        }
+      }
+    }
+    const double arrival_t =
+        next_arrival < arrivals.size() ? arrival_time[next_arrival] : kInf;
+    if (!have_dispatch && next_arrival >= arrivals.size()) break;
+
+    if (have_dispatch && dispatch_t <= arrival_t) {
+      // Dispatch first on ties (mirrors ServeTrace).
+      now = dispatch_t;
+      ShardSim& sim = shards[dispatch_s];
+      std::vector<bool> ready(num_classes, false);
+      for (std::size_t c = 0; c < num_classes; ++c)
+        ready[c] = sim.queues[c].DispatchReady(now);
+      const int picked =
+          PickReadyQueue(ready, weights, sim.credits, sim.scan_start);
+      if (picked < 0) continue;  // the trigger moved; recompute events
+      DeadlineQueue<int>& q = sim.queues[static_cast<std::size_t>(picked)];
+      scratch.clear();
+      q.SweepExpired(now, scratch);
+      result.classes[static_cast<std::size_t>(picked)].expired +=
+          static_cast<std::int64_t>(scratch.size());
+      if (!q.DispatchReady(now)) continue;  // sweep cancelled the trigger
+      std::vector<DeadlineQueue<int>::Entry> batch = q.TakeBatch();
+      sim.scan_start =
+          (static_cast<std::size_t>(picked) + 1) % num_classes;
+      if (batch.empty()) continue;
+      // The batch runs back-to-back on the earliest-free instance.
+      const auto w = static_cast<std::size_t>(
+          std::min_element(sim.worker_free.begin(), sim.worker_free.end()) -
+          sim.worker_free.begin());
+      const double item_s = dev(sim, classes[static_cast<std::size_t>(picked)]
+                                         .model_index);
+      double finish = now;
+      for (const auto& e : batch) {
+        finish += item_s;
+        const double latency =
+            finish - arrival_time[static_cast<std::size_t>(e.value)];
+        FleetClassStats& cs =
+            result.classes[static_cast<std::size_t>(picked)];
+        ++cs.ok;
+        latencies[static_cast<std::size_t>(picked)].push_back(latency);
+      }
+      sim.worker_free[w] = finish;
+      sim.busy_seconds += finish - now;
+      sim.items += static_cast<std::int64_t>(batch.size());
+      ++sim.batches;
+      continue;
+    }
+
+    // Arrival.
+    now = arrival_t;
+    const std::size_t idx = next_arrival++;
+    const auto c = static_cast<std::size_t>(arrival_class[idx]);
+    const LatencyClass& cls = classes[c];
+    FleetClassStats& cs = result.classes[c];
+    ++cs.submitted;
+
+    std::vector<double> load(num_shards, 0);
+    std::vector<bool> mask_static(num_shards, false);
+    std::vector<bool> mask_dyn(num_shards, false);
+    bool any_dyn = false;
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      const ShardSim& sim = shards[s];
+      double backlog = 0;
+      for (double wf : sim.worker_free) backlog += std::max(0.0, wf - now);
+      for (std::size_t c2 = 0; c2 < num_classes; ++c2) {
+        backlog += sim.queues[c2].size() *
+                   dev(sim, classes[c2].model_index);
+      }
+      load[s] = backlog / static_cast<double>(sim.worker_free.size());
+      if (!feasible_static[s][c]) continue;
+      mask_static[s] = true;
+      if (load[s] + dev(sim, cls.model_index) <= cls.deadline_seconds) {
+        mask_dyn[s] = true;
+        any_dyn = true;
+      }
+    }
+    // Deadline-aware masking: prefer shards whose backlog still leaves
+    // deadline slack; when none does, fall back to any statically-feasible
+    // shard and let admission shed. An all-false mask returns -1 but still
+    // consumes the decision slot, keeping decision k pinned to arrival k.
+    const int shard =
+        router.Route(load, any_dyn ? mask_dyn : mask_static);
+    result.decisions.push_back(shard);
+    if (shard < 0) {
+      ++cs.unroutable;
+      continue;
+    }
+    ShardSim& sim = shards[static_cast<std::size_t>(shard)];
+    DeadlineQueue<int>::Entry entry;
+    entry.value = static_cast<int>(idx);
+    entry.enqueue_s = now;
+    entry.deadline_s = cls.deadline_seconds == kNoDeadline
+                           ? kNoDeadline
+                           : now + cls.deadline_seconds;
+    scratch.clear();
+    DeadlineQueue<int>::Entry evicted;
+    const AdmitResult admit =
+        sim.queues[c].Push(entry, now, &evicted, scratch);
+    cs.expired += static_cast<std::int64_t>(scratch.size());
+    if (admit == AdmitResult::kRejected) {
+      ++cs.rejected;
+    } else if (admit == AdmitResult::kEvicted) {
+      ++result.classes[c].rejected;  // the evicted entry is of this class
+    }
+  }
+
+  // Horizon and rates.
+  double horizon = arrivals.empty() ? 0 : arrival_time.back();
+  for (const ShardSim& sim : shards)
+    for (double wf : sim.worker_free) horizon = std::max(horizon, wf);
+  result.horizon_seconds = horizon;
+  std::int64_t total_ok = 0;
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    FleetClassStats& cs = result.classes[c];
+    total_ok += cs.ok;
+    if (horizon > 0)
+      cs.achieved_qps = static_cast<double>(cs.ok) / horizon;
+    std::sort(latencies[c].begin(), latencies[c].end());
+    cs.p50_ms = Percentile(latencies[c], 0.50) * 1e3;
+    cs.p99_ms = Percentile(latencies[c], 0.99) * 1e3;
+  }
+  result.shards.assign(num_shards, {});
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    const ShardSim& sim = shards[s];
+    const BoardCandidate& cand =
+        candidates[static_cast<std::size_t>(sim.cand)];
+    FleetShardStats& ss = result.shards[s];
+    ss.candidate_index = sim.cand;
+    ss.items = sim.items;
+    ss.batches = sim.batches;
+    ss.busy_seconds = sim.busy_seconds;
+    if (horizon > 0) {
+      const double capacity =
+          horizon * static_cast<double>(sim.worker_free.size());
+      ss.utilization = std::min(1.0, sim.busy_seconds / capacity);
+      ss.measured_qps = static_cast<double>(sim.items) / horizon;
+      ss.energy_joules = DefaultPowerModel().EnergyJoules(
+          cand.spec, cand.implementation.AsUsage(), horizon, ss.utilization);
+    }
+    result.energy_joules += ss.energy_joules;
+  }
+  if (horizon > 0)
+    result.total_ok_qps = static_cast<double>(total_ok) / horizon;
+  if (result.energy_joules > 0)
+    result.qps_per_joule =
+        static_cast<double>(total_ok) / result.energy_joules;
+  return result;
+}
+
+Fleet::Fleet(const std::vector<BoardCandidate>& candidates,
+             const std::vector<int>& shard_candidates,
+             const std::vector<LatencyClass>& classes,
+             const std::vector<const Model*>& models,
+             const std::vector<const ModelWeightsQ*>& weights,
+             const FleetOptions& options, ExecMode mode)
+    : candidates_(candidates),
+      shard_candidates_(shard_candidates),
+      classes_(classes),
+      options_(options),
+      router_(static_cast<int>(
+                  std::max<std::size_t>(shard_candidates.size(), 1)),
+              options.router) {
+  HDNN_CHECK(!shard_candidates_.empty()) << "fleet has no shards";
+  HDNN_CHECK(!classes_.empty()) << "fleet has no latency classes";
+  HDNN_CHECK(models.size() == weights.size())
+      << "models/weights size mismatch";
+  const std::vector<double> class_weights =
+      ClassWeights(options_, classes_.size());
+  for (int cand_idx : shard_candidates_) {
+    HDNN_CHECK(cand_idx >= 0 &&
+               cand_idx < static_cast<int>(candidates_.size()))
+        << "shard candidate index " << cand_idx << " out of range";
+    const BoardCandidate& cand =
+        candidates_[static_cast<std::size_t>(cand_idx)];
+    HDNN_CHECK(cand.item_seconds.size() == models.size())
+        << "candidate was built for a different model list";
+
+    // One engine per distinct platform: its program cache and RuntimePool
+    // are shared by every shard of that platform.
+    InferenceEngine* engine = nullptr;
+    for (std::size_t e = 0; e < engine_names_.size(); ++e) {
+      if (engine_names_[e] == cand.spec.name) engine = engines_[e].get();
+    }
+    if (engine == nullptr) {
+      engine_names_.push_back(cand.spec.name);
+      engines_.push_back(std::make_unique<InferenceEngine>(cand.spec, 1));
+      engine = engines_.back().get();
+    }
+
+    ServerOptions server_opts;
+    server_opts.num_workers = cand.config.ni;
+    server_opts.max_batch = options_.max_batch;
+    server_opts.max_queue_delay_seconds = options_.max_queue_delay_seconds;
+    server_opts.max_queue_depth = options_.max_queue_depth;
+    server_opts.mode = mode;
+    servers_.push_back(
+        std::make_unique<InferenceServer>(*engine, server_opts));
+    InferenceServer& server = *servers_.back();
+
+    std::vector<ModelHandle> handles(classes_.size(), -1);
+    for (std::size_t c = 0; c < classes_.size(); ++c) {
+      if (!ClassFeasible(cand, classes_[c])) continue;
+      const auto m = static_cast<std::size_t>(classes_[c].model_index);
+      handles[c] =
+          server.RegisterModel(*models[m], cand.config, cand.mappings[m],
+                               *weights[m], class_weights[c]);
+    }
+    handles_.push_back(std::move(handles));
+  }
+}
+
+Fleet::~Fleet() { Stop(); }
+
+std::future<ItemReport> Fleet::Submit(int class_index,
+                                      Tensor<std::int16_t> input) {
+  HDNN_CHECK(class_index >= 0 &&
+             class_index < static_cast<int>(classes_.size()))
+      << "class index " << class_index << " out of range";
+  const auto c = static_cast<std::size_t>(class_index);
+  const std::size_t num_shards = servers_.size();
+  std::vector<double> load(num_shards, 0);
+  std::vector<bool> feasible(num_shards, false);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    const BoardCandidate& cand =
+        candidates_[static_cast<std::size_t>(shard_candidates_[s])];
+    double backlog = 0;
+    for (std::size_t c2 = 0; c2 < classes_.size(); ++c2) {
+      if (handles_[s][c2] < 0) continue;
+      const ServerStats st = servers_[s]->stats(handles_[s][c2]);
+      const std::int64_t outstanding =
+          st.submitted - st.ok - st.rejected - st.expired;
+      backlog +=
+          static_cast<double>(std::max<std::int64_t>(outstanding, 0)) *
+          cand.item_seconds[static_cast<std::size_t>(
+              classes_[c2].model_index)];
+    }
+    load[s] = backlog / std::max(1, cand.config.ni);
+    feasible[s] = handles_[s][c] >= 0;
+  }
+  int shard;
+  {
+    std::lock_guard<std::mutex> lock(router_mu_);
+    shard = router_.Route(load, feasible);
+  }
+  if (shard < 0) {
+    std::promise<ItemReport> shed;
+    shed.set_value(ItemReport{});  // default outcome is kRejected
+    return shed.get_future();
+  }
+  return servers_[static_cast<std::size_t>(shard)]->Submit(
+      handles_[static_cast<std::size_t>(shard)][c], std::move(input),
+      classes_[c].deadline_seconds);
+}
+
+ServerStats Fleet::class_stats(int class_index) const {
+  HDNN_CHECK(class_index >= 0 &&
+             class_index < static_cast<int>(classes_.size()))
+      << "class index " << class_index << " out of range";
+  const auto c = static_cast<std::size_t>(class_index);
+  ServerStats total;
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    if (handles_[s][c] < 0) continue;
+    const ServerStats st = servers_[s]->stats(handles_[s][c]);
+    total.submitted += st.submitted;
+    total.ok += st.ok;
+    total.rejected += st.rejected;
+    total.expired += st.expired;
+    total.batches += st.batches;
+    total.batched_items += st.batched_items;
+  }
+  return total;
+}
+
+ServerStats Fleet::shard_stats(int shard) const {
+  HDNN_CHECK(shard >= 0 && shard < num_shards())
+      << "shard index " << shard << " out of range";
+  const auto s = static_cast<std::size_t>(shard);
+  ServerStats total;
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    if (handles_[s][c] < 0) continue;
+    const ServerStats st = servers_[s]->stats(handles_[s][c]);
+    total.submitted += st.submitted;
+    total.ok += st.ok;
+    total.rejected += st.rejected;
+    total.expired += st.expired;
+    total.batches += st.batches;
+    total.batched_items += st.batched_items;
+  }
+  return total;
+}
+
+std::int64_t Fleet::routed() const {
+  std::lock_guard<std::mutex> lock(router_mu_);
+  return router_.decisions();
+}
+
+void Fleet::Stop() {
+  for (auto& server : servers_) server->Stop();
+}
+
+InferenceEngine& Fleet::engine(const std::string& platform) {
+  for (std::size_t e = 0; e < engine_names_.size(); ++e) {
+    if (engine_names_[e] == platform) return *engines_[e];
+  }
+  HDNN_CHECK(false) << "no engine for platform '" << platform << "'";
+  __builtin_unreachable();
+}
+
+}  // namespace hdnn

@@ -1,0 +1,176 @@
+// A fleet of simulated accelerator boards serving open-loop traffic
+// (ROADMAP item 5, tentpole of the fleet PR).
+//
+// Two execution surfaces share the portfolio/router/admission policy:
+//
+//   * SimulateFleet — a single-threaded virtual-time event simulation of
+//     the whole fleet: per-shard per-class DeadlineQueues (the same policy
+//     object as the live server), NI worker instances per shard paced on
+//     caller-supplied device seconds, the weighted drain scan
+//     (runtime/server.h PickReadyQueue) for intra-shard cross-class
+//     fairness, and the deterministic Router for dispatch. No wall clock
+//     enters, so the decision vector and every statistic are bit-identical
+//     across reruns — the fleet bench pins this, and validates the
+//     planner's modeled capacity against the simulated measurement.
+//   * Fleet — the live composition: one InferenceEngine per distinct
+//     platform (all shards of a platform share its program cache and
+//     RuntimePool), one device-paced InferenceServer per board with
+//     num_workers = config.ni, and the same Router fed by live queue-depth
+//     estimates. Functional mode keeps outputs bit-identical to sequential
+//     execution (DESIGN.md Sec. 4); live wall-clock routing is not
+//     deterministic — determinism claims live in the simulator.
+//
+// Tie rule (mirrors InferenceServer::ServeTrace): when a dispatch and an
+// arrival fall on the same virtual instant, the dispatch happens first and
+// the arrival joins the next batch. Dispatch ties across shards break
+// toward the lowest shard index, then the lowest class index.
+#ifndef HDNN_FLEET_FLEET_H_
+#define HDNN_FLEET_FLEET_H_
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fleet/portfolio.h"
+#include "fleet/router.h"
+#include "runtime/server.h"
+
+namespace hdnn {
+
+struct FleetOptions {
+  /// Per-class queue policy on every shard (same meaning as ServerOptions).
+  int max_batch = 8;
+  double max_queue_delay_seconds = 0.0005;
+  int max_queue_depth = 64;
+  RouterOptions router;
+  /// Drain-scan weight per latency class within a shard (PickReadyQueue);
+  /// empty = uniform (legacy round-robin).
+  std::vector<double> class_weights;
+};
+
+/// One open-loop arrival: a request of `class_index` at virtual time
+/// `at_seconds` (deadline comes from the class).
+struct FleetTraceArrival {
+  double at_seconds = 0;
+  int class_index = 0;
+};
+
+/// Seeded open-loop Poisson trace for every class over [0, duration), merged
+/// in time order (ties by class index). Class c draws from
+/// Prng(seed).Fork(c), so one class's arrivals are independent of how many
+/// other classes exist. Deterministic.
+std::vector<FleetTraceArrival> MakePoissonTrace(
+    const std::vector<LatencyClass>& classes, double duration_seconds,
+    std::uint64_t seed);
+
+struct FleetClassStats {
+  std::int64_t submitted = 0;
+  std::int64_t ok = 0;
+  std::int64_t rejected = 0;    ///< shed at admission (incl. evictions)
+  std::int64_t expired = 0;     ///< deadline passed while queued
+  std::int64_t unroutable = 0;  ///< no feasible shard; shed at the router
+  double achieved_qps = 0;      ///< ok / horizon
+  double p50_ms = 0;            ///< over ok requests, arrival -> completion
+  double p99_ms = 0;
+};
+
+struct FleetShardStats {
+  int candidate_index = -1;
+  std::int64_t items = 0;   ///< executed requests
+  std::int64_t batches = 0;
+  double busy_seconds = 0;  ///< summed device-busy time over NI instances
+  double utilization = 0;   ///< busy / (ni * horizon)
+  double measured_qps = 0;  ///< items / horizon
+  double energy_joules = 0; ///< PowerModel::EnergyJoules over the horizon
+};
+
+struct FleetSimResult {
+  /// Routing decision per arrival, in trace order (-1 = unroutable). The
+  /// determinism pin: identical across reruns for identical inputs.
+  std::vector<int> decisions;
+  std::vector<FleetClassStats> classes;
+  std::vector<FleetShardStats> shards;
+  double horizon_seconds = 0;  ///< last arrival/completion; rate denominator
+  double total_ok_qps = 0;
+  double energy_joules = 0;    ///< fleet total over the horizon
+  /// Served requests per joule of fleet energy (the bench's efficiency
+  /// headline; equivalently sustained QPS per watt of fleet draw).
+  double qps_per_joule = 0;
+};
+
+/// Runs `arrivals` (non-decreasing at_seconds) through the virtual-time
+/// fleet: shard s is a board of candidates[shard_candidates[s]], and
+/// device_seconds[candidate][model] paces its instances (use measured
+/// cycle-sim latencies for validation, or BoardCandidate::item_seconds for
+/// pure modeling). Pure function of its arguments.
+FleetSimResult SimulateFleet(
+    const std::vector<BoardCandidate>& candidates,
+    const std::vector<int>& shard_candidates,
+    const std::vector<LatencyClass>& classes,
+    const std::vector<std::vector<double>>& device_seconds,
+    const std::vector<FleetTraceArrival>& arrivals,
+    const FleetOptions& options);
+
+/// The live composition (see file comment). Engines are created per
+/// distinct platform name and owned by the fleet; servers are device-paced
+/// unless `mode` says otherwise.
+class Fleet {
+ public:
+  /// `models[m]` / `weights[m]` follow the model order the candidates were
+  /// built with. Registers every latency class on every shard whose board
+  /// is feasible for it.
+  Fleet(const std::vector<BoardCandidate>& candidates,
+        const std::vector<int>& shard_candidates,
+        const std::vector<LatencyClass>& classes,
+        const std::vector<const Model*>& models,
+        const std::vector<const ModelWeightsQ*>& weights,
+        const FleetOptions& options, ExecMode mode = ExecMode::kDevicePaced);
+  ~Fleet();
+
+  Fleet(const Fleet&) = delete;
+  Fleet& operator=(const Fleet&) = delete;
+
+  int num_shards() const { return static_cast<int>(servers_.size()); }
+
+  /// Routes one request of `class_index` to a shard (deadline-aware
+  /// least-loaded over live backlog estimates) and submits it. When no
+  /// shard is feasible the returned future resolves immediately with
+  /// kRejected.
+  std::future<ItemReport> Submit(int class_index,
+                                 Tensor<std::int16_t> input);
+
+  /// Per-class counters summed over every shard serving the class.
+  ServerStats class_stats(int class_index) const;
+  /// Per-shard counters summed over the classes it serves.
+  ServerStats shard_stats(int shard) const;
+  std::int64_t routed() const;
+
+  /// Stops every server (drains queues, joins workers). Idempotent.
+  void Stop();
+
+  InferenceServer& server(int shard) { return *servers_.at(shard); }
+  InferenceEngine& engine(const std::string& platform);
+
+ private:
+  std::vector<BoardCandidate> candidates_;
+  std::vector<int> shard_candidates_;
+  std::vector<LatencyClass> classes_;
+  FleetOptions options_;
+
+  std::vector<std::string> engine_names_;
+  std::vector<std::unique_ptr<InferenceEngine>> engines_;
+  std::vector<std::unique_ptr<InferenceServer>> servers_;
+  /// handles_[shard][class]; -1 when the shard's board is infeasible for
+  /// the class (never routed there).
+  std::vector<std::vector<ModelHandle>> handles_;
+
+  mutable std::mutex router_mu_;
+  Router router_;
+};
+
+}  // namespace hdnn
+
+#endif  // HDNN_FLEET_FLEET_H_

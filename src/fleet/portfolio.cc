@@ -1,0 +1,282 @@
+#include "fleet/portfolio.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "estimator/resource_model.h"
+#include "platform/power_model.h"
+
+namespace hdnn {
+
+void PortfolioOptions::Validate() const {
+  HDNN_CHECK(power_budget_watts > 0)
+      << "power budget must be positive, got " << power_budget_watts;
+  HDNN_CHECK(max_boards >= 1) << "max_boards must be positive, got "
+                              << max_boards;
+  HDNN_CHECK(capacity_derate > 0 && capacity_derate <= 1.0)
+      << "capacity_derate must be in (0,1], got " << capacity_derate;
+  HDNN_CHECK(local_swap_passes >= 0)
+      << "local_swap_passes must be non-negative, got " << local_swap_passes;
+}
+
+std::vector<BoardCandidate> BuildBoardCandidates(
+    const std::vector<const FpgaSpec*>& platforms,
+    const std::vector<const Model*>& models, const DseOptions& opts) {
+  HDNN_CHECK(!platforms.empty()) << "no platforms";
+  HDNN_CHECK(!models.empty()) << "no models";
+  std::vector<BoardCandidate> out;
+  for (const FpgaSpec* spec : platforms) {
+    DseEngine engine(*spec);
+    // Union of the per-model frontiers, first-seen order, deduped by config.
+    std::vector<AccelConfig> configs;
+    for (const Model* model : models) {
+      const DseFrontier frontier = engine.ExploreFrontier(*model, opts);
+      for (const ParetoPoint& p : frontier.points) {
+        if (std::find(configs.begin(), configs.end(), p.config) ==
+            configs.end()) {
+          configs.push_back(p.config);
+        }
+      }
+    }
+    for (const AccelConfig& cfg : configs) {
+      BoardCandidate cand;
+      cand.spec = *spec;
+      cand.config = cfg;
+      bool serves_all = true;
+      for (const Model* model : models) {
+        double cycles = 0;
+        try {
+          cand.mappings.push_back(
+              engine.BestMapping(*model, cfg, opts, &cycles));
+        } catch (const CapacityError&) {
+          serves_all = false;
+          break;
+        }
+        const double item_s = cycles / (spec->freq_mhz * 1e6);
+        cand.item_seconds.push_back(item_s);
+        cand.board_qps.push_back(item_s > 0 ? cfg.ni / item_s : 0);
+      }
+      if (!serves_all) continue;
+      cand.implementation =
+          ImplementationResources(cfg, *spec, DefaultProfile());
+      cand.power_watts = DefaultPowerModel().TotalWatts(
+          *spec, cand.implementation.AsUsage());
+      out.push_back(std::move(cand));
+    }
+  }
+  return out;
+}
+
+bool ClassFeasible(const BoardCandidate& cand, const LatencyClass& cls) {
+  HDNN_CHECK(cls.model_index >= 0 &&
+             cls.model_index < static_cast<int>(cand.item_seconds.size()))
+      << "class model index " << cls.model_index << " out of range";
+  return cand.item_seconds[static_cast<std::size_t>(cls.model_index)] <=
+         cls.deadline_seconds;
+}
+
+PortfolioPlan EvaluatePortfolio(const std::vector<BoardCandidate>& candidates,
+                                std::vector<int> boards,
+                                const std::vector<LatencyClass>& classes,
+                                const PortfolioOptions& opts) {
+  opts.Validate();
+  std::sort(boards.begin(), boards.end());
+  PortfolioPlan plan;
+  plan.boards = boards;
+  plan.class_qps.assign(classes.size(), 0);
+  plan.shard_class_qps.assign(boards.size(),
+                              std::vector<double>(classes.size(), 0));
+  for (int b : boards) {
+    HDNN_CHECK(b >= 0 && b < static_cast<int>(candidates.size()))
+        << "board candidate index " << b << " out of range";
+    plan.power_watts += candidates[static_cast<std::size_t>(b)].power_watts;
+  }
+
+  // Strictest deadline first; ties by class index.
+  std::vector<std::size_t> class_order(classes.size());
+  for (std::size_t c = 0; c < classes.size(); ++c) class_order[c] = c;
+  std::stable_sort(class_order.begin(), class_order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return classes[a].deadline_seconds <
+                            classes[b].deadline_seconds;
+                   });
+
+  // Per shard: fraction of board-time still unallocated.
+  std::vector<double> remaining(boards.size(), opts.capacity_derate);
+  for (std::size_t c : class_order) {
+    const LatencyClass& cls = classes[c];
+    const auto m = static_cast<std::size_t>(cls.model_index);
+    double demand = cls.offered_qps;
+    // Feasible shards, fastest board first; ties by shard position.
+    std::vector<std::size_t> order;
+    for (std::size_t s = 0; s < boards.size(); ++s) {
+      if (ClassFeasible(candidates[static_cast<std::size_t>(boards[s])], cls))
+        order.push_back(s);
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return candidates[static_cast<std::size_t>(boards[a])]
+                                  .board_qps[m] >
+                              candidates[static_cast<std::size_t>(boards[b])]
+                                  .board_qps[m];
+                     });
+    for (std::size_t s : order) {
+      if (demand <= 0) break;
+      const double rate =
+          candidates[static_cast<std::size_t>(boards[s])].board_qps[m];
+      if (rate <= 0) continue;
+      const double take = std::min(demand, remaining[s] * rate);
+      if (take <= 0) continue;
+      remaining[s] -= take / rate;
+      plan.shard_class_qps[s][c] += take;
+      demand -= take;
+    }
+    plan.class_qps[c] = cls.offered_qps - std::max(0.0, demand);
+    plan.planned_qps += plan.class_qps[c];
+  }
+  return plan;
+}
+
+PortfolioPlan PlanPortfolio(const std::vector<BoardCandidate>& candidates,
+                            const std::vector<LatencyClass>& classes,
+                            const PortfolioOptions& opts) {
+  opts.Validate();
+  HDNN_CHECK(!candidates.empty()) << "no board candidates";
+  constexpr double kEps = 1e-9;
+  std::vector<int> boards;
+  PortfolioPlan best = EvaluatePortfolio(candidates, boards, classes, opts);
+
+  // Greedy: add the board with the best marginal served QPS per watt until
+  // nothing helps or fits.
+  auto greedy_fill = [&] {
+    while (static_cast<int>(boards.size()) < opts.max_boards) {
+      int best_c = -1;
+      double best_gpw = 0;
+      PortfolioPlan best_next;
+      for (int c = 0; c < static_cast<int>(candidates.size()); ++c) {
+        const double watts =
+            candidates[static_cast<std::size_t>(c)].power_watts;
+        if (best.power_watts + watts > opts.power_budget_watts + kEps)
+          continue;
+        std::vector<int> trial = boards;
+        trial.push_back(c);
+        PortfolioPlan plan =
+            EvaluatePortfolio(candidates, std::move(trial), classes, opts);
+        const double gain = plan.planned_qps - best.planned_qps;
+        if (gain <= kEps || watts <= 0) continue;
+        const double gpw = gain / watts;
+        if (gpw > best_gpw + kEps) {
+          best_gpw = gpw;
+          best_c = c;
+          best_next = std::move(plan);
+        }
+      }
+      if (best_c < 0) break;
+      boards.push_back(best_c);
+      std::sort(boards.begin(), boards.end());
+      best = std::move(best_next);
+    }
+  };
+
+  greedy_fill();
+  // Local swaps: replace one planned board with a different candidate when
+  // that serves strictly more traffic within the budget. First improvement
+  // wins; after an improving pass the greedy fill runs again (a cheaper
+  // replacement can free budget for an extra board).
+  for (int pass = 0; pass < opts.local_swap_passes; ++pass) {
+    bool improved = false;
+    for (std::size_t s = 0; s < boards.size(); ++s) {
+      for (int c = 0; c < static_cast<int>(candidates.size()); ++c) {
+        if (c == boards[s]) continue;
+        const double new_power =
+            best.power_watts -
+            candidates[static_cast<std::size_t>(boards[s])].power_watts +
+            candidates[static_cast<std::size_t>(c)].power_watts;
+        if (new_power > opts.power_budget_watts + kEps) continue;
+        std::vector<int> trial = boards;
+        trial[s] = c;
+        PortfolioPlan plan =
+            EvaluatePortfolio(candidates, std::move(trial), classes, opts);
+        if (plan.planned_qps > best.planned_qps + kEps) {
+          boards[s] = c;
+          std::sort(boards.begin(), boards.end());
+          best = std::move(plan);
+          improved = true;
+          break;
+        }
+      }
+    }
+    if (!improved) break;
+    greedy_fill();
+  }
+  return best;
+}
+
+PortfolioPlan PlanHomogeneous(const std::vector<BoardCandidate>& candidates,
+                              int candidate_index,
+                              const std::vector<LatencyClass>& classes,
+                              const PortfolioOptions& opts) {
+  opts.Validate();
+  HDNN_CHECK(candidate_index >= 0 &&
+             candidate_index < static_cast<int>(candidates.size()))
+      << "candidate index " << candidate_index << " out of range";
+  const double watts =
+      candidates[static_cast<std::size_t>(candidate_index)].power_watts;
+  HDNN_CHECK(watts > 0) << "candidate has non-positive power";
+  std::vector<int> boards;
+  double power = 0;
+  while (static_cast<int>(boards.size()) < opts.max_boards &&
+         power + watts <= opts.power_budget_watts + 1e-9) {
+    boards.push_back(candidate_index);
+    power += watts;
+  }
+  return EvaluatePortfolio(candidates, std::move(boards), classes, opts);
+}
+
+int NaiveBestCandidate(const std::vector<BoardCandidate>& candidates,
+                       const std::vector<LatencyClass>& classes) {
+  HDNN_CHECK(!candidates.empty()) << "no board candidates";
+  HDNN_CHECK(!classes.empty()) << "no latency classes";
+  double total_offered = 0;
+  for (const LatencyClass& cls : classes) total_offered += cls.offered_qps;
+  HDNN_CHECK(total_offered > 0) << "no offered traffic";
+
+  int best = -1;
+  double best_qps = 0;
+  double best_watts = std::numeric_limits<double>::infinity();
+  for (int c = 0; c < static_cast<int>(candidates.size()); ++c) {
+    const BoardCandidate& cand = candidates[static_cast<std::size_t>(c)];
+    // Whole-board throughput on the offered mix: the harmonic combination
+    // of per-model rates weighted by each class's traffic share.
+    double seconds_per_item = 0;
+    bool feasible = true;
+    for (const LatencyClass& cls : classes) {
+      if (!ClassFeasible(cand, cls)) {
+        feasible = false;
+        break;
+      }
+      const double rate =
+          cand.board_qps[static_cast<std::size_t>(cls.model_index)];
+      if (rate <= 0) {
+        feasible = false;
+        break;
+      }
+      seconds_per_item += (cls.offered_qps / total_offered) / rate;
+    }
+    if (!feasible || seconds_per_item <= 0) continue;
+    const double mix_qps = 1.0 / seconds_per_item;
+    if (mix_qps > best_qps + 1e-9 ||
+        (std::abs(mix_qps - best_qps) <= 1e-9 &&
+         cand.power_watts < best_watts - 1e-12)) {
+      best = c;
+      best_qps = mix_qps;
+      best_watts = cand.power_watts;
+    }
+  }
+  HDNN_CHECK(best >= 0) << "no candidate is feasible for every class";
+  return best;
+}
+
+}  // namespace hdnn

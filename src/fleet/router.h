@@ -1,0 +1,58 @@
+// Deadline-aware fleet router: shards open-loop traffic across the boards
+// of a planned portfolio (src/fleet/portfolio.h).
+//
+// Policy: among the shards the caller marks feasible for a request (its
+// latency class fits, and the backlog still leaves deadline slack), pick
+// the least-loaded of `choices` sampled shards — power-of-two-choices by
+// default, which gets within a constant of full least-loaded scanning at
+// O(1) cost — or scan every feasible shard when choices = 0.
+//
+// Determinism: decision k draws from Prng(seed).Fork(k) (common/prng.h
+// splitmix stream derivation), so it is a pure function of
+// (seed, k, load, feasible) — independent of how many draws earlier
+// decisions consumed, of wall clock, and of any thread interleaving in the
+// caller. Replaying the same request sequence yields a bit-identical
+// decision vector, which is what lets the fleet bench pin its routing.
+#ifndef HDNN_FLEET_ROUTER_H_
+#define HDNN_FLEET_ROUTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/prng.h"
+
+namespace hdnn {
+
+struct RouterOptions {
+  std::uint64_t seed = 1;  ///< base of the per-decision forked streams
+  /// Shards sampled per decision (power-of-N-choices). 0 = scan every
+  /// feasible shard (full least-loaded).
+  int choices = 2;
+};
+
+class Router {
+ public:
+  Router(int num_shards, const RouterOptions& options);
+
+  /// Picks the shard for one request. `load` is the caller's backlog
+  /// estimate per shard (any consistent unit; lower = emptier) and
+  /// `feasible` masks the shards this request may use; both must have
+  /// num_shards entries. Among the sampled feasible shards the least
+  /// loaded wins, ties to the lowest shard index. Returns -1 when no shard
+  /// is feasible (the caller sheds). Each call consumes one decision slot.
+  int Route(const std::vector<double>& load,
+            const std::vector<bool>& feasible);
+
+  std::int64_t decisions() const { return decisions_; }
+  int num_shards() const { return num_shards_; }
+
+ private:
+  RouterOptions options_;
+  int num_shards_;
+  Prng root_;
+  std::int64_t decisions_ = 0;
+};
+
+}  // namespace hdnn
+
+#endif  // HDNN_FLEET_ROUTER_H_

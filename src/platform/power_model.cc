@@ -27,4 +27,17 @@ double PowerModel::TotalWatts(const FpgaSpec& spec, const ResourceUsage& usage,
   return spec.static_watts + dynamic;
 }
 
+double PowerModel::EnergyJoules(const FpgaSpec& spec,
+                                const ResourceUsage& usage, double seconds,
+                                double utilization) const {
+  HDNN_CHECK(seconds >= 0) << "negative interval: " << seconds;
+  HDNN_CHECK(utilization >= 0 && utilization <= 1.0)
+      << "utilization must be in [0,1], got " << utilization;
+  const double dynamic =
+      spec.freq_mhz *
+      (e_dsp_w_per_mhz * usage.dsps + e_bram_w_per_mhz * usage.bram18 +
+       e_lut_w_per_mhz * usage.luts);
+  return (spec.static_watts + dynamic * utilization) * seconds;
+}
+
 }  // namespace hdnn

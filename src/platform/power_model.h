@@ -30,6 +30,14 @@ struct PowerModel {
   /// datapath utilisation.
   double TotalWatts(const FpgaSpec& spec, const ResourceUsage& usage,
                     double activity = 1.0) const;
+
+  /// Energy over `seconds` of operation at the given duty cycle: static
+  /// power is paid for the whole interval (a provisioned board draws it even
+  /// when idle), dynamic power only for the `utilization` fraction spent
+  /// computing. `utilization` may be 0 (an idle board), unlike TotalWatts'
+  /// activity. This is the fleet planner/bench's QPS-per-joule input.
+  double EnergyJoules(const FpgaSpec& spec, const ResourceUsage& usage,
+                      double seconds, double utilization) const;
 };
 
 /// The calibrated default model (the coefficients above). The DSE scores

@@ -9,6 +9,43 @@
 
 namespace hdnn {
 
+int PickReadyQueue(const std::vector<bool>& ready,
+                   const std::vector<double>& weights,
+                   std::vector<double>& credits, std::size_t scan_start) {
+  const std::size_t n = ready.size();
+  HDNN_CHECK(weights.size() == n && credits.size() == n)
+      << "policy state size mismatch: " << n << " queues, " << weights.size()
+      << " weights, " << credits.size() << " credits";
+  if (n == 0) return -1;
+  bool any_ready = false;
+  bool uniform = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    any_ready = any_ready || ready[i];
+    uniform = uniform && weights[i] == weights[0];
+  }
+  if (!any_ready) return -1;
+  if (uniform) {
+    // Legacy rotation: first ready queue at or after scan_start.
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t idx = (scan_start + k) % n;
+      if (ready[idx]) return static_cast<int>(idx);
+    }
+  }
+  // Smooth weighted round-robin over the ready set. Strict > keeps the
+  // earliest rotation position on credit ties.
+  double issued = 0;
+  std::size_t best = n;
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t idx = (scan_start + k) % n;
+    if (!ready[idx]) continue;
+    credits[idx] += weights[idx];
+    issued += weights[idx];
+    if (best == n || credits[idx] > credits[best]) best = idx;
+  }
+  credits[best] -= issued;
+  return static_cast<int>(best);
+}
+
 InferenceServer::InferenceServer(InferenceEngine& engine,
                                  const ServerOptions& options)
     : engine_(engine),
@@ -63,7 +100,10 @@ InferenceServer::ModelState& InferenceServer::state(
 
 ModelHandle InferenceServer::RegisterModel(
     const Model& model, const AccelConfig& cfg,
-    const std::vector<LayerMapping>& mapping, const ModelWeightsQ& weights) {
+    const std::vector<LayerMapping>& mapping, const ModelWeightsQ& weights,
+    double priority_weight) {
+  HDNN_CHECK(priority_weight > 0)
+      << "priority_weight must be positive, got " << priority_weight;
   auto ms = std::make_unique<ModelState>(Queue(
       options_.max_queue_depth, options_.max_batch,
       options_.max_queue_delay_seconds));
@@ -82,8 +122,13 @@ ModelHandle InferenceServer::RegisterModel(
                                              /*functional=*/false);
     ms->device_seconds = profile.seconds;
   }
+  // Lock order sched_mu_ -> models_mu_: the scan-policy vectors must grow in
+  // step with models_, and workers read both only under sched_mu_.
+  std::lock_guard<std::mutex> sched_lock(sched_mu_);
   std::lock_guard<std::mutex> lock(models_mu_);
   models_.push_back(std::move(ms));
+  scan_weights_.push_back(priority_weight);
+  scan_credits_.push_back(0);
   return static_cast<ModelHandle>(models_.size() - 1);
 }
 
@@ -159,39 +204,44 @@ void InferenceServer::WorkerLoop() {
     std::vector<Queue::Entry> expired;
     std::int64_t batch_seq = -1;
 
-    // Snapshot the model list (handles are stable; the vector only grows).
-    std::size_t n;
+    // Snapshot the model list (handles are stable; the vector only grows,
+    // and only under sched_mu_, which we hold — so n is exact).
+    const std::size_t n = scan_weights_.size();
+    std::vector<ModelState*> states(n);
     {
       std::lock_guard<std::mutex> models_lock(models_mu_);
-      n = models_.size();
+      for (std::size_t i = 0; i < n; ++i) states[i] = models_[i].get();
     }
-    for (std::size_t k = 0; k < n && pick == nullptr; ++k) {
-      const std::size_t idx = (scan_start_ + k) % n;
-      ModelState* candidate;
-      {
-        std::lock_guard<std::mutex> models_lock(models_mu_);
-        candidate = models_[idx].get();
-      }
-      std::lock_guard<std::mutex> queue_lock(candidate->mu);
-      // On Stop the batcher flushes: any non-empty queue dispatches without
-      // waiting for its size/timeout trigger.
-      if (candidate->queue.DispatchReady(now) ||
-          (stop_ && !candidate->queue.empty())) {
-        candidate->queue.SweepExpired(now, expired);
-        candidate->stats.expired +=
-            static_cast<std::int64_t>(expired.size());
-        batch = candidate->queue.TakeBatch();
-        if (!batch.empty()) {
-          batch_seq = candidate->batch_seq++;
-          ++candidate->stats.batches;
-          candidate->stats.batched_items +=
-              static_cast<std::int64_t>(batch.size());
-          pick = candidate;
-          scan_start_ = (idx + 1) % n;
-        }
+    // Pass 1: which queues are ready? On Stop the batcher flushes: any
+    // non-empty queue counts as ready without its size/timeout trigger.
+    std::vector<bool> ready(n, false);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::lock_guard<std::mutex> queue_lock(states[i]->mu);
+      if (states[i]->queue.DispatchReady(now) ||
+          (stop_ && !states[i]->queue.empty())) {
+        ready[i] = true;
       } else {
         earliest_trigger =
-            std::min(earliest_trigger, candidate->queue.NextTriggerTime());
+            std::min(earliest_trigger, states[i]->queue.NextTriggerTime());
+      }
+    }
+    // Pass 2: the weighted pick. Queue state cannot change between the
+    // passes — every admission takes sched_mu_, which this worker holds.
+    const int picked =
+        PickReadyQueue(ready, scan_weights_, scan_credits_, scan_start_);
+    if (picked >= 0) {
+      ModelState* candidate = states[static_cast<std::size_t>(picked)];
+      std::lock_guard<std::mutex> queue_lock(candidate->mu);
+      candidate->queue.SweepExpired(now, expired);
+      candidate->stats.expired += static_cast<std::int64_t>(expired.size());
+      batch = candidate->queue.TakeBatch();
+      if (!batch.empty()) {
+        batch_seq = candidate->batch_seq++;
+        ++candidate->stats.batches;
+        candidate->stats.batched_items +=
+            static_cast<std::int64_t>(batch.size());
+        pick = candidate;
+        scan_start_ = (static_cast<std::size_t>(picked) + 1) % n;
       }
     }
 

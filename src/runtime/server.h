@@ -107,6 +107,23 @@ struct ServerStats {
 
 using ModelHandle = int;
 
+/// Drain-scan pick: which ready queue does a worker serve next?
+///
+/// With uniform weights this is the legacy rotation — the first ready queue
+/// at or after `scan_start` — so default-weighted servers behave exactly as
+/// before. With non-uniform weights it is smooth weighted round-robin over
+/// the READY set: every ready queue earns `weight` credits, the
+/// highest-credit queue wins (ties break in rotation order from
+/// `scan_start`) and pays back the credits issued this round, so
+/// continuously-backlogged queues are served in proportion to their weights
+/// while an idle queue never accumulates an unbounded burst claim.
+/// `credits` is the policy's persistent state (one slot per queue); the
+/// function is deterministic in (ready, weights, credits, scan_start).
+/// Returns -1 when nothing is ready.
+int PickReadyQueue(const std::vector<bool>& ready,
+                   const std::vector<double>& weights,
+                   std::vector<double>& credits, std::size_t scan_start);
+
 class InferenceServer {
  public:
   /// Spawns `options.num_workers` persistent drainer threads. The engine
@@ -122,9 +139,13 @@ class InferenceServer {
 
   /// Compiles (or cache-hits) the deployment, profiles its deterministic
   /// per-item modeled device latency, and creates its serving queue.
+  /// `priority_weight` (> 0) sets this model's share of the drain scan
+  /// relative to the other registered models (see PickReadyQueue); the
+  /// default 1.0 for every model preserves the legacy round-robin.
   ModelHandle RegisterModel(const Model& model, const AccelConfig& cfg,
                             const std::vector<LayerMapping>& mapping,
-                            const ModelWeightsQ& weights);
+                            const ModelWeightsQ& weights,
+                            double priority_weight = 1.0);
 
   /// Enqueues one request. `deadline_seconds` is a relative budget from
   /// now (kNoDeadline = none); a request that cannot start by its deadline
@@ -215,7 +236,11 @@ class InferenceServer {
   std::mutex sched_mu_;
   std::condition_variable sched_cv_;
   bool stop_ = false;
-  std::size_t scan_start_ = 0;  ///< round-robin fairness across models
+  std::size_t scan_start_ = 0;  ///< rotation origin of the drain scan
+  /// Per-model drain-scan policy state (parallel to models_; grows only
+  /// under sched_mu_, which RegisterModel takes before models_mu_).
+  std::vector<double> scan_weights_;
+  std::vector<double> scan_credits_;
 
   std::vector<std::thread> workers_;
 };

@@ -13,6 +13,7 @@
 #include "common/thread_pool.h"
 #include "nn/builders.h"
 #include "runtime/runtime.h"
+#include "runtime/server.h"
 #include "tests/testing_util.h"
 
 namespace hdnn {
@@ -487,6 +488,66 @@ TEST(RuntimePoolTest, CheckoutReusesIdleRuntimesPerConfig) {
     EXPECT_EQ(pool.idle_count(), 1u);
   }
   EXPECT_EQ(pool.idle_count(), 3u);
+}
+
+TEST(RuntimePoolTest, LeaseReuseUnderConcurrentServerChurn) {
+  // Two servers share one engine — and therefore one RuntimePool. Churning
+  // bursts through both concurrently must stay bit-identical to sequential
+  // execution, and the pool must recycle idle Runtimes between drains:
+  // constructions are bounded by peak concurrent checkouts (the four server
+  // workers plus the golden run), never by the number of batches served.
+  Model model = BuildTinyCnn();
+  const AccelConfig cfg = TestConfig();
+  auto mapping =
+      UniformMapping(model, ConvMode::kSpatial, Dataflow::kInputStationary);
+  ModelWeightsQ weights = SyntheticWeights(model, 7);
+  InferenceEngine engine(TestSpec(), /*num_workers=*/2);
+
+  constexpr int kItems = 24;
+  const auto inputs = MakeBatch(model, kItems, 11);
+  const BatchReport golden = engine.ExecuteBatch(
+      model, cfg, mapping, weights, inputs, /*functional=*/true);
+
+  ServerOptions opts;
+  opts.num_workers = 2;
+  opts.max_batch = 3;
+  opts.max_queue_delay_seconds = 0;  // drain as fast as workers free up
+  opts.mode = ExecMode::kFunctional;
+  InferenceServer server_a(engine, opts);
+  InferenceServer server_b(engine, opts);
+  const ModelHandle ha = server_a.RegisterModel(model, cfg, mapping, weights);
+  const ModelHandle hb = server_b.RegisterModel(model, cfg, mapping, weights);
+
+  constexpr int kRounds = 6;
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<std::future<ItemReport>> fa, fb;
+    for (int i = 0; i < kItems; ++i) {
+      fa.push_back(server_a.Submit(ha, inputs[static_cast<std::size_t>(i)]));
+      fb.push_back(server_b.Submit(hb, inputs[static_cast<std::size_t>(i)]));
+    }
+    for (int i = 0; i < kItems; ++i) {
+      ItemReport ra = fa[static_cast<std::size_t>(i)].get();
+      ItemReport rb = fb[static_cast<std::size_t>(i)].get();
+      ASSERT_EQ(ra.outcome, ServeOutcome::kOk);
+      ASSERT_EQ(rb.outcome, ServeOutcome::kOk);
+      const auto& want = golden.items[static_cast<std::size_t>(i)].output;
+      EXPECT_EQ(ra.run.output, want)
+          << "server A round " << round << " item " << i;
+      EXPECT_EQ(rb.run.output, want)
+          << "server B round " << round << " item " << i;
+    }
+  }
+  server_a.Stop();
+  server_b.Stop();
+
+  const std::int64_t batches = server_a.stats(ha).batches +
+                               server_b.stats(hb).batches;
+  EXPECT_GE(batches, 2 * kRounds);
+  // 2 workers per server + up to 2 for the golden ExecuteBatch; well under
+  // one Runtime per batch if leases were not recycled.
+  EXPECT_LE(engine.runtime_pool().built_count(), 6)
+      << "pool rebuilt Runtimes instead of reusing idle leases across "
+      << batches << " batches";
 }
 
 TEST(InferenceEngineTest, StructuralHashIgnoresNameButNotGeometry) {

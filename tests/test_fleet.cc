@@ -1,0 +1,412 @@
+#include "fleet/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <future>
+#include <set>
+#include <vector>
+
+#include "fleet/portfolio.h"
+#include "fleet/router.h"
+#include "nn/builders.h"
+#include "runtime/engine.h"
+#include "tests/testing_util.h"
+
+namespace hdnn {
+namespace {
+
+using testing::MakeInput;
+using testing::TestConfig;
+using testing::TestSpec;
+
+// Hand-built candidate for planner/router/sim tests: the planner only reads
+// spec, config.ni, power and the modeled capacity vectors, so no DSE run is
+// needed to exercise its decisions.
+BoardCandidate MakeCandidate(const std::string& name, int ni,
+                             double power_watts,
+                             std::vector<double> item_seconds) {
+  BoardCandidate cand;
+  cand.spec = TestSpec();
+  cand.spec.name = name;
+  cand.config = TestConfig();
+  cand.config.ni = ni;
+  cand.power_watts = power_watts;
+  cand.item_seconds = std::move(item_seconds);
+  for (double s : cand.item_seconds)
+    cand.board_qps.push_back(static_cast<double>(ni) / s);
+  cand.mappings.resize(cand.item_seconds.size());
+  return cand;
+}
+
+LatencyClass MakeClass(const std::string& name, int model, double qps,
+                       double deadline = kNoDeadline) {
+  return LatencyClass{name, model, qps, deadline};
+}
+
+// --- router ---
+
+TEST(RouterTest, FullScanPicksLeastLoadedTiesToLowestShard) {
+  RouterOptions opts;
+  opts.choices = 0;  // scan every feasible shard
+  Router router(4, opts);
+  const std::vector<bool> all(4, true);
+  EXPECT_EQ(router.Route({3.0, 1.0, 2.0, 1.5}, all), 1);
+  EXPECT_EQ(router.Route({2.0, 1.0, 1.0, 1.0}, all), 1) << "tie -> lowest";
+  EXPECT_EQ(router.Route({0.0, 0.0, 0.0, 0.0}, all), 0);
+  EXPECT_EQ(router.Route({1.0, 1.0, 1.0, 1.0}, {false, false, true, true}),
+            2)
+      << "infeasible shards never win";
+  EXPECT_EQ(router.Route({1.0, 1.0, 1.0, 1.0}, std::vector<bool>(4, false)),
+            -1);
+  EXPECT_EQ(router.decisions(), 5);
+}
+
+TEST(RouterTest, PowerOfTwoChoicesStaysInsideFeasibleSet) {
+  Router router(6, RouterOptions{/*seed=*/3, /*choices=*/2});
+  const std::vector<double> load(6, 1.0);
+  std::vector<bool> feasible(6, false);
+  feasible[1] = feasible[3] = feasible[4] = true;
+  for (int i = 0; i < 200; ++i) {
+    const int s = router.Route(load, feasible);
+    EXPECT_TRUE(s == 1 || s == 3 || s == 4) << "decision " << i;
+  }
+}
+
+TEST(RouterTest, DecisionIsPureFunctionOfSeedAndIndex) {
+  // Decision k draws from Prng(seed).Fork(k): the sampled pair depends only
+  // on (seed, k, load, feasible), never on what earlier decisions consumed.
+  const std::vector<double> load{5.0, 1.0, 4.0, 2.0, 3.0};
+  const std::vector<bool> all(5, true);
+  const std::vector<bool> none(5, false);
+
+  Router a(5, RouterOptions{/*seed=*/7, /*choices=*/2});
+  Router b(5, RouterOptions{/*seed=*/7, /*choices=*/2});
+  std::vector<int> seq_a, seq_b;
+  for (int i = 0; i < 64; ++i) seq_a.push_back(a.Route(load, all));
+  for (int i = 0; i < 64; ++i) seq_b.push_back(b.Route(load, all));
+  EXPECT_EQ(seq_a, seq_b);
+
+  // An unroutable call consumes its decision slot, keeping later decisions
+  // aligned with the replay.
+  Router c(5, RouterOptions{/*seed=*/7, /*choices=*/2});
+  EXPECT_EQ(c.Route(load, none), -1);
+  EXPECT_EQ(c.decisions(), 1);
+  for (int i = 1; i < 64; ++i)
+    EXPECT_EQ(c.Route(load, all), seq_a[static_cast<std::size_t>(i)])
+        << "decision " << i;
+
+  // A different seed must not replay the same decision vector.
+  Router d(5, RouterOptions{/*seed=*/8, /*choices=*/2});
+  std::vector<int> seq_d;
+  for (int i = 0; i < 64; ++i) seq_d.push_back(d.Route(load, all));
+  EXPECT_NE(seq_a, seq_d);
+}
+
+// --- poisson trace ---
+
+TEST(FleetTraceTest, PoissonTraceIsDeterministicAndTimeOrdered) {
+  const std::vector<LatencyClass> classes{
+      MakeClass("a", 0, 5000.0, 0.002), MakeClass("b", 0, 2000.0)};
+  const auto t1 = MakePoissonTrace(classes, 0.05, 11);
+  const auto t2 = MakePoissonTrace(classes, 0.05, 11);
+  ASSERT_EQ(t1.size(), t2.size());
+  ASSERT_FALSE(t1.empty());
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    EXPECT_EQ(t1[i].at_seconds, t2[i].at_seconds);
+    EXPECT_EQ(t1[i].class_index, t2[i].class_index);
+    if (i > 0) {
+      EXPECT_GE(t1[i].at_seconds, t1[i - 1].at_seconds);
+    }
+  }
+  const auto t3 = MakePoissonTrace(classes, 0.05, 12);
+  ASSERT_FALSE(t3.empty());
+  EXPECT_NE(t3[0].at_seconds, t1[0].at_seconds)
+      << "different seed should give a different trace";
+}
+
+TEST(FleetTraceTest, ClassStreamsAreIndependentOfOtherClasses) {
+  // Class c draws from Fork(c): adding another class must not perturb the
+  // first class's arrival times.
+  const LatencyClass a = MakeClass("a", 0, 4000.0);
+  const LatencyClass b = MakeClass("b", 1, 9000.0);
+  const auto solo = MakePoissonTrace({a}, 0.05, 5);
+  const auto both = MakePoissonTrace({a, b}, 0.05, 5);
+  std::vector<double> solo_times, both_class0_times;
+  for (const auto& e : solo) solo_times.push_back(e.at_seconds);
+  for (const auto& e : both)
+    if (e.class_index == 0) both_class0_times.push_back(e.at_seconds);
+  EXPECT_EQ(solo_times, both_class0_times);
+}
+
+// --- portfolio planning ---
+
+TEST(PortfolioTest, ClassFeasibleComparesItemLatencyToDeadline) {
+  const BoardCandidate cand = MakeCandidate("x", 2, 10.0, {0.010, 0.002});
+  EXPECT_TRUE(ClassFeasible(cand, MakeClass("loose", 0, 1.0, 0.020)));
+  EXPECT_TRUE(ClassFeasible(cand, MakeClass("exact", 0, 1.0, 0.010)));
+  EXPECT_FALSE(ClassFeasible(cand, MakeClass("tight", 0, 1.0, 0.005)));
+  EXPECT_TRUE(ClassFeasible(cand, MakeClass("none", 1, 1.0)));
+}
+
+TEST(PortfolioTest, EvaluatePortfolioFillsStrictestClassFirst) {
+  // Board 0 is the only one fast enough for the tight class; the evaluator
+  // must allocate its capacity to the tight class before the loose class
+  // can claim it.
+  std::vector<BoardCandidate> cands;
+  cands.push_back(MakeCandidate("fast", 1, 10.0, {0.001}));  // 1000 qps
+  cands.push_back(MakeCandidate("slow", 1, 5.0, {0.004}));   // 250 qps
+  const std::vector<LatencyClass> classes{
+      MakeClass("loose", 0, 2000.0, 1.0),
+      MakeClass("tight", 0, 800.0, 0.002),
+  };
+  PortfolioOptions opts;
+  opts.power_budget_watts = 100.0;
+  opts.capacity_derate = 1.0;
+
+  const PortfolioPlan plan =
+      EvaluatePortfolio(cands, {1, 0}, classes, opts);
+  ASSERT_EQ(plan.boards, (std::vector<int>{0, 1})) << "canonicalized";
+  EXPECT_DOUBLE_EQ(plan.class_qps[1], 800.0) << "tight served fully";
+  // Remaining fast capacity (200) plus all slow capacity (250) go loose.
+  EXPECT_DOUBLE_EQ(plan.class_qps[0], 450.0);
+  EXPECT_DOUBLE_EQ(plan.planned_qps, 1250.0);
+  EXPECT_DOUBLE_EQ(plan.power_watts, 15.0);
+  EXPECT_DOUBLE_EQ(plan.shard_class_qps[0][1], 800.0);
+  EXPECT_DOUBLE_EQ(plan.shard_class_qps[0][0], 200.0);
+  EXPECT_DOUBLE_EQ(plan.shard_class_qps[1][0], 250.0);
+  EXPECT_DOUBLE_EQ(plan.shard_class_qps[1][1], 0.0);
+}
+
+TEST(PortfolioTest, CapacityDerateScalesPlannedCapacity) {
+  std::vector<BoardCandidate> cands;
+  cands.push_back(MakeCandidate("a", 1, 10.0, {0.001}));  // 1000 qps raw
+  const std::vector<LatencyClass> classes{MakeClass("c", 0, 5000.0)};
+  PortfolioOptions opts;
+  opts.power_budget_watts = 10.0;
+  opts.capacity_derate = 0.85;
+  const PortfolioPlan plan = EvaluatePortfolio(cands, {0}, classes, opts);
+  EXPECT_DOUBLE_EQ(plan.planned_qps, 850.0);
+}
+
+TEST(PortfolioTest, PlanPortfolioRespectsBudgetAndIsDeterministic) {
+  std::vector<BoardCandidate> cands;
+  cands.push_back(MakeCandidate("big", 4, 40.0, {0.001}));    // 100 qps/W
+  cands.push_back(MakeCandidate("mid", 2, 10.0, {0.001}));    // 200 qps/W
+  cands.push_back(MakeCandidate("small", 1, 3.0, {0.002}));   // 167 qps/W
+  const std::vector<LatencyClass> classes{MakeClass("c", 0, 1e9)};
+  PortfolioOptions opts;
+  opts.power_budget_watts = 27.0;
+  opts.capacity_derate = 1.0;
+
+  const PortfolioPlan p1 = PlanPortfolio(cands, classes, opts);
+  const PortfolioPlan p2 = PlanPortfolio(cands, classes, opts);
+  EXPECT_EQ(p1.boards, p2.boards);
+  EXPECT_EQ(p1.planned_qps, p2.planned_qps);
+  EXPECT_LE(p1.power_watts, opts.power_budget_watts + 1e-9);
+  // Unbounded demand, mid dominates on qps/W: 2x mid (20 W) + small (3 W)
+  // fills 23 of 27 W for 2000 + 500 qps; any third mid would bust the
+  // budget. Another small fits the 4 W residue.
+  EXPECT_EQ(p1.boards, (std::vector<int>{1, 1, 2, 2}));
+  EXPECT_DOUBLE_EQ(p1.planned_qps, 5000.0);
+
+  PortfolioOptions capped = opts;
+  capped.max_boards = 2;
+  EXPECT_LE(PlanPortfolio(cands, classes, capped).boards.size(), 2u);
+}
+
+TEST(PortfolioTest, LocalSwapNeverHurtsGreedy) {
+  std::vector<BoardCandidate> cands;
+  cands.push_back(MakeCandidate("a", 2, 12.0, {0.001, 0.004}));
+  cands.push_back(MakeCandidate("b", 1, 5.0, {0.002, 0.001}));
+  cands.push_back(MakeCandidate("c", 1, 2.0, {0.010, 0.008}));
+  const std::vector<LatencyClass> classes{
+      MakeClass("x", 0, 3000.0, 0.005), MakeClass("y", 1, 2000.0, 0.006)};
+  PortfolioOptions no_swap;
+  no_swap.power_budget_watts = 25.0;
+  no_swap.local_swap_passes = 0;
+  PortfolioOptions swap = no_swap;
+  swap.local_swap_passes = 2;
+  EXPECT_GE(PlanPortfolio(cands, classes, swap).planned_qps,
+            PlanPortfolio(cands, classes, no_swap).planned_qps);
+}
+
+TEST(PortfolioTest, HomogeneousReplicatesAndStrandsTheResidue) {
+  std::vector<BoardCandidate> cands;
+  cands.push_back(MakeCandidate("a", 1, 10.0, {0.001}));
+  const std::vector<LatencyClass> classes{MakeClass("c", 0, 1e9)};
+  PortfolioOptions opts;
+  opts.power_budget_watts = 35.0;
+  opts.capacity_derate = 1.0;
+  const PortfolioPlan plan = PlanHomogeneous(cands, 0, classes, opts);
+  EXPECT_EQ(plan.boards, (std::vector<int>{0, 0, 0}));
+  EXPECT_DOUBLE_EQ(plan.power_watts, 30.0) << "5 W residue stranded";
+  EXPECT_DOUBLE_EQ(plan.planned_qps, 3000.0);
+}
+
+TEST(PortfolioTest, NaiveBestCandidateNeedsAllClassesAndBreaksTiesByPower) {
+  std::vector<BoardCandidate> cands;
+  // Highest throughput but too slow for the tight class.
+  cands.push_back(MakeCandidate("fat", 8, 40.0, {0.001}));
+  cands.push_back(MakeCandidate("ok_hot", 2, 20.0, {0.001}));
+  cands.push_back(MakeCandidate("ok_cool", 2, 10.0, {0.001}));
+  cands[0].item_seconds[0] = 0.004;
+  cands[0].board_qps[0] = 8 / 0.004;
+  const std::vector<LatencyClass> classes{MakeClass("c", 0, 1000.0, 0.002)};
+  // fat is infeasible; ok_hot and ok_cool tie on throughput -> lower power.
+  EXPECT_EQ(NaiveBestCandidate(cands, classes), 2);
+  const std::vector<LatencyClass> impossible{MakeClass("c", 0, 1.0, 1e-9)};
+  EXPECT_THROW(NaiveBestCandidate(cands, impossible), InvalidArgument);
+}
+
+// --- virtual-time fleet simulation ---
+
+TEST(FleetSimTest, SingleShardTimeoutAndSizeTriggersMatchHandComputation) {
+  std::vector<BoardCandidate> cands;
+  cands.push_back(MakeCandidate("a", 1, 10.0, {0.010}));
+  const std::vector<LatencyClass> classes{MakeClass("c", 0, 100.0)};
+  FleetOptions opts;
+  opts.max_batch = 2;
+  opts.max_queue_delay_seconds = 0.005;
+
+  // Lone arrival: dispatches on the timeout trigger at t = 0.005 and
+  // finishes at 0.015.
+  {
+    const auto res = SimulateFleet(cands, {0}, classes,
+                                   {cands[0].item_seconds},
+                                   {{0.0, 0}}, opts);
+    ASSERT_EQ(res.decisions, (std::vector<int>{0}));
+    EXPECT_EQ(res.classes[0].ok, 1);
+    EXPECT_DOUBLE_EQ(res.classes[0].p50_ms, 15.0);
+    EXPECT_DOUBLE_EQ(res.horizon_seconds, 0.015);
+    EXPECT_EQ(res.shards[0].batches, 1);
+  }
+
+  // Two arrivals inside the delay window: the size trigger fires at the
+  // second arrival (t = 0.001); items finish back-to-back at 0.011/0.021.
+  {
+    const auto res = SimulateFleet(cands, {0}, classes,
+                                   {cands[0].item_seconds},
+                                   {{0.0, 0}, {0.001, 0}}, opts);
+    EXPECT_EQ(res.classes[0].ok, 2);
+    EXPECT_EQ(res.shards[0].batches, 1);
+    EXPECT_DOUBLE_EQ(res.horizon_seconds, 0.021);
+    EXPECT_DOUBLE_EQ(res.classes[0].p50_ms, 11.0);   // first item
+    EXPECT_DOUBLE_EQ(res.classes[0].p99_ms, 20.0);   // second item
+    EXPECT_DOUBLE_EQ(res.shards[0].busy_seconds, 0.020);
+    EXPECT_NEAR(res.shards[0].utilization, 0.020 / 0.021, 1e-12);
+  }
+}
+
+TEST(FleetSimTest, InfeasibleEverywhereIsUnroutable) {
+  std::vector<BoardCandidate> cands;
+  cands.push_back(MakeCandidate("slow", 1, 5.0, {0.050}));
+  const std::vector<LatencyClass> classes{MakeClass("c", 0, 100.0, 0.001)};
+  const auto res = SimulateFleet(cands, {0, 0}, classes,
+                                 {cands[0].item_seconds},
+                                 {{0.0, 0}, {0.01, 0}}, FleetOptions{});
+  EXPECT_EQ(res.decisions, (std::vector<int>{-1, -1}));
+  EXPECT_EQ(res.classes[0].unroutable, 2);
+  EXPECT_EQ(res.classes[0].ok, 0);
+}
+
+TEST(FleetSimTest, RerunsAreBitIdentical) {
+  std::vector<BoardCandidate> cands;
+  cands.push_back(MakeCandidate("big", 2, 20.0, {0.0005, 0.0002}));
+  cands.push_back(MakeCandidate("small", 1, 4.0, {0.002, 0.0008}));
+  const std::vector<LatencyClass> classes{
+      MakeClass("tight", 0, 3000.0, 0.004),
+      MakeClass("loose", 1, 4000.0, 0.020)};
+  const std::vector<std::vector<double>> dev{cands[0].item_seconds,
+                                             cands[1].item_seconds};
+  FleetOptions opts;
+  opts.max_batch = 4;
+  opts.max_queue_delay_seconds = 0.001;
+  opts.class_weights = {2.0, 1.0};
+  const auto trace = MakePoissonTrace(classes, 0.25, 99);
+  ASSERT_GT(trace.size(), 500u);
+
+  const auto a = SimulateFleet(cands, {0, 0, 1}, classes, dev, trace, opts);
+  const auto b = SimulateFleet(cands, {0, 0, 1}, classes, dev, trace, opts);
+  EXPECT_EQ(a.decisions, b.decisions);
+  EXPECT_EQ(a.horizon_seconds, b.horizon_seconds);
+  EXPECT_EQ(a.total_ok_qps, b.total_ok_qps);
+  EXPECT_EQ(a.energy_joules, b.energy_joules);
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    EXPECT_EQ(a.classes[c].ok, b.classes[c].ok);
+    EXPECT_EQ(a.classes[c].rejected, b.classes[c].rejected);
+    EXPECT_EQ(a.classes[c].expired, b.classes[c].expired);
+    EXPECT_EQ(a.classes[c].p99_ms, b.classes[c].p99_ms);
+  }
+  for (std::size_t s = 0; s < a.shards.size(); ++s) {
+    EXPECT_EQ(a.shards[s].items, b.shards[s].items);
+    EXPECT_EQ(a.shards[s].busy_seconds, b.shards[s].busy_seconds);
+  }
+  // Conservation: every submitted request is accounted for exactly once.
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    const auto& cs = a.classes[c];
+    EXPECT_EQ(cs.submitted,
+              cs.ok + cs.rejected + cs.expired + cs.unroutable)
+        << "class " << c;
+  }
+  // Both shards of the big board see traffic (the router spreads load).
+  EXPECT_GT(a.shards[0].items, 0);
+  EXPECT_GT(a.shards[1].items, 0);
+}
+
+// --- live fleet ---
+
+TEST(FleetLiveTest, FunctionalServingMatchesSequentialAndSharesEngines) {
+  Model model = BuildTinyCnn();
+  const AccelConfig cfg = TestConfig();
+  std::vector<LayerMapping> mapping(
+      static_cast<std::size_t>(model.num_layers()),
+      LayerMapping{ConvMode::kSpatial, Dataflow::kInputStationary});
+  ModelWeightsQ weights = SyntheticWeights(model, 7);
+
+  BoardCandidate cand = MakeCandidate("test", 2, 10.0, {0.001});
+  cand.config = cfg;
+  cand.config.ni = 2;
+  cand.mappings = {mapping};
+  const std::vector<LatencyClass> classes{MakeClass("c", 0, 100.0)};
+
+  FleetOptions opts;
+  opts.max_batch = 4;
+  opts.max_queue_delay_seconds = 0;
+  Fleet fleet({cand}, {0, 0}, classes, {&model}, {&weights}, opts,
+              ExecMode::kFunctional);
+  ASSERT_EQ(fleet.num_shards(), 2);
+
+  constexpr int kItems = 16;
+  InferenceEngine golden_engine(TestSpec(), 1);
+  std::vector<std::future<ItemReport>> futures;
+  std::vector<Tensor<std::int16_t>> inputs;
+  for (int i = 0; i < kItems; ++i) {
+    inputs.push_back(
+        MakeInput(model.InputOf(0), 100 + static_cast<std::uint64_t>(i)));
+    futures.push_back(fleet.Submit(0, inputs.back()));
+  }
+  const BatchReport golden = golden_engine.ExecuteBatch(
+      model, cand.config, mapping, weights, inputs, /*functional=*/true);
+  for (int i = 0; i < kItems; ++i) {
+    const ItemReport r = futures[static_cast<std::size_t>(i)].get();
+    ASSERT_EQ(r.outcome, ServeOutcome::kOk) << "item " << i;
+    EXPECT_EQ(r.run.output, golden.items[static_cast<std::size_t>(i)].output)
+        << "item " << i;
+  }
+  fleet.Stop();
+
+  EXPECT_EQ(fleet.routed(), kItems);
+  const ServerStats cs = fleet.class_stats(0);
+  EXPECT_EQ(cs.submitted, kItems);
+  EXPECT_EQ(cs.ok, kItems);
+  const ServerStats s0 = fleet.shard_stats(0);
+  const ServerStats s1 = fleet.shard_stats(1);
+  EXPECT_EQ(s0.submitted + s1.submitted, kItems);
+  // Both shards share one engine (and its program cache): the model
+  // compiles once for shard 0 and cache-hits for shard 1.
+  EXPECT_GE(fleet.engine("test").cache_hits(), 1);
+}
+
+}  // namespace
+}  // namespace hdnn

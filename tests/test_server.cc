@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <future>
 #include <vector>
@@ -97,6 +98,113 @@ TEST(DeadlineQueueTest, DeadlineAwareEviction) {
   EXPECT_EQ(expired[0].value, 2);
   EXPECT_EQ(expired[1].value, 4);
   EXPECT_EQ(q.size(), 1);
+}
+
+TEST(DeadlineQueueTest, EqualDeadlineArrivalIsRejectedNotEvicted) {
+  // Eviction requires the incoming request to be STRICTLY more urgent than
+  // the latest-deadline waiter; an equal-deadline arrival must be rejected
+  // (FIFO wins the tie — the waiter keeps its slot).
+  DeadlineQueue<int> q(/*capacity=*/2, /*max_batch=*/8, 0.010);
+  std::vector<DeadlineQueue<int>::Entry> expired;
+  DeadlineQueue<int>::Entry evicted;
+
+  DeadlineQueue<int>::Entry a{1, 0.0, /*deadline=*/0.050};
+  DeadlineQueue<int>::Entry b{2, 0.0, /*deadline=*/0.100};
+  ASSERT_EQ(q.Push(a, 0.0, &evicted, expired), AdmitResult::kAdmitted);
+  ASSERT_EQ(q.Push(b, 0.0, &evicted, expired), AdmitResult::kAdmitted);
+
+  DeadlineQueue<int>::Entry tie{3, 0.001, /*deadline=*/0.100};
+  EXPECT_EQ(q.Push(tie, 0.001, &evicted, expired), AdmitResult::kRejected);
+  EXPECT_EQ(tie.value, 3) << "rejected entry stays with the caller";
+  ASSERT_EQ(q.size(), 2);
+
+  // Just-barely-earlier flips the outcome to eviction of the 0.100 waiter.
+  DeadlineQueue<int>::Entry urgent{4, 0.001, /*deadline=*/0.099};
+  EXPECT_EQ(q.Push(urgent, 0.001, &evicted, expired), AdmitResult::kEvicted);
+  EXPECT_EQ(evicted.value, 2);
+}
+
+TEST(DeadlineQueueTest, EvictionTieAmongEqualLatestDeadlinesShedsOldest) {
+  // When several waiters share the latest deadline, the scan keeps the
+  // first maximum it sees, so the OLDEST of the tied waiters is shed —
+  // deterministically, regardless of how the tie arose.
+  DeadlineQueue<int> q(/*capacity=*/3, /*max_batch=*/8, 0.010);
+  std::vector<DeadlineQueue<int>::Entry> expired;
+  DeadlineQueue<int>::Entry evicted;
+
+  DeadlineQueue<int>::Entry a{1, 0.0, /*deadline=*/0.100};
+  DeadlineQueue<int>::Entry b{2, 0.0, /*deadline=*/0.050};
+  DeadlineQueue<int>::Entry c{3, 0.0, /*deadline=*/0.100};
+  ASSERT_EQ(q.Push(a, 0.0, &evicted, expired), AdmitResult::kAdmitted);
+  ASSERT_EQ(q.Push(b, 0.0, &evicted, expired), AdmitResult::kAdmitted);
+  ASSERT_EQ(q.Push(c, 0.0, &evicted, expired), AdmitResult::kAdmitted);
+
+  DeadlineQueue<int>::Entry urgent{4, 0.001, /*deadline=*/0.020};
+  EXPECT_EQ(q.Push(urgent, 0.001, &evicted, expired), AdmitResult::kEvicted);
+  EXPECT_EQ(evicted.value, 1) << "earliest-queued of the tied waiters";
+
+  // Survivors keep FIFO order: 2, 3, then the admitted 4.
+  const auto batch = q.TakeBatch();
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].value, 2);
+  EXPECT_EQ(batch[1].value, 3);
+  EXPECT_EQ(batch[2].value, 4);
+}
+
+// --- weighted drain scan ---
+
+TEST(PickReadyQueueTest, UniformWeightsMatchLegacyRotation) {
+  const std::vector<double> weights(3, 1.0);
+  std::vector<double> credits(3, 0.0);
+  const std::vector<bool> ready{true, false, true};
+
+  EXPECT_EQ(PickReadyQueue(ready, weights, credits, /*scan_start=*/0), 0);
+  EXPECT_EQ(PickReadyQueue(ready, weights, credits, /*scan_start=*/1), 2);
+  EXPECT_EQ(PickReadyQueue(ready, weights, credits, /*scan_start=*/2), 2);
+  // The uniform path must not accumulate credit state.
+  for (double c : credits) EXPECT_EQ(c, 0.0);
+
+  const std::vector<bool> none(3, false);
+  EXPECT_EQ(PickReadyQueue(none, weights, credits, 0), -1);
+}
+
+TEST(PickReadyQueueTest, WeightedSharesOverBackloggedQueues) {
+  // Two always-ready queues at 3:1 must be drained 3:1 over any window,
+  // with the smooth round-robin never letting either starve.
+  const std::vector<double> weights{3.0, 1.0};
+  std::vector<double> credits(2, 0.0);
+  const std::vector<bool> ready{true, true};
+  int picks[2] = {0, 0};
+  int longest_starve = 0, since_q1 = 0;
+  for (int i = 0; i < 400; ++i) {
+    const int p = PickReadyQueue(ready, weights, credits, 0);
+    ASSERT_TRUE(p == 0 || p == 1);
+    ++picks[p];
+    since_q1 = p == 1 ? 0 : since_q1 + 1;
+    longest_starve = std::max(longest_starve, since_q1);
+  }
+  EXPECT_EQ(picks[0], 300);
+  EXPECT_EQ(picks[1], 100);
+  EXPECT_LE(longest_starve, 3) << "smooth WRR interleaves, not bursts";
+}
+
+TEST(PickReadyQueueTest, DeterministicInStateAndBreaksTiesByRotation) {
+  const std::vector<double> weights{2.0, 1.0, 2.0};
+  const std::vector<bool> ready(3, true);
+  std::vector<double> a(3, 0.0), b(3, 0.0);
+  for (std::size_t start = 0; start < 3; ++start) {
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_EQ(PickReadyQueue(ready, weights, a, start),
+                PickReadyQueue(ready, weights, b, start));
+    }
+    EXPECT_EQ(a, b);
+  }
+  // Fresh credits, queues 0 and 2 tied at weight 2: the earliest rotation
+  // position from scan_start wins the tie.
+  std::vector<double> credits(3, 0.0);
+  EXPECT_EQ(PickReadyQueue(ready, weights, credits, /*scan_start=*/2), 2);
+  credits.assign(3, 0.0);
+  EXPECT_EQ(PickReadyQueue(ready, weights, credits, /*scan_start=*/0), 0);
 }
 
 // --- server fixture ---

@@ -48,14 +48,30 @@ RATE_KEYS = (
     "sqnr_gain_db",
     "e2e_rmse",
     "e2e_max_abs",
+    # fleet portfolio vs naive (BENCH_fleet.json): per-shard capacity and
+    # efficiency rows plus the heterogeneous-advantage headline
+    "planned_qps",
+    "measured_qps",
+    "offered_qps",
+    "utilization",
+    "energy_joules",
+    "qps_per_joule",
+    "naive_qps",
+    "portfolio_qps",
+    "qps_ratio",
+    "naive_qps_per_joule",
+    "portfolio_qps_per_joule",
+    "qps_per_joule_ratio",
 )
 
 # Latency percentiles, shed rate and quantization error improve when they go
-# DOWN; everything else in RATE_KEYS improves when it goes up (mean_batch is
-# informational).
+# DOWN; everything else in RATE_KEYS improves when it goes up. Informational
+# rows carry no verdict: mean_batch, the offered (input) rate, shard
+# utilization (high = good packing OR saturation) and absolute energy (it
+# conflates horizon with draw — the qps_per_joule rows carry the verdict).
 LOWER_BETTER = {"p50_ms", "p99_ms", "p999_ms", "shed_rate",
                 "e2e_rmse", "e2e_max_abs"}
-NEUTRAL = {"mean_batch"}
+NEUTRAL = {"mean_batch", "offered_qps", "utilization", "energy_joules"}
 
 
 def trend(key, before, after):
