@@ -45,6 +45,14 @@ class InternalError : public Error {
   explicit InternalError(const std::string& what) : Error(what) {}
 };
 
+/// An integrity tag (CRC) mismatch: stored data changed between being
+/// written and being collected — corrupted results must not be served.
+/// Retryable: inference is pure, so re-executing the request is safe.
+class IntegrityError : public Error {
+ public:
+  explicit IntegrityError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] void ThrowCheckFailure(const char* kind, const char* expr,
                                     const char* file, int line,

@@ -25,6 +25,7 @@
 #ifndef HDNN_COMMON_DEADLINE_QUEUE_H_
 #define HDNN_COMMON_DEADLINE_QUEUE_H_
 
+#include <cstdint>
 #include <deque>
 #include <limits>
 #include <utility>
@@ -71,6 +72,16 @@ class DeadlineQueue {
   bool empty() const { return entries_.empty(); }
   int size() const { return static_cast<int>(entries_.size()); }
 
+  /// Monotonic shed counters since construction. EvictedCount() counts
+  /// entries displaced by a strictly-more-urgent arrival (AdmitResult::
+  /// kEvicted — NOT rejected pushes, which never entered the queue);
+  /// ExpiredCount() counts entries removed by SweepExpired, whether the
+  /// sweep ran standalone or inside a full-queue Push. The chaos bench and
+  /// the fleet health tripwires read these to tell load-shedding apart from
+  /// deadline decay on a sick shard.
+  std::int64_t EvictedCount() const { return evicted_count_; }
+  std::int64_t ExpiredCount() const { return expired_count_; }
+
   /// Moves every entry expired at `now` into `expired`, preserving FIFO
   /// order among survivors. Returns the number shed.
   int SweepExpired(double now, std::vector<Entry>& expired) {
@@ -84,6 +95,7 @@ class DeadlineQueue {
         ++i;
       }
     }
+    expired_count_ += shed;
     return shed;
   }
 
@@ -107,6 +119,7 @@ class DeadlineQueue {
     }
     if (entry.deadline_s < entries_[latest].deadline_s) {
       HDNN_CHECK(evicted != nullptr) << "eviction needs an out slot";
+      ++evicted_count_;
       *evicted = std::move(entries_[latest]);
       entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(latest));
       entries_.push_back(std::move(entry));
@@ -151,6 +164,8 @@ class DeadlineQueue {
   int max_batch_;
   double max_queue_delay_s_;
   std::deque<Entry> entries_;
+  std::int64_t evicted_count_ = 0;
+  std::int64_t expired_count_ = 0;
 };
 
 }  // namespace hdnn

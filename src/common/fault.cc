@@ -1,0 +1,153 @@
+#include "common/fault.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/check.h"
+#include "common/prng.h"
+
+namespace hdnn {
+namespace {
+
+std::array<std::uint32_t, 256> BuildCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(std::span<const std::int16_t> words, std::uint32_t crc) {
+  static const std::array<std::uint32_t, 256> table = BuildCrcTable();
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (const std::int16_t word : words) {
+    const auto u = static_cast<std::uint16_t>(word);
+    c = table[(c ^ (u & 0xFFu)) & 0xFFu] ^ (c >> 8);
+    c = table[(c ^ (u >> 8)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void FaultPlan::AddCrash(int shard, double at_seconds) {
+  HDNN_CHECK(shard >= 0) << "fault shard must be non-negative, got " << shard;
+  HDNN_CHECK(at_seconds >= 0) << "fault time must be non-negative, got "
+                              << at_seconds;
+  FaultEvent e;
+  e.kind = FaultKind::kCrash;
+  e.shard = shard;
+  e.at_seconds = at_seconds;
+  events_.push_back(e);
+}
+
+void FaultPlan::AddStall(int shard, double at_seconds,
+                         double duration_seconds) {
+  HDNN_CHECK(shard >= 0) << "fault shard must be non-negative, got " << shard;
+  HDNN_CHECK(at_seconds >= 0) << "fault time must be non-negative, got "
+                              << at_seconds;
+  HDNN_CHECK(duration_seconds > 0)
+      << "stall duration must be positive, got " << duration_seconds;
+  FaultEvent e;
+  e.kind = FaultKind::kStall;
+  e.shard = shard;
+  e.at_seconds = at_seconds;
+  e.duration_seconds = duration_seconds;
+  events_.push_back(e);
+}
+
+void FaultPlan::AddSlowdown(int shard, double at_seconds,
+                            double duration_seconds, double derate) {
+  HDNN_CHECK(shard >= 0) << "fault shard must be non-negative, got " << shard;
+  HDNN_CHECK(at_seconds >= 0) << "fault time must be non-negative, got "
+                              << at_seconds;
+  HDNN_CHECK(duration_seconds > 0)
+      << "slowdown duration must be positive, got " << duration_seconds;
+  HDNN_CHECK(derate >= 1.0) << "slowdown derate must be >= 1, got " << derate;
+  FaultEvent e;
+  e.kind = FaultKind::kSlowdown;
+  e.shard = shard;
+  e.at_seconds = at_seconds;
+  e.duration_seconds = duration_seconds;
+  e.derate = derate;
+  events_.push_back(e);
+}
+
+void FaultPlan::AddCorruption(int shard, double at_seconds, int items) {
+  HDNN_CHECK(shard >= 0) << "fault shard must be non-negative, got " << shard;
+  HDNN_CHECK(at_seconds >= 0) << "fault time must be non-negative, got "
+                              << at_seconds;
+  HDNN_CHECK(items >= 1) << "corruption needs at least one item, got "
+                         << items;
+  FaultEvent e;
+  e.kind = FaultKind::kCorruption;
+  e.shard = shard;
+  e.at_seconds = at_seconds;
+  e.items = items;
+  events_.push_back(e);
+}
+
+std::vector<InjectedFault> FaultPlan::Materialize() const {
+  // Draw by insertion index BEFORE sorting: the per-event stream is pinned
+  // to the event's identity, not its position in the time order, so adding
+  // an earlier event never reshuffles the draws of the existing ones.
+  const Prng root(seed_);
+  std::vector<InjectedFault> schedule;
+  schedule.reserve(events_.size());
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    InjectedFault f;
+    f.event = events_[i];
+    f.draw = root.Fork(static_cast<std::uint64_t>(i)).NextU64();
+    schedule.push_back(f);
+  }
+  std::stable_sort(schedule.begin(), schedule.end(),
+                   [](const InjectedFault& a, const InjectedFault& b) {
+                     return a.event.at_seconds < b.event.at_seconds;
+                   });
+  return schedule;
+}
+
+std::vector<std::uint8_t> FaultPlan::SerializeSchedule() const {
+  const std::vector<InjectedFault> schedule = Materialize();
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(schedule.size() * 38);
+  const auto put_u64 = [&bytes](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b)
+      bytes.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+  };
+  const auto put_u32 = [&bytes](std::uint32_t v) {
+    for (int b = 0; b < 4; ++b)
+      bytes.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+  };
+  const auto put_f64 = [&put_u64](double v) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    put_u64(bits);
+  };
+  for (const InjectedFault& f : schedule) {
+    bytes.push_back(static_cast<std::uint8_t>(f.event.kind));
+    put_u32(static_cast<std::uint32_t>(f.event.shard));
+    put_f64(f.event.at_seconds);
+    put_f64(f.event.duration_seconds);
+    put_f64(f.event.derate);
+    put_u32(static_cast<std::uint32_t>(f.event.items));
+    put_u64(f.draw);
+  }
+  return bytes;
+}
+
+std::uint64_t FaultPlan::ScheduleDigest() const {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const std::uint8_t b : SerializeSchedule()) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace hdnn

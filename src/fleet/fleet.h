@@ -34,6 +34,8 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
+#include "fleet/health.h"
 #include "fleet/portfolio.h"
 #include "fleet/router.h"
 #include "runtime/server.h"
@@ -49,6 +51,35 @@ struct FleetOptions {
   /// Drain-scan weight per latency class within a shard (PickReadyQueue);
   /// empty = uniform (legacy round-robin).
   std::vector<double> class_weights;
+
+  // --- Self-healing knobs (DESIGN.md Sec. 12). The chaos machinery only
+  // engages when SimulateFleet is handed a FaultPlan (even an empty one)
+  // or hedging is enabled; with neither, the simulation takes the legacy
+  // path and is bit-identical to the pre-chaos fleet.
+  /// Detection thresholds for the per-shard HealthTracker.
+  HealthOptions health;
+  /// Hedge a request to the router's backup shard when its predicted
+  /// completion (backlog + one item) eats more than
+  /// (1 - hedge_slack_fraction) of the remaining deadline. 0 = off.
+  double hedge_slack_fraction = 0.0;
+  /// Client-visible failures (results lost to a crash, CRC-rejected
+  /// corruption) are re-routed up to this many times, `retry_backoff_seconds`
+  /// apart, while the request's original deadline still allows it.
+  int max_retries = 2;
+  double retry_backoff_seconds = 0.0005;
+  /// Verify the CRC32 integrity tag at collection: injected corruption is
+  /// detected (and retried) instead of served. Off = corruption is served
+  /// silently and only the corrupted_served counter knows.
+  bool crc_enabled = true;
+  /// On a permanent board loss, re-run the portfolio allocation over the
+  /// surviving boards (ReplanAfterLoss) and shed the unservable fraction
+  /// per class at admission — strictest-deadline classes keep their
+  /// traffic, the bulk tail degrades first.
+  bool replan_on_loss = true;
+  double replan_capacity_derate = 0.85;
+  /// Start of the goodput tail window (recovery measurement): ok_tail
+  /// counts clean completions at/after this instant. 0 = whole run.
+  double tail_window_start_seconds = 0;
 };
 
 /// One open-loop arrival: a request of `class_index` at virtual time
@@ -72,9 +103,31 @@ struct FleetClassStats {
   std::int64_t rejected = 0;    ///< shed at admission (incl. evictions)
   std::int64_t expired = 0;     ///< deadline passed while queued
   std::int64_t unroutable = 0;  ///< no feasible shard; shed at the router
+  /// Terminal failures under fault injection: every copy was lost to a
+  /// crash or rejected by the CRC check and the retry budget or deadline
+  /// ran out. Always 0 on the legacy (no-chaos) path. Conservation:
+  /// submitted == ok + rejected + expired + unroutable + failed.
+  std::int64_t failed = 0;
+  /// Clean (non-corrupted) completions inside the tail window
+  /// [tail_window_start_seconds, horizon) — the recovery numerator.
+  std::int64_t ok_tail = 0;
   double achieved_qps = 0;      ///< ok / horizon
   double p50_ms = 0;            ///< over ok requests, arrival -> completion
   double p99_ms = 0;
+};
+
+/// Fleet-wide chaos counters (all zero on the legacy path).
+struct FleetChaosStats {
+  std::int64_t hedges = 0;        ///< hedge copies admitted
+  std::int64_t hedge_wasted = 0;  ///< duplicate executions of settled requests
+  std::int64_t retries = 0;       ///< re-routes after loss/corruption
+  std::int64_t corrupted_detected = 0;  ///< CRC caught at collection
+  std::int64_t corrupted_served = 0;    ///< served corrupted (CRC off)
+  std::int64_t degraded_shed = 0;  ///< shed by the post-loss admission gate
+  int replans = 0;                 ///< ReplanAfterLoss invocations
+  int shards_down = 0;             ///< shards the tracker declared kDown
+  int health_transitions = 0;      ///< HealthTracker::transitions() at end
+  double first_down_seconds = -1;  ///< first kDown instant (-1 = never)
 };
 
 struct FleetShardStats {
@@ -99,6 +152,14 @@ struct FleetSimResult {
   /// Served requests per joule of fleet energy (the bench's efficiency
   /// headline; equivalently sustained QPS per watt of fleet draw).
   double qps_per_joule = 0;
+
+  FleetChaosStats chaos;
+  /// Clean serves per second: (ok - corrupted_served) / horizon.
+  double goodput_qps = 0;
+  /// Clean serves per second inside the tail window (0 when the window is
+  /// empty); the chaos bench's recovery metric.
+  double tail_goodput_qps = 0;
+  double tail_seconds = 0;  ///< tail window length actually measured
 };
 
 /// Runs `arrivals` (non-decreasing at_seconds) through the virtual-time
@@ -106,13 +167,25 @@ struct FleetSimResult {
 /// device_seconds[candidate][model] paces its instances (use measured
 /// cycle-sim latencies for validation, or BoardCandidate::item_seconds for
 /// pure modeling). Pure function of its arguments.
+///
+/// `faults` (optional) injects the plan's seeded board faults into the
+/// virtual timeline and engages the self-healing machinery: HealthTracker
+/// detection (heartbeat silence, consecutive deadline misses), router
+/// masking of unhealthy shards, deadline hedging, capped retry with
+/// backoff, CRC rejection of corrupted results, and degradation-aware
+/// re-planning on permanent board loss. Passing nullptr (and leaving
+/// hedging off) takes the legacy code path, bit-identical to the
+/// pre-chaos simulator; passing an EMPTY plan runs the full chaos event
+/// loop with no faults, which the chaos bench self-checks against the
+/// nullptr run. Still a pure function: same arguments -> bit-identical
+/// result, faults included.
 FleetSimResult SimulateFleet(
     const std::vector<BoardCandidate>& candidates,
     const std::vector<int>& shard_candidates,
     const std::vector<LatencyClass>& classes,
     const std::vector<std::vector<double>>& device_seconds,
     const std::vector<FleetTraceArrival>& arrivals,
-    const FleetOptions& options);
+    const FleetOptions& options, const FaultPlan* faults = nullptr);
 
 /// The live composition (see file comment). Engines are created per
 /// distinct platform name and owned by the fleet; servers are device-paced
@@ -142,6 +215,21 @@ class Fleet {
   std::future<ItemReport> Submit(int class_index,
                                  Tensor<std::int16_t> input);
 
+  /// Submit with a hedge: routes via Router::RoutePair and, when a distinct
+  /// backup shard exists, submits the same input there too. The returned
+  /// future resolves with the primary's report when it succeeds, otherwise
+  /// with the hedge's (first non-error wins; duplicates are harmless
+  /// because inference is pure). Resolves like Submit when no backup
+  /// exists. Every future still resolves with a terminal status on Stop().
+  std::future<ItemReport> SubmitHedged(int class_index,
+                                       Tensor<std::int16_t> input);
+
+  /// Manual health override: an un-routable shard is masked out of every
+  /// subsequent Submit/SubmitHedged feasibility set (its queued work still
+  /// drains). Routable by default.
+  void SetShardHealth(int shard, bool routable);
+  bool shard_routable(int shard) const;
+
   /// Per-class counters summed over every shard serving the class.
   ServerStats class_stats(int class_index) const;
   /// Per-shard counters summed over the classes it serves.
@@ -155,6 +243,11 @@ class Fleet {
   InferenceEngine& engine(const std::string& platform);
 
  private:
+  /// Live backlog estimate per shard plus the feasibility mask for one
+  /// class (registered handle AND manual health mask).
+  void RouteInputs(int class_index, std::vector<double>& load,
+                   std::vector<bool>& feasible) const;
+
   std::vector<BoardCandidate> candidates_;
   std::vector<int> shard_candidates_;
   std::vector<LatencyClass> classes_;
@@ -169,6 +262,8 @@ class Fleet {
 
   mutable std::mutex router_mu_;
   Router router_;
+  /// Guarded by router_mu_; ANDed into every routing feasibility mask.
+  std::vector<bool> health_mask_;
 };
 
 }  // namespace hdnn

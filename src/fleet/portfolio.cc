@@ -214,6 +214,29 @@ PortfolioPlan PlanPortfolio(const std::vector<BoardCandidate>& candidates,
   return best;
 }
 
+PortfolioPlan ReplanAfterLoss(const std::vector<BoardCandidate>& candidates,
+                              const std::vector<int>& surviving_boards,
+                              const std::vector<LatencyClass>& classes,
+                              const PortfolioOptions& opts) {
+  HDNN_CHECK(!surviving_boards.empty())
+      << "cannot re-plan an empty fleet: every board is lost";
+  return EvaluatePortfolio(candidates, surviving_boards, classes, opts);
+}
+
+std::vector<double> DegradedAdmitFractions(
+    const PortfolioPlan& plan, const std::vector<LatencyClass>& classes) {
+  HDNN_CHECK(plan.class_qps.size() == classes.size())
+      << "plan has " << plan.class_qps.size() << " classes, expected "
+      << classes.size();
+  std::vector<double> fractions(classes.size(), 1.0);
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    const double offered = classes[c].offered_qps;
+    if (offered <= 0) continue;
+    fractions[c] = std::clamp(plan.class_qps[c] / offered, 0.0, 1.0);
+  }
+  return fractions;
+}
+
 PortfolioPlan PlanHomogeneous(const std::vector<BoardCandidate>& candidates,
                               int candidate_index,
                               const std::vector<LatencyClass>& classes,

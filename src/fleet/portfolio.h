@@ -116,6 +116,24 @@ PortfolioPlan PlanPortfolio(const std::vector<BoardCandidate>& candidates,
                             const std::vector<LatencyClass>& classes,
                             const PortfolioOptions& opts);
 
+/// Degradation-aware re-plan after permanent board loss (DESIGN.md
+/// Sec. 12): re-runs the allocation core of PlanPortfolio
+/// (EvaluatePortfolio) over the surviving board multiset under the same
+/// options. Because allocation fills strictest-deadline classes first, the
+/// reduced capacity is spent on interactive traffic and the bulk tail is
+/// what degrades — graceful degradation falls out of the planner itself.
+PortfolioPlan ReplanAfterLoss(const std::vector<BoardCandidate>& candidates,
+                              const std::vector<int>& surviving_boards,
+                              const std::vector<LatencyClass>& classes,
+                              const PortfolioOptions& opts);
+
+/// Per-class fraction of offered traffic a (possibly degraded) plan still
+/// carries: class_qps / offered_qps, clamped to [0, 1]; classes with no
+/// offered traffic get 1. Admission gates consume this via a deterministic
+/// credit counter (credit += fraction; admit while credit >= 1).
+std::vector<double> DegradedAdmitFractions(
+    const PortfolioPlan& plan, const std::vector<LatencyClass>& classes);
+
 /// The naive homogeneous fleet: `candidate_index` replicated until the next
 /// copy would bust the budget (or max_boards), residue stranded.
 PortfolioPlan PlanHomogeneous(const std::vector<BoardCandidate>& candidates,

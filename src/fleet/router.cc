@@ -16,6 +16,11 @@ Router::Router(int num_shards, const RouterOptions& options)
 
 int Router::Route(const std::vector<double>& load,
                   const std::vector<bool>& feasible) {
+  return RoutePair(load, feasible).primary;
+}
+
+RouteDecision Router::RoutePair(const std::vector<double>& load,
+                                const std::vector<bool>& feasible) {
   HDNN_CHECK(static_cast<int>(load.size()) == num_shards_ &&
              static_cast<int>(feasible.size()) == num_shards_)
       << "load/feasible size mismatch";
@@ -25,7 +30,8 @@ int Router::Route(const std::vector<double>& load,
     if (feasible[static_cast<std::size_t>(s)]) pool.push_back(s);
   }
   const std::int64_t decision = decisions_++;
-  if (pool.empty()) return -1;
+  RouteDecision out;
+  if (pool.empty()) return out;
 
   const int m = static_cast<int>(pool.size());
   int sampled = m;
@@ -47,7 +53,23 @@ int Router::Route(const std::vector<double>& load,
     const double lb = load[static_cast<std::size_t>(best)];
     if (ls < lb || (ls == lb && s < best)) best = s;
   }
-  return best;
+  out.primary = best;
+  // Hedge: second-least-loaded of the same sample (never the primary),
+  // ties to the lowest shard index.
+  int hedge = -1;
+  for (int j = 0; j < sampled; ++j) {
+    const int s = pool[static_cast<std::size_t>(j)];
+    if (s == best) continue;
+    if (hedge < 0) {
+      hedge = s;
+      continue;
+    }
+    const double ls = load[static_cast<std::size_t>(s)];
+    const double lh = load[static_cast<std::size_t>(hedge)];
+    if (ls < lh || (ls == lh && s < hedge)) hedge = s;
+  }
+  out.hedge = hedge;
+  return out;
 }
 
 }  // namespace hdnn

@@ -30,6 +30,17 @@ struct RouterOptions {
   int choices = 2;
 };
 
+/// A routing decision with a hedge target: `primary` is exactly what
+/// Route() would have picked; `hedge` is the second-least-loaded of the
+/// same sampled feasible set (-1 when the set has fewer than two shards).
+/// Near-deadline requests are duplicated onto the hedge shard — first
+/// non-error completion wins; duplicates are harmless because inference is
+/// pure.
+struct RouteDecision {
+  int primary = -1;
+  int hedge = -1;
+};
+
 class Router {
  public:
   Router(int num_shards, const RouterOptions& options);
@@ -42,6 +53,12 @@ class Router {
   /// is feasible (the caller sheds). Each call consumes one decision slot.
   int Route(const std::vector<double>& load,
             const std::vector<bool>& feasible);
+
+  /// Route() plus a hedge target from the SAME decision slot and forked
+  /// stream: RoutePair(load, feasible).primary == Route(load, feasible)
+  /// for every input, so enabling hedging never perturbs primary routing.
+  RouteDecision RoutePair(const std::vector<double>& load,
+                          const std::vector<bool>& feasible);
 
   std::int64_t decisions() const { return decisions_; }
   int num_shards() const { return num_shards_; }

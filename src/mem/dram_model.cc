@@ -26,6 +26,7 @@ std::int16_t DramModel::Read(std::int64_t addr) const {
   HDNN_CHECK(addr >= 0 && addr < size_words())
       << "DRAM read out of range: " << addr << " / " << size_words();
   ++words_read_;
+  if (!faults_.empty()) MaybeInject();
   return words_[static_cast<std::size_t>(addr)];
 }
 
@@ -34,6 +35,7 @@ void DramModel::Write(std::int64_t addr, std::int16_t value) {
       << "DRAM write out of range: " << addr << " / " << size_words();
   ++words_written_;
   words_[static_cast<std::size_t>(addr)] = value;
+  if (!faults_.empty()) MaybeInject();
 }
 
 void DramModel::ReadBlock(std::int64_t addr, std::span<std::int16_t> out) const {
@@ -55,6 +57,7 @@ std::span<const std::int16_t> DramModel::ReadRun(std::int64_t addr,
                                                  std::int64_t words) const {
   const std::span<const std::int16_t> run = ViewRun(addr, words);
   words_read_ += words;
+  if (!faults_.empty()) MaybeInject();
   return run;
 }
 
@@ -65,6 +68,7 @@ std::span<std::int16_t> DramModel::WriteRun(std::int64_t addr,
       << "DRAM run [" << addr << ", " << addr + words << ") out of range 0../"
       << size_words();
   words_written_ += words;
+  if (!faults_.empty()) MaybeInject();
   if (words == 0) return {};
   return {words_.data() + static_cast<std::size_t>(addr),
           static_cast<std::size_t>(words)};
@@ -103,6 +107,41 @@ std::int64_t DramModel::Allocate(std::int64_t words) {
   const std::int64_t base = next_free_;
   next_free_ += words;
   return base;
+}
+
+void DramModel::ArmFault(const DramFault& fault) {
+  HDNN_CHECK(fault.after_total_words >= 0)
+      << "fault threshold must be non-negative, got "
+      << fault.after_total_words;
+  HDNN_CHECK(fault.addr >= 0) << "fault addr must be non-negative, got "
+                              << fault.addr;
+  HDNN_CHECK(fault.xor_mask != 0) << "fault xor_mask of 0 flips nothing";
+  faults_.push_back(fault);
+}
+
+void DramModel::ClearFaults() {
+  faults_.clear();
+  injected_ = 0;
+}
+
+int DramModel::armed_faults() const {
+  return static_cast<int>(faults_.size());
+}
+
+void DramModel::MaybeInject() const {
+  const std::int64_t total = words_read_ + words_written_;
+  for (std::size_t i = 0; i < faults_.size();) {
+    if (total >= faults_[i].after_total_words) {
+      const auto addr =
+          static_cast<std::size_t>(faults_[i].addr % size_words());
+      words_[addr] = static_cast<std::int16_t>(
+          static_cast<std::uint16_t>(words_[addr]) ^ faults_[i].xor_mask);
+      ++injected_;
+      faults_.erase(faults_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
 }
 
 }  // namespace hdnn

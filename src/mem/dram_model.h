@@ -13,6 +13,19 @@
 
 namespace hdnn {
 
+/// One armed corruption fault (fault injection, common/fault.h): once the
+/// model's cumulative functional access count (words_read + words_written)
+/// reaches `after_total_words`, the next access flips the stored word at
+/// `addr % size_words()` with `xor_mask`. Fires exactly once. Models a bad
+/// cell / disturbed row, so armed faults survive Reset() — they belong to
+/// the device, not to its contents — but access counters restart at Reset,
+/// so thresholds are relative to the current inference epoch.
+struct DramFault {
+  std::int64_t after_total_words = 0;
+  std::int64_t addr = 0;
+  std::uint16_t xor_mask = 1;
+};
+
 class DramModel {
  public:
   explicit DramModel(std::int64_t words);
@@ -72,11 +85,31 @@ class DramModel {
   std::int64_t words_written() const { return words_written_; }
   void ResetStats() { words_read_ = words_written_ = 0; }
 
+  // --- Fault injection hook (chaos testing; see DramFault above) ---
+  //
+  // The armed list is checked on every access-counting path (Read/Write,
+  // ReadRun/WriteRun — ViewRun takes no stats and triggers nothing), after
+  // the statistics bump, so a fault armed at threshold N fires on the
+  // access that carries the count to >= N. With nothing armed the hook is
+  // a single empty-vector branch per transaction.
+  void ArmFault(const DramFault& fault);
+  void ClearFaults();
+  /// Armed faults not yet fired / fired since the last ClearFaults.
+  int armed_faults() const;
+  std::int64_t injected_faults() const { return injected_; }
+
  private:
-  std::vector<std::int16_t> words_;
+  void MaybeInject() const;
+
+  /// `words_` is mutable because faults fire on the (const) read path too —
+  /// corrupting storage during a read is the point of modeling disturb
+  /// errors. Plain reads never mutate when no fault is armed.
+  mutable std::vector<std::int16_t> words_;
   std::int64_t next_free_ = 0;
   mutable std::int64_t words_read_ = 0;
   std::int64_t words_written_ = 0;
+  mutable std::vector<DramFault> faults_;
+  mutable std::int64_t injected_ = 0;
 };
 
 }  // namespace hdnn

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 
+#include <string>
+
 #include "common/check.h"
+#include "common/fault.h"
 #include "compiler/stream_check.h"
 #include "mem/layout.h"
 
@@ -125,9 +128,32 @@ RunReport Runtime::Execute(const Model& model, const CompiledModel& cm,
   if (functional) {
     const int last = model.num_layers() - 1;
     const LayerPlan& plan = cm.plans[static_cast<std::size_t>(last)];
-    report.output =
-        CollectOutputFmap(*dram_, cm.output_region(last), plan.output_layout,
-                          plan.out_shape, plan.cp_out);
+    const std::int64_t base = cm.output_region(last);
+    // The SAVE slab spans the padded channel count in either layout
+    // (channel-outermost or channel-innermost): cp_out * H * W words.
+    const std::int64_t slab_words = static_cast<std::int64_t>(plan.cp_out) *
+                                    plan.out_shape.height *
+                                    plan.out_shape.width;
+    std::uint32_t save_tag = 0;
+    if (integrity_check_) {
+      // Tag at SAVE time (stats-free view — tagging is device-side and must
+      // not perturb the functional traffic counters).
+      save_tag = Crc32(dram_->ViewRun(base, slab_words));
+    }
+    report.output = CollectOutputFmap(*dram_, base, plan.output_layout,
+                                      plan.out_shape, plan.cp_out);
+    if (integrity_check_) {
+      const std::uint32_t at_collect = Crc32(dram_->ViewRun(base, slab_words));
+      report.output_crc32 = at_collect;
+      report.integrity_checked = true;
+      if (at_collect != save_tag) {
+        throw IntegrityError(
+            "output fmap integrity tag mismatch at collection: CRC32 " +
+            std::to_string(at_collect) + " vs SAVE tag " +
+            std::to_string(save_tag) +
+            " (DRAM corruption in the at-rest window; retry the inference)");
+      }
+    }
   }
   return report;
 }

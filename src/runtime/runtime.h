@@ -25,6 +25,10 @@ struct RunReport {
   double effective_gops = 0;  ///< x NI instances (throughput, paper Table 4)
   std::vector<double> layer_cycles;          ///< per-layer latency
   Tensor<std::int16_t> output;               ///< final fmap (functional runs)
+  /// CRC32 of the output SAVE slab verified at collection (functional runs
+  /// with integrity checking enabled; see Runtime::set_integrity_check).
+  std::uint32_t output_crc32 = 0;
+  bool integrity_checked = false;
 };
 
 class Runtime {
@@ -38,11 +42,23 @@ class Runtime {
                     const ModelWeightsQ& weights,
                     const Tensor<std::int16_t>& input, bool functional = true);
 
+  /// Integrity tagging (DESIGN.md Sec. 12): when enabled, a functional
+  /// Execute computes a CRC32 over the final fmap SAVE slab the instant the
+  /// accelerator run completes (modeling the device tagging the slab as it
+  /// streams out) and re-verifies it after collection reads the slab back.
+  /// A mismatch — DRAM corruption in the at-rest window between SAVE and
+  /// collection — throws IntegrityError instead of serving the corrupted
+  /// fmap. Off by default: a disabled check is bit- and stats-identical to
+  /// the pre-tag runtime (the tag reads use ViewRun, which takes no stats).
+  void set_integrity_check(bool on) { integrity_check_ = on; }
+  bool integrity_check() const { return integrity_check_; }
+
   DramModel* dram() { return dram_.get(); }
 
  private:
   AccelConfig cfg_;
   FpgaSpec spec_;
+  bool integrity_check_ = false;
   /// Persistent per-Runtime arenas: the DRAM image is Reset (storage
   /// reused) and the Accelerator's buffers and COMP scratch survive across
   /// Execute calls, so steady-state serving performs no per-inference

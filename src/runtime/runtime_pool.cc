@@ -46,6 +46,9 @@ RuntimePool::Lease RuntimePool::Checkout(const AccelConfig& cfg) {
     if (it != idle_.end() && !it->second.empty()) {
       std::unique_ptr<Runtime> runtime = std::move(it->second.back());
       it->second.pop_back();
+      // Per-lease execution flags never leak between tenants: a reused
+      // Runtime starts with integrity tagging off, exactly like a fresh one.
+      runtime->set_integrity_check(false);
       return Lease(this, cfg, std::move(runtime));
     }
   }

@@ -59,6 +59,9 @@ InferenceServer::InferenceServer(InferenceEngine& engine,
       << "max_queue_delay must be non-negative";
   HDNN_CHECK(options.max_queue_depth >= 1)
       << "max_queue_depth must be positive, got " << options.max_queue_depth;
+  HDNN_CHECK(options.max_execute_retries >= 0)
+      << "max_execute_retries must be non-negative, got "
+      << options.max_execute_retries;
   workers_.reserve(static_cast<std::size_t>(options.num_workers));
   for (int i = 0; i < options.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -305,14 +308,31 @@ void InferenceServer::RunBatch(ModelState& ms,
     }
   } else {
     RuntimePool::Lease lease = engine_.runtime_pool().Checkout(ms.cfg);
+    lease->set_integrity_check(options_.integrity_check);
     for (int k = 0; k < batch_size; ++k) {
       try {
-        RunReport run = lease->Execute(
-            ms.model, *ms.compiled, ms.weights, batch[k].value.input,
-            /*functional=*/options_.mode == ExecMode::kFunctional);
+        RunReport run;
+        bool executed = false;
+        // Integrity self-healing: an IntegrityError means the output slab
+        // was corrupted between SAVE and collection — the result was never
+        // served, and inference is pure, so re-executing in place is safe.
+        for (int attempt = 0;; ++attempt) {
+          try {
+            run = lease->Execute(
+                ms.model, *ms.compiled, ms.weights, batch[k].value.input,
+                /*functional=*/options_.mode == ExecMode::kFunctional);
+            executed = true;
+            break;
+          } catch (const IntegrityError&) {
+            if (attempt >= options_.max_execute_retries) break;
+            std::lock_guard<std::mutex> lock(ms.mu);
+            ++ms.stats.retried;
+          }
+        }
         const double completion_s = Now();
         ItemReport report;
-        report.outcome = ServeOutcome::kOk;
+        report.outcome =
+            executed ? ServeOutcome::kOk : ServeOutcome::kFailed;
         report.queue_seconds = dispatch_s - batch[k].enqueue_s;
         report.service_seconds = completion_s - dispatch_s;
         report.total_seconds = completion_s - batch[k].enqueue_s;
@@ -320,7 +340,12 @@ void InferenceServer::RunBatch(ModelState& ms,
         report.batch_seq = batch_seq;
         report.device_seconds = ms.device_seconds;
         report.run = std::move(run);
-        count_ok();
+        if (executed) {
+          count_ok();
+        } else {
+          std::lock_guard<std::mutex> lock(ms.mu);
+          ++ms.stats.failed;
+        }
         batch[k].value.promise.set_value(std::move(report));
       } catch (...) {
         batch[k].value.promise.set_exception(std::current_exception());
@@ -361,6 +386,7 @@ InferenceServer::TraceReport InferenceServer::ServeTrace(
   RuntimePool::Lease lease;
   if (options_.mode != ExecMode::kDevicePaced) {
     lease = engine_.runtime_pool().Checkout(ms.cfg);
+    lease->set_integrity_check(options_.integrity_check);
   }
 
   const auto resolve_shed = [&](DeadlineQueue<Slot>::Entry e,

@@ -54,6 +54,8 @@ enum class ServeOutcome {
   kOk = 0,    ///< executed; report fields and (functional) output are valid
   kRejected,  ///< shed at admission (queue full of no-later-deadline work)
   kExpired,   ///< deadline passed while queued; never executed
+  kFailed,    ///< executed but failed terminally (integrity mismatch after
+              ///< the capped retries); the output must not be used
 };
 
 /// Per-request serving report, delivered through the Submit future (or the
@@ -82,6 +84,14 @@ struct ServerOptions {
   /// Per-model queue bound (admission control).
   int max_queue_depth = 64;
   ExecMode mode = ExecMode::kFunctional;
+  /// Verify the CRC32 integrity tag of every functional output at
+  /// collection (Runtime::set_integrity_check). An IntegrityError is
+  /// retried in place up to `max_execute_retries` times (inference is pure,
+  /// so re-execution is side-effect free); a request still failing resolves
+  /// with kFailed instead of serving corrupted data. Off by default — the
+  /// disabled path is behavior-identical to the pre-integrity server.
+  bool integrity_check = false;
+  int max_execute_retries = 1;
 };
 
 /// Per-model serving counters (monotonic since registration).
@@ -92,6 +102,8 @@ struct ServerStats {
   std::int64_t expired = 0;
   std::int64_t batches = 0;
   std::int64_t batched_items = 0;
+  std::int64_t retried = 0;  ///< in-place integrity re-executions
+  std::int64_t failed = 0;   ///< kFailed resolutions (retries exhausted)
 
   double mean_batch_size() const {
     return batches > 0 ? static_cast<double>(batched_items) /

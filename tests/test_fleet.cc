@@ -354,6 +354,293 @@ TEST(FleetSimTest, RerunsAreBitIdentical) {
   EXPECT_GT(a.shards[1].items, 0);
 }
 
+// --- chaos: fault injection and self-healing (DESIGN.md Sec. 12) ---
+
+TEST(RouterTest, RoutePairPrimaryMatchesRouteAndHedgeIsDistinct) {
+  // RoutePair must never perturb primary routing: replay Route() decisions
+  // against RoutePair() primaries from the same seed.
+  const std::vector<double> load{5.0, 1.0, 4.0, 2.0, 3.0};
+  const std::vector<bool> all(5, true);
+  Router plain(5, RouterOptions{/*seed=*/21, /*choices=*/2});
+  Router paired(5, RouterOptions{/*seed=*/21, /*choices=*/2});
+  for (int i = 0; i < 128; ++i) {
+    const int p = plain.Route(load, all);
+    const RouteDecision rd = paired.RoutePair(load, all);
+    ASSERT_EQ(rd.primary, p) << "decision " << i;
+    if (rd.hedge >= 0) {
+      EXPECT_NE(rd.hedge, rd.primary) << "decision " << i;
+      EXPECT_GE(load[static_cast<std::size_t>(rd.hedge)],
+                load[static_cast<std::size_t>(rd.primary)])
+          << "hedge must be the second-least-loaded of the sample";
+    }
+  }
+  // Full scan of two shards: the hedge is always the other shard.
+  Router two(2, RouterOptions{/*seed=*/1, /*choices=*/0});
+  const RouteDecision rd = two.RoutePair({1.0, 2.0}, {true, true});
+  EXPECT_EQ(rd.primary, 0);
+  EXPECT_EQ(rd.hedge, 1);
+  // A single feasible shard has no backup.
+  EXPECT_EQ(two.RoutePair({1.0, 2.0}, {true, false}).hedge, -1);
+}
+
+// The chaos event loop with an EMPTY plan must reproduce the legacy
+// simulator bit for bit (fault hooks off = zero behavior change). Health
+// wires are opened wide so detection cannot fire on this healthy workload.
+TEST(FleetChaosSimTest, EmptyPlanIsBitIdenticalToLegacyPath) {
+  std::vector<BoardCandidate> cands;
+  cands.push_back(MakeCandidate("big", 2, 20.0, {0.0005, 0.0002}));
+  cands.push_back(MakeCandidate("small", 1, 4.0, {0.002, 0.0008}));
+  const std::vector<LatencyClass> classes{
+      MakeClass("tight", 0, 3000.0, 0.004),
+      MakeClass("loose", 1, 4000.0, 0.020)};
+  const std::vector<std::vector<double>> dev{cands[0].item_seconds,
+                                             cands[1].item_seconds};
+  FleetOptions opts;
+  opts.max_batch = 4;
+  opts.max_queue_delay_seconds = 0.001;
+  opts.class_weights = {2.0, 1.0};
+  opts.health.heartbeat_timeout_seconds = 10.0;
+  opts.health.down_after_seconds = 10.0;
+  opts.health.max_consecutive_misses = 0;
+  const auto trace = MakePoissonTrace(classes, 0.25, 99);
+
+  const auto legacy =
+      SimulateFleet(cands, {0, 0, 1}, classes, dev, trace, opts, nullptr);
+  const FaultPlan empty(42);
+  ASSERT_TRUE(empty.empty());
+  const auto chaos =
+      SimulateFleet(cands, {0, 0, 1}, classes, dev, trace, opts, &empty);
+
+  EXPECT_EQ(chaos.decisions, legacy.decisions);
+  EXPECT_EQ(chaos.horizon_seconds, legacy.horizon_seconds);
+  EXPECT_EQ(chaos.total_ok_qps, legacy.total_ok_qps);
+  EXPECT_EQ(chaos.energy_joules, legacy.energy_joules);
+  EXPECT_EQ(chaos.goodput_qps, legacy.goodput_qps);
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    EXPECT_EQ(chaos.classes[c].ok, legacy.classes[c].ok) << "class " << c;
+    EXPECT_EQ(chaos.classes[c].rejected, legacy.classes[c].rejected);
+    EXPECT_EQ(chaos.classes[c].expired, legacy.classes[c].expired);
+    EXPECT_EQ(chaos.classes[c].unroutable, legacy.classes[c].unroutable);
+    EXPECT_EQ(chaos.classes[c].failed, legacy.classes[c].failed);
+    EXPECT_EQ(chaos.classes[c].ok_tail, legacy.classes[c].ok_tail);
+    EXPECT_EQ(chaos.classes[c].p50_ms, legacy.classes[c].p50_ms);
+    EXPECT_EQ(chaos.classes[c].p99_ms, legacy.classes[c].p99_ms);
+  }
+  for (std::size_t s = 0; s < legacy.shards.size(); ++s) {
+    EXPECT_EQ(chaos.shards[s].items, legacy.shards[s].items) << "shard " << s;
+    EXPECT_EQ(chaos.shards[s].batches, legacy.shards[s].batches);
+    EXPECT_EQ(chaos.shards[s].busy_seconds, legacy.shards[s].busy_seconds);
+    EXPECT_EQ(chaos.shards[s].energy_joules, legacy.shards[s].energy_joules);
+  }
+  EXPECT_EQ(chaos.chaos.hedges, 0);
+  EXPECT_EQ(chaos.chaos.retries, 0);
+  EXPECT_EQ(chaos.chaos.shards_down, 0);
+  EXPECT_EQ(chaos.chaos.health_transitions, 0);
+}
+
+TEST(FleetChaosSimTest, CrashIsDetectedRetriedAndReplanned) {
+  // Two identical shards at ~50% load; shard 0 crashes mid-run. The
+  // heartbeat tripwire must declare it down, queued/in-flight work must be
+  // re-routed to the survivor, and the portfolio re-plan must keep the
+  // (fully servable) class whole.
+  std::vector<BoardCandidate> cands;
+  cands.push_back(MakeCandidate("a", 1, 10.0, {0.001}));  // 1000 qps/shard
+  const std::vector<LatencyClass> classes{MakeClass("c", 0, 800.0)};
+  FleetOptions opts;
+  opts.max_queue_delay_seconds = 0;
+  opts.health.heartbeat_timeout_seconds = 0.004;
+  opts.health.down_after_seconds = 0.004;
+  const auto trace = MakePoissonTrace(classes, 0.2, 5);
+  ASSERT_GT(trace.size(), 100u);
+
+  FaultPlan plan(7);
+  plan.AddCrash(0, 0.05);
+  const auto res = SimulateFleet(cands, {0, 0}, classes,
+                                 {cands[0].item_seconds}, trace, opts, &plan);
+
+  const auto& cs = res.classes[0];
+  EXPECT_EQ(cs.submitted, static_cast<std::int64_t>(trace.size()));
+  EXPECT_EQ(cs.submitted,
+            cs.ok + cs.rejected + cs.expired + cs.unroutable + cs.failed)
+      << "conservation under faults";
+  EXPECT_EQ(res.chaos.shards_down, 1);
+  EXPECT_GE(res.chaos.first_down_seconds, 0.05) << "detection is not psychic";
+  EXPECT_EQ(res.chaos.replans, 1);
+  EXPECT_GT(res.chaos.retries, 0) << "lost work must be re-routed";
+  EXPECT_EQ(res.chaos.degraded_shed, 0)
+      << "survivor capacity (850 qps derated) covers the 800 qps class";
+  EXPECT_EQ(cs.failed, 0) << "no deadline, so every retry eventually lands";
+  EXPECT_EQ(cs.ok, cs.submitted);
+  EXPECT_GT(res.chaos.health_transitions, 0);
+  // The dead shard executes nothing after the crash: every post-crash item
+  // lands on the survivor.
+  EXPECT_GT(res.shards[1].items, res.shards[0].items);
+
+  // Chaos runs replay bit-identically, faults included.
+  const auto rerun = SimulateFleet(cands, {0, 0}, classes,
+                                   {cands[0].item_seconds}, trace, opts,
+                                   &plan);
+  EXPECT_EQ(rerun.decisions, res.decisions);
+  EXPECT_EQ(rerun.classes[0].ok, res.classes[0].ok);
+  EXPECT_EQ(rerun.horizon_seconds, res.horizon_seconds);
+  EXPECT_EQ(rerun.chaos.retries, res.chaos.retries);
+  EXPECT_EQ(rerun.chaos.first_down_seconds, res.chaos.first_down_seconds);
+}
+
+TEST(FleetChaosSimTest, CorruptionIsCaughtByCrcAndServedWithoutIt) {
+  std::vector<BoardCandidate> cands;
+  cands.push_back(MakeCandidate("a", 1, 10.0, {0.001}));
+  const std::vector<LatencyClass> classes{MakeClass("c", 0, 100.0)};
+  FleetOptions opts;
+  opts.max_queue_delay_seconds = 0;
+  opts.max_batch = 1;
+  std::vector<FleetTraceArrival> trace;
+  for (int i = 0; i < 6; ++i) trace.push_back({0.002 * i, 0});
+
+  FaultPlan plan(3);
+  plan.AddCorruption(0, 0.0, 3);
+
+  // CRC on (default): the three corrupted results are rejected at
+  // collection and re-executed; nothing corrupted reaches a client.
+  {
+    const auto res = SimulateFleet(cands, {0}, classes,
+                                   {cands[0].item_seconds}, trace, opts,
+                                   &plan);
+    EXPECT_EQ(res.chaos.corrupted_detected, 3);
+    EXPECT_EQ(res.chaos.corrupted_served, 0);
+    EXPECT_EQ(res.chaos.retries, 3);
+    EXPECT_EQ(res.classes[0].ok, 6);
+    EXPECT_EQ(res.classes[0].failed, 0);
+    EXPECT_EQ(res.goodput_qps, res.total_ok_qps);
+  }
+  // CRC off: the same three results are served silently — only the
+  // corrupted_served counter (and the goodput gap) knows.
+  {
+    FleetOptions no_crc = opts;
+    no_crc.crc_enabled = false;
+    const auto res = SimulateFleet(cands, {0}, classes,
+                                   {cands[0].item_seconds}, trace, no_crc,
+                                   &plan);
+    EXPECT_EQ(res.chaos.corrupted_detected, 0);
+    EXPECT_EQ(res.chaos.corrupted_served, 3);
+    EXPECT_EQ(res.chaos.retries, 0);
+    EXPECT_EQ(res.classes[0].ok, 6);
+    EXPECT_LT(res.goodput_qps, res.total_ok_qps)
+        << "goodput must discount silently corrupted serves";
+  }
+}
+
+TEST(FleetChaosSimTest, StallTripsSuspectThenRecoversWithoutReplan) {
+  // Shard 0 stalls past the heartbeat: it must go suspect (masked), drain
+  // its backlog when the stall lifts, and recover — no permanent loss, no
+  // re-plan, nothing failed.
+  std::vector<BoardCandidate> cands;
+  cands.push_back(MakeCandidate("a", 1, 10.0, {0.001}));
+  const std::vector<LatencyClass> classes{MakeClass("c", 0, 100.0)};
+  FleetOptions opts;
+  opts.max_queue_delay_seconds = 0;
+  opts.health.heartbeat_timeout_seconds = 0.01;
+  opts.health.down_after_seconds = 0.2;  // far beyond the stall
+  std::vector<FleetTraceArrival> trace;
+  for (int i = 0; i < 20; ++i) trace.push_back({0.003 * i, 0});
+
+  FaultPlan plan(9);
+  plan.AddStall(0, 0.0, 0.05);
+  const auto res = SimulateFleet(cands, {0, 0}, classes,
+                                 {cands[0].item_seconds}, trace, opts, &plan);
+  EXPECT_EQ(res.classes[0].ok, 20) << "every request survives the stall";
+  EXPECT_EQ(res.classes[0].failed, 0);
+  EXPECT_EQ(res.chaos.shards_down, 0);
+  EXPECT_EQ(res.chaos.replans, 0);
+  EXPECT_GE(res.chaos.health_transitions, 2)
+      << "suspect on silence, healthy again on progress";
+  EXPECT_GT(res.shards[0].items, 0) << "the stalled backlog still drains";
+}
+
+TEST(FleetChaosSimTest, SlowdownDeratesDevicePacing) {
+  // One shard, one arrival inside a 4x derate window: the item takes
+  // 4 x 0.001 s. A second arrival after the window runs at full speed.
+  std::vector<BoardCandidate> cands;
+  cands.push_back(MakeCandidate("a", 1, 10.0, {0.001}));
+  const std::vector<LatencyClass> classes{MakeClass("c", 0, 100.0)};
+  FleetOptions opts;
+  opts.max_queue_delay_seconds = 0;
+  opts.max_batch = 1;
+  opts.health.heartbeat_timeout_seconds = 10.0;
+  opts.health.down_after_seconds = 10.0;
+  opts.health.max_consecutive_misses = 0;
+
+  FaultPlan plan(1);
+  plan.AddSlowdown(0, 0.0, 0.01, 4.0);
+  const auto res = SimulateFleet(cands, {0}, classes,
+                                 {cands[0].item_seconds},
+                                 {{0.0, 0}, {0.02, 0}}, opts, &plan);
+  EXPECT_EQ(res.classes[0].ok, 2);
+  EXPECT_DOUBLE_EQ(res.classes[0].p50_ms, 1.0) << "post-window item at speed";
+  EXPECT_DOUBLE_EQ(res.classes[0].p99_ms, 4.0) << "derated item took 4x";
+  EXPECT_DOUBLE_EQ(res.horizon_seconds, 0.021);
+}
+
+TEST(FleetChaosSimTest, HedgingDuplicatesNearDeadlineRequestsFirstWinWins) {
+  // hedge_slack_fraction = 1 makes every request hedge-eligible; with a
+  // full-scan router over two shards the backup always exists, so every
+  // arrival runs twice and the duplicate is counted as waste — but each
+  // request is served exactly once.
+  std::vector<BoardCandidate> cands;
+  cands.push_back(MakeCandidate("a", 1, 10.0, {0.001}));
+  const std::vector<LatencyClass> classes{MakeClass("c", 0, 100.0, 0.010)};
+  FleetOptions opts;
+  opts.max_queue_delay_seconds = 0;
+  opts.max_batch = 1;
+  opts.router.choices = 0;
+  opts.hedge_slack_fraction = 1.0;
+  opts.health.heartbeat_timeout_seconds = 10.0;
+  opts.health.down_after_seconds = 10.0;
+  opts.health.max_consecutive_misses = 0;
+  std::vector<FleetTraceArrival> trace;
+  for (int i = 0; i < 10; ++i) trace.push_back({0.005 * i, 0});
+
+  const auto res = SimulateFleet(cands, {0, 0}, classes,
+                                 {cands[0].item_seconds}, trace, opts,
+                                 nullptr);
+  EXPECT_EQ(res.classes[0].ok, 10);
+  EXPECT_EQ(res.chaos.hedges, 10);
+  EXPECT_EQ(res.chaos.hedge_wasted, 10)
+      << "both copies ran; exactly one settled the request";
+  EXPECT_EQ(res.classes[0].submitted,
+            res.classes[0].ok + res.classes[0].rejected +
+                res.classes[0].expired + res.classes[0].unroutable +
+                res.classes[0].failed);
+}
+
+TEST(FleetChaosSimTest, TotalLossWithDeadlinesFailsClosed) {
+  // Every shard dies with work outstanding and the class deadline forbids
+  // waiting: requests must settle as failed/expired — never hang, never
+  // serve. Exercises the open-request conservation check at loop exit.
+  std::vector<BoardCandidate> cands;
+  cands.push_back(MakeCandidate("a", 1, 10.0, {0.001}));
+  const std::vector<LatencyClass> classes{MakeClass("c", 0, 100.0, 0.02)};
+  FleetOptions opts;
+  opts.max_queue_delay_seconds = 0;
+  opts.health.heartbeat_timeout_seconds = 0.005;
+  opts.health.down_after_seconds = 0.005;
+  std::vector<FleetTraceArrival> trace;
+  for (int i = 0; i < 8; ++i) trace.push_back({0.001 * i, 0});
+
+  FaultPlan plan(4);
+  plan.AddCrash(0, 0.0015);
+  plan.AddCrash(1, 0.0015);
+  const auto res = SimulateFleet(cands, {0, 0}, classes,
+                                 {cands[0].item_seconds}, trace, opts, &plan);
+  const auto& cs = res.classes[0];
+  EXPECT_EQ(cs.submitted, 8);
+  EXPECT_EQ(cs.submitted,
+            cs.ok + cs.rejected + cs.expired + cs.unroutable + cs.failed);
+  EXPECT_EQ(res.chaos.shards_down, 2);
+  EXPECT_GT(cs.failed + cs.expired + cs.unroutable, 0);
+  EXPECT_LT(cs.ok, 8) << "a fleet-wide crash cannot serve everything";
+}
+
 // --- live fleet ---
 
 TEST(FleetLiveTest, FunctionalServingMatchesSequentialAndSharesEngines) {
@@ -406,6 +693,124 @@ TEST(FleetLiveTest, FunctionalServingMatchesSequentialAndSharesEngines) {
   // Both shards share one engine (and its program cache): the model
   // compiles once for shard 0 and cache-hits for shard 1.
   EXPECT_GE(fleet.engine("test").cache_hits(), 1);
+}
+
+TEST(FleetLiveTest, SubmitHedgedServesOnceAndMatchesSequential) {
+  Model model = BuildTinyCnn();
+  const AccelConfig cfg = TestConfig();
+  std::vector<LayerMapping> mapping(
+      static_cast<std::size_t>(model.num_layers()),
+      LayerMapping{ConvMode::kSpatial, Dataflow::kInputStationary});
+  ModelWeightsQ weights = SyntheticWeights(model, 7);
+  BoardCandidate cand = MakeCandidate("test", 1, 10.0, {0.001});
+  cand.config = cfg;
+  cand.mappings = {mapping};
+  const std::vector<LatencyClass> classes{MakeClass("c", 0, 100.0)};
+  FleetOptions opts;
+  opts.max_queue_delay_seconds = 0;
+  opts.router.choices = 0;  // full scan: a backup shard always exists
+  Fleet fleet({cand}, {0, 0}, classes, {&model}, {&weights}, opts,
+              ExecMode::kFunctional);
+
+  constexpr int kItems = 8;
+  InferenceEngine golden_engine(TestSpec(), 1);
+  std::vector<std::future<ItemReport>> futures;
+  std::vector<Tensor<std::int16_t>> inputs;
+  for (int i = 0; i < kItems; ++i) {
+    inputs.push_back(
+        MakeInput(model.InputOf(0), 300 + static_cast<std::uint64_t>(i)));
+    futures.push_back(fleet.SubmitHedged(0, inputs.back()));
+  }
+  const BatchReport golden = golden_engine.ExecuteBatch(
+      model, cand.config, mapping, weights, inputs, /*functional=*/true);
+  for (int i = 0; i < kItems; ++i) {
+    const ItemReport r = futures[static_cast<std::size_t>(i)].get();
+    ASSERT_EQ(r.outcome, ServeOutcome::kOk) << "item " << i;
+    EXPECT_EQ(r.run.output, golden.items[static_cast<std::size_t>(i)].output)
+        << "hedged result must equal the sequential golden (purity)";
+  }
+  fleet.Stop();
+  // Duplicates executed on the backup shard do not double-count serves seen
+  // by clients: each future resolved exactly once with one report.
+  EXPECT_GE(fleet.class_stats(0).submitted, kItems)
+      << "hedge copies add submissions beyond the client's";
+}
+
+TEST(FleetLiveTest, ManualHealthMaskExcludesShardFromRouting) {
+  Model model = BuildTinyCnn();
+  std::vector<LayerMapping> mapping(
+      static_cast<std::size_t>(model.num_layers()),
+      LayerMapping{ConvMode::kSpatial, Dataflow::kInputStationary});
+  ModelWeightsQ weights = SyntheticWeights(model, 7);
+  BoardCandidate cand = MakeCandidate("test", 1, 10.0, {0.001});
+  cand.config = TestConfig();
+  cand.mappings = {mapping};
+  const std::vector<LatencyClass> classes{MakeClass("c", 0, 100.0)};
+  FleetOptions opts;
+  opts.max_queue_delay_seconds = 0;
+  Fleet fleet({cand}, {0, 0}, classes, {&model}, {&weights}, opts,
+              ExecMode::kFunctional);
+  ASSERT_TRUE(fleet.shard_routable(0));
+  fleet.SetShardHealth(0, false);
+  EXPECT_FALSE(fleet.shard_routable(0));
+
+  // With shard 0 masked, every submit lands on shard 1.
+  std::vector<std::future<ItemReport>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(fleet.Submit(
+        0, MakeInput(model.InputOf(0), 400 + static_cast<std::uint64_t>(i))));
+  }
+  for (auto& f : futures) EXPECT_EQ(f.get().outcome, ServeOutcome::kOk);
+  EXPECT_EQ(fleet.shard_stats(0).submitted, 0);
+  EXPECT_EQ(fleet.shard_stats(1).submitted, 4);
+
+  // Masking everything fails fast instead of hanging.
+  fleet.SetShardHealth(1, false);
+  EXPECT_EQ(fleet.Submit(0, MakeInput(model.InputOf(0), 500)).get().outcome,
+            ServeOutcome::kRejected);
+  fleet.SetShardHealth(0, true);
+  EXPECT_TRUE(fleet.shard_routable(0));
+  EXPECT_EQ(fleet.Submit(0, MakeInput(model.InputOf(0), 501)).get().outcome,
+            ServeOutcome::kOk);
+  fleet.Stop();
+}
+
+TEST(FleetLiveTest, StopResolvesOutstandingHedgedFutures) {
+  // Regression: every future handed out — including hedged pairs still
+  // queued or in flight — must resolve with a terminal status once Stop()
+  // returns. A hang here is the bug this test exists to catch.
+  Model model = BuildTinyCnn();
+  std::vector<LayerMapping> mapping(
+      static_cast<std::size_t>(model.num_layers()),
+      LayerMapping{ConvMode::kSpatial, Dataflow::kInputStationary});
+  ModelWeightsQ weights = SyntheticWeights(model, 7);
+  BoardCandidate cand = MakeCandidate("test", 1, 10.0, {0.001});
+  cand.config = TestConfig();
+  cand.mappings = {mapping};
+  const std::vector<LatencyClass> classes{MakeClass("c", 0, 100.0)};
+  FleetOptions opts;
+  opts.max_queue_delay_seconds = 0;
+  opts.router.choices = 0;
+  Fleet fleet({cand}, {0, 0}, classes, {&model}, {&weights}, opts,
+              ExecMode::kFunctional);
+
+  std::vector<std::future<ItemReport>> futures;
+  for (int i = 0; i < 12; ++i) {
+    futures.push_back(fleet.SubmitHedged(
+        0, MakeInput(model.InputOf(0), 600 + static_cast<std::uint64_t>(i))));
+  }
+  fleet.Stop();  // drains queues and joins workers
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    ASSERT_EQ(futures[i].wait_for(std::chrono::seconds(30)),
+              std::future_status::ready)
+        << "future " << i << " did not resolve after Stop()";
+    const ItemReport r = futures[i].get();
+    EXPECT_TRUE(r.outcome == ServeOutcome::kOk ||
+                r.outcome == ServeOutcome::kRejected ||
+                r.outcome == ServeOutcome::kExpired ||
+                r.outcome == ServeOutcome::kFailed)
+        << "future " << i << " resolved without a terminal status";
+  }
 }
 
 }  // namespace

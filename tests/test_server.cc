@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <vector>
@@ -149,6 +150,68 @@ TEST(DeadlineQueueTest, EvictionTieAmongEqualLatestDeadlinesShedsOldest) {
   EXPECT_EQ(batch[0].value, 2);
   EXPECT_EQ(batch[1].value, 3);
   EXPECT_EQ(batch[2].value, 4);
+}
+
+TEST(DeadlineQueueTest, ShedCountersAreExactAndMonotonic) {
+  DeadlineQueue<int> q(/*capacity=*/3, /*max_batch=*/8, 0.010);
+  std::vector<DeadlineQueue<int>::Entry> expired;
+  DeadlineQueue<int>::Entry evicted;
+  EXPECT_EQ(q.EvictedCount(), 0);
+  EXPECT_EQ(q.ExpiredCount(), 0);
+
+  // Fill to capacity; admissions never touch the shed counters.
+  DeadlineQueue<int>::Entry a{1, 0.0, /*deadline=*/0.100};
+  DeadlineQueue<int>::Entry b{2, 0.0, /*deadline=*/0.050};
+  DeadlineQueue<int>::Entry c{3, 0.0, /*deadline=*/0.200};
+  ASSERT_EQ(q.Push(a, 0.0, &evicted, expired), AdmitResult::kAdmitted);
+  ASSERT_EQ(q.Push(b, 0.0, &evicted, expired), AdmitResult::kAdmitted);
+  ASSERT_EQ(q.Push(c, 0.0, &evicted, expired), AdmitResult::kAdmitted);
+  EXPECT_EQ(q.EvictedCount(), 0);
+  EXPECT_EQ(q.ExpiredCount(), 0);
+
+  // A strictly-more-urgent arrival evicts the latest-deadline waiter:
+  // exactly one eviction, zero expiries.
+  DeadlineQueue<int>::Entry urgent{4, 0.001, /*deadline=*/0.020};
+  ASSERT_EQ(q.Push(urgent, 0.001, &evicted, expired), AdmitResult::kEvicted);
+  EXPECT_EQ(evicted.value, 3);
+  EXPECT_EQ(q.EvictedCount(), 1);
+  EXPECT_EQ(q.ExpiredCount(), 0);
+
+  // A no-earlier-deadline arrival is rejected without a shed: the waiter
+  // keeps its slot, so neither counter moves.
+  DeadlineQueue<int>::Entry tie{5, 0.002, /*deadline=*/0.100};
+  ASSERT_EQ(q.Push(tie, 0.002, &evicted, expired), AdmitResult::kRejected);
+  EXPECT_EQ(q.EvictedCount(), 1);
+  EXPECT_EQ(q.ExpiredCount(), 0);
+
+  // A standalone sweep past two deadlines (0.020 and 0.050) sheds exactly
+  // those two; the 0.100 waiter survives.
+  expired.clear();
+  EXPECT_EQ(q.SweepExpired(0.060, expired), 2);
+  EXPECT_EQ(expired.size(), 2u);
+  EXPECT_EQ(q.ExpiredCount(), 2);
+  EXPECT_EQ(q.EvictedCount(), 1) << "sweeps never count as evictions";
+  ASSERT_EQ(q.size(), 1);
+
+  // The full-queue Push path routes its implicit sweep through the same
+  // counter: refill, then push at a time past one waiter's deadline.
+  DeadlineQueue<int>::Entry d{6, 0.060, /*deadline=*/0.070};
+  DeadlineQueue<int>::Entry e{7, 0.060, /*deadline=*/0.300};
+  ASSERT_EQ(q.Push(d, 0.060, &evicted, expired), AdmitResult::kAdmitted);
+  ASSERT_EQ(q.Push(e, 0.060, &evicted, expired), AdmitResult::kAdmitted);
+  DeadlineQueue<int>::Entry f{8, 0.080, /*deadline=*/0.250};
+  expired.clear();
+  ASSERT_EQ(q.Push(f, 0.080, &evicted, expired), AdmitResult::kAdmitted)
+      << "the expired waiter's slot is reused";
+  EXPECT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].value, 6);
+  EXPECT_EQ(q.ExpiredCount(), 3);
+  EXPECT_EQ(q.EvictedCount(), 1);
+
+  // Draining is not shedding.
+  (void)q.TakeBatch();
+  EXPECT_EQ(q.EvictedCount(), 1);
+  EXPECT_EQ(q.ExpiredCount(), 3);
 }
 
 // --- weighted drain scan ---
@@ -498,6 +561,161 @@ TEST(InferenceServerTest, StopDrainsAdmittedRequests) {
   }
   // Post-stop submissions resolve as rejected rather than hanging.
   EXPECT_EQ(server.Submit(h, input).get().outcome, ServeOutcome::kRejected);
+}
+
+TEST(InferenceServerTest, StopResolvesEveryOutstandingFuture) {
+  // Regression: Stop() must leave no future unresolved, whatever mix of
+  // outcomes the drain produces — a dropped promise would deadlock any
+  // caller blocked on get(). Deep backlog, a long batching window, and a
+  // spread of deadlines (some already hopeless) force the drain through
+  // the ok/expired/rejected paths in one pass.
+  ServerFixture f;
+  ServerOptions opts;
+  opts.num_workers = 1;
+  opts.max_batch = 4;
+  opts.max_queue_delay_seconds = 10.0;
+  opts.max_queue_depth = 4;
+  opts.mode = ExecMode::kDevicePaced;
+  InferenceServer server(f.engine, opts);
+  const ModelHandle h =
+      server.RegisterModel(f.model, f.cfg, f.mapping, f.weights);
+  const double dev = server.device_seconds_per_item(h);
+
+  const Tensor<std::int16_t> input = MakeInput(f.model.InputOf(0), 5);
+  std::vector<std::future<ItemReport>> futures;
+  const int kRequests = 12;
+  for (int i = 0; i < kRequests; ++i) {
+    // Every third request gets a deadline one device quantum out — far too
+    // tight once it sits behind the backlog — the rest are unconstrained.
+    const double deadline = (i % 3 == 2) ? 1.0 * dev : kNoDeadline;
+    futures.push_back(server.Submit(h, input, deadline));
+  }
+  server.Stop();
+
+  int ok = 0, rejected = 0, expired = 0, failed = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    ASSERT_EQ(futures[i].wait_for(std::chrono::seconds(30)),
+              std::future_status::ready)
+        << "future " << i << " never resolved after Stop()";
+    switch (futures[i].get().outcome) {
+      case ServeOutcome::kOk: ++ok; break;
+      case ServeOutcome::kRejected: ++rejected; break;
+      case ServeOutcome::kExpired: ++expired; break;
+      case ServeOutcome::kFailed: ++failed; break;
+    }
+  }
+  EXPECT_EQ(ok + rejected + expired + failed, kRequests);
+  EXPECT_GT(ok, 0);
+  EXPECT_EQ(failed, 0) << "no faults were injected";
+  const ServerStats stats = server.stats(h);
+  EXPECT_EQ(stats.submitted, kRequests);
+  EXPECT_EQ(stats.ok, ok);
+  EXPECT_EQ(stats.rejected, rejected);
+  EXPECT_EQ(stats.expired, expired);
+  EXPECT_EQ(stats.failed, 0);
+  // Stop is idempotent and a second call must not re-resolve anything.
+  server.Stop();
+}
+
+// --- integrity checking under injected corruption ---
+
+// Arms `fault` on every idle pooled Runtime for `cfg` so the serving
+// worker's next checkout is guaranteed to hit a poisoned device.
+void ArmIdleRuntimes(RuntimePool& pool, const AccelConfig& cfg,
+                     const DramFault& fault) {
+  std::vector<RuntimePool::Lease> leases;
+  while (pool.idle_count() > 0) leases.push_back(pool.Checkout(cfg));
+  ASSERT_FALSE(leases.empty()) << "registration should have pooled a runtime";
+  for (auto& lease : leases) {
+    ASSERT_TRUE(lease.valid());
+    ASSERT_NE(lease->dram(), nullptr)
+        << "profiling at registration builds the DRAM model";
+    lease->dram()->ArmFault(fault);
+  }
+  // Leases release here, returning the armed runtimes to the pool.
+}
+
+TEST(InferenceServerTest, IntegrityRetryRecoversFromInjectedCorruption) {
+  ServerFixture f;
+  ServerOptions opts;
+  opts.num_workers = 1;
+  opts.max_batch = 1;
+  opts.max_queue_delay_seconds = 0.0;
+  opts.mode = ExecMode::kFunctional;
+  opts.integrity_check = true;
+  opts.max_execute_retries = 1;
+  InferenceServer server(f.engine, opts);
+  const ModelHandle h =
+      server.RegisterModel(f.model, f.cfg, f.mapping, f.weights);
+
+  // Reference run: golden output plus the per-execute DRAM traffic that
+  // positions the fault inside the collection integrity window (see
+  // test_fault.cc for the threshold derivation).
+  const Compiler compiler(f.cfg, f.spec);
+  const CompiledModel cm = compiler.Compile(f.model, f.mapping);
+  Runtime ref(f.cfg, f.spec);
+  const Tensor<std::int16_t> input = MakeInput(f.model.InputOf(0), 11);
+  const RunReport golden = ref.Execute(f.model, cm, f.weights, input);
+  const std::int64_t total =
+      ref.dram()->words_read() + ref.dram()->words_written();
+  const std::int64_t threshold = total - golden.output.elements() + 1;
+  ASSERT_GT(threshold, 0);
+  const std::int64_t slab_base = cm.output_region(f.model.num_layers() - 1);
+
+  ArmIdleRuntimes(f.engine.runtime_pool(), f.cfg,
+                  {threshold, slab_base, 0x0001});
+
+  // The worker's first execute trips the CRC check; one in-place retry
+  // (the armed fault is single-shot) serves the clean result.
+  const ItemReport report = server.Submit(h, input).get();
+  ASSERT_EQ(report.outcome, ServeOutcome::kOk);
+  EXPECT_EQ(report.run.output, golden.output);
+  const ServerStats stats = server.stats(h);
+  EXPECT_EQ(stats.ok, 1);
+  EXPECT_EQ(stats.retried, 1);
+  EXPECT_EQ(stats.failed, 0);
+}
+
+TEST(InferenceServerTest, IntegrityFailureWithoutRetryBudgetFailsClosed) {
+  ServerFixture f;
+  ServerOptions opts;
+  opts.num_workers = 1;
+  opts.max_batch = 1;
+  opts.max_queue_delay_seconds = 0.0;
+  opts.mode = ExecMode::kFunctional;
+  opts.integrity_check = true;
+  opts.max_execute_retries = 0;
+  InferenceServer server(f.engine, opts);
+  const ModelHandle h =
+      server.RegisterModel(f.model, f.cfg, f.mapping, f.weights);
+
+  const Compiler compiler(f.cfg, f.spec);
+  const CompiledModel cm = compiler.Compile(f.model, f.mapping);
+  Runtime ref(f.cfg, f.spec);
+  const Tensor<std::int16_t> input = MakeInput(f.model.InputOf(0), 11);
+  const RunReport golden = ref.Execute(f.model, cm, f.weights, input);
+  const std::int64_t total =
+      ref.dram()->words_read() + ref.dram()->words_written();
+  const std::int64_t threshold = total - golden.output.elements() + 1;
+  const std::int64_t slab_base = cm.output_region(f.model.num_layers() - 1);
+
+  ArmIdleRuntimes(f.engine.runtime_pool(), f.cfg,
+                  {threshold, slab_base, 0x0001});
+
+  // Zero retry budget: the detected corruption is a terminal kFailed, never
+  // a silently-served bad result.
+  const ItemReport report = server.Submit(h, input).get();
+  EXPECT_EQ(report.outcome, ServeOutcome::kFailed);
+  const ServerStats stats = server.stats(h);
+  EXPECT_EQ(stats.ok, 0);
+  EXPECT_EQ(stats.retried, 0);
+  EXPECT_EQ(stats.failed, 1);
+
+  // The pooled runtime is healthy again (the fault was consumed): the next
+  // submit of the same input serves the golden output.
+  const ItemReport clean = server.Submit(h, input).get();
+  ASSERT_EQ(clean.outcome, ServeOutcome::kOk);
+  EXPECT_EQ(clean.run.output, golden.output);
 }
 
 }  // namespace

@@ -62,6 +62,21 @@ RATE_KEYS = (
     "naive_qps_per_joule",
     "portfolio_qps_per_joule",
     "qps_per_joule_ratio",
+    # chaos / self-healing fleet (BENCH_fleet_chaos.json): per-scenario
+    # goodput plus the crash-recovery headline. corrupted_served_with_crc
+    # is an invariant, not a trend — any non-zero value is flagged BAD.
+    "goodput_qps",
+    "tail_goodput_qps",
+    "recovery_ratio",
+    "baseline_tail_goodput_qps",
+    "crash_tail_goodput_qps",
+    "failed",
+    "retries",
+    "corrupted_detected",
+    "corrupted_served",
+    "corrupted_detected_with_crc",
+    "corrupted_served_with_crc",
+    "corrupted_served_without_crc",
 )
 
 # Latency percentiles, shed rate and quantization error improve when they go
@@ -70,8 +85,18 @@ RATE_KEYS = (
 # utilization (high = good packing OR saturation) and absolute energy (it
 # conflates horizon with draw — the qps_per_joule rows carry the verdict).
 LOWER_BETTER = {"p50_ms", "p99_ms", "p999_ms", "shed_rate",
-                "e2e_rmse", "e2e_max_abs"}
-NEUTRAL = {"mean_batch", "offered_qps", "utilization", "energy_joules"}
+                "e2e_rmse", "e2e_max_abs", "failed", "corrupted_served"}
+NEUTRAL = {"mean_batch", "offered_qps", "utilization", "energy_joules",
+           # chaos bookkeeping: these scale with what the plan injects
+           # (retries/detections) or are scenario inputs, so their movement
+           # carries no verdict — goodput and recovery_ratio do.
+           "retries", "corrupted_detected", "corrupted_detected_with_crc",
+           "corrupted_served_without_crc"}
+# Invariants rather than trends: any non-zero current value is a failure of
+# the bench's own bars and is flagged BAD even without a baseline. The
+# chaos bench already exits non-zero on violation; the table makes it
+# visible in the delta report too.
+MUST_BE_ZERO = {"corrupted_served_with_crc"}
 
 
 def trend(key, before, after):
@@ -155,11 +180,13 @@ def main(argv):
         current = load_metrics(cur_path, errors) if os.path.exists(cur_path) \
             else {}
         base_path = os.path.join(base_dir, name)
-        baseline = load_metrics(base_path, errors) \
-            if os.path.exists(base_path) else {}
+        base_missing = not os.path.exists(base_path)
+        baseline = {} if base_missing else load_metrics(base_path, errors)
         if not os.path.exists(cur_path):
             print("  (missing from the current run)")
-        if not baseline:
+        if base_missing:
+            print("  (baseline gone — first run or cold cache)")
+        elif not baseline:
             print("  (no cached baseline — first run or cold cache)")
         print(f"  {'metric':<{width}} {'before':>12} {'after':>12} "
               f"{'delta':>8} {'trend':>7}")
@@ -169,7 +196,8 @@ def main(argv):
             after_s = "-" if after is None else f"{after:.3f}"
             trend_s = ""
             if before is None:
-                before_s, delta_s = "-", "-"
+                before_s = "gone" if base_missing else "-"
+                delta_s = "-"
             else:
                 before_s = f"{before:.3f}"
                 if after is None:
@@ -179,6 +207,8 @@ def main(argv):
                     trend_s = trend(key.rsplit(".", 1)[-1], before, after)
                 else:
                     delta_s = "-" if after == 0 else "new"
+            if key.rsplit(".", 1)[-1] in MUST_BE_ZERO and after:
+                trend_s = "BAD"
             label = key if len(key) <= width else "…" + key[-(width - 1):]
             print(f"  {label:<{width}} {before_s:>12} {after_s:>12} "
                   f"{delta_s:>8} {trend_s:>7}")
